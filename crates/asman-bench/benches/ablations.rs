@@ -1,0 +1,225 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each group prints the simulated-outcome sweep once (that is the
+//! scientific payload) and times one representative configuration so
+//! regressions in simulator performance are tracked too. Scenario:
+//! LU at a 22.2% online rate (class S), the paper's most sensitive point.
+
+use asman_bench::{reference_run_secs, run_secs_cfg};
+use asman_core::{AsmanConfig, LearningConfig};
+use asman_guest::MonitorConfig;
+use asman_hypervisor::{CoschedPolicy, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn asman_cfg() -> (MachineConfig, AsmanConfig) {
+    (
+        MachineConfig {
+            policy: CoschedPolicy::Adaptive,
+            seed: 42,
+            ..MachineConfig::default()
+        },
+        AsmanConfig::default(),
+    )
+}
+
+/// δ sweep: sensitivity of over-threshold detection (paper fixes δ=20).
+fn ablation_delta(c: &mut Criterion) {
+    eprintln!("== ablation: over-threshold exponent δ ==");
+    for delta in [16u32, 18, 20, 22, 24] {
+        let (m, mut a) = asman_cfg();
+        a.monitor = MonitorConfig { delta };
+        eprintln!("  δ={delta}: run {:.1}s", run_secs_cfg(m, a));
+    }
+    let mut g = c.benchmark_group("ablation_delta");
+    g.sample_size(10);
+    g.bench_function("delta20", |b| {
+        b.iter(|| {
+            let (m, a) = asman_cfg();
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+/// Learning parameters: recency/experimentation and the verbatim
+/// (upward-only) Algorithm 2 vs the stabilized variant.
+fn ablation_learning(c: &mut Criterion) {
+    eprintln!("== ablation: learning algorithm ==");
+    let cases: Vec<(&str, LearningConfig)> = vec![
+        ("default", LearningConfig::default()),
+        (
+            "verbatim-algorithm-2",
+            LearningConfig {
+                downward_share: false,
+                ..LearningConfig::default()
+            },
+        ),
+        (
+            "high-recency r=0.5",
+            LearningConfig {
+                recency: 0.5,
+                ..LearningConfig::default()
+            },
+        ),
+        (
+            "no-exploration e=0.01",
+            LearningConfig {
+                experimentation: 0.01,
+                ..LearningConfig::default()
+            },
+        ),
+        (
+            "short-candidates <=40ms",
+            LearningConfig {
+                values: (1..=8)
+                    .map(|k| asman_sim::Clock::default().ms(5 * k))
+                    .collect(),
+                ..LearningConfig::default()
+            },
+        ),
+    ];
+    for (name, lc) in cases {
+        let (m, mut a) = asman_cfg();
+        a.learning = lc;
+        eprintln!("  {name}: run {:.1}s", run_secs_cfg(m, a));
+    }
+    let mut g = c.benchmark_group("ablation_learning");
+    g.sample_size(10);
+    g.bench_function("default", |b| {
+        b.iter(|| {
+            let (m, a) = asman_cfg();
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+/// IPI latency: cost-model sensitivity of coscheduling.
+fn ablation_ipi(c: &mut Criterion) {
+    eprintln!("== ablation: IPI latency ==");
+    for us in [1u64, 4, 20, 100, 500] {
+        let (mut m, a) = asman_cfg();
+        m.ipi_latency_us = us;
+        eprintln!("  ipi={us}us: run {:.1}s", run_secs_cfg(m, a));
+    }
+    let mut g = c.benchmark_group("ablation_ipi");
+    g.sample_size(10);
+    g.bench_function("ipi4us", |b| {
+        b.iter(|| {
+            let (m, a) = asman_cfg();
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+/// Cache warm-up penalty: how much of the degradation is churn cost.
+fn ablation_warmup(c: &mut Criterion) {
+    eprintln!("== ablation: cache warm-up penalty ==");
+    for us in [0u64, 30, 60, 120, 300] {
+        let (mut m, a) = asman_cfg();
+        m.warmup_us = us;
+        let asman = run_secs_cfg(m, a);
+        let credit = run_secs_cfg(
+            MachineConfig {
+                policy: CoschedPolicy::None,
+                warmup_us: us,
+                seed: 42,
+                ..MachineConfig::default()
+            },
+            AsmanConfig::default(),
+        );
+        eprintln!("  warmup={us}us: Credit {credit:.1}s, ASMan {asman:.1}s");
+    }
+    let mut g = c.benchmark_group("ablation_warmup");
+    g.sample_size(10);
+    g.bench_function("warmup60", |b| {
+        b.iter(|| {
+            let (m, a) = asman_cfg();
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+/// Credit assignment interval K.
+fn ablation_interval(c: &mut Criterion) {
+    eprintln!("== ablation: credit assignment interval (K slots) ==");
+    for k in [1u32, 3, 6, 12] {
+        let (mut m, a) = asman_cfg();
+        m.assign_interval_slots = k;
+        eprintln!("  K={k}: run {:.1}s", run_secs_cfg(m, a));
+    }
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    g.bench_function("k3", |b| {
+        b.iter(|| {
+            let (m, a) = asman_cfg();
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+/// Policy panel: every scheduler on the reference scenario, including
+/// the relaxed-coscheduling and out-of-VM extensions.
+fn ablation_policies(c: &mut Criterion) {
+    eprintln!("== ablation: policy panel (LU @ 22.2%) ==");
+    for (name, policy) in [
+        ("credit", CoschedPolicy::None),
+        ("con", CoschedPolicy::Static),
+        ("asman", CoschedPolicy::Adaptive),
+        ("relaxed", CoschedPolicy::Relaxed),
+        ("out-of-vm", CoschedPolicy::OutOfVm),
+    ] {
+        eprintln!("  {name}: run {:.1}s", reference_run_secs(policy, 42));
+    }
+    let mut g = c.benchmark_group("ablation_policies");
+    g.sample_size(10);
+    g.bench_function("asman", |b| {
+        b.iter(|| reference_run_secs(CoschedPolicy::Adaptive, 42))
+    });
+    g.finish();
+}
+
+/// LLC-aware gang placement (§7 future work) under a range of
+/// cross-socket penalties.
+fn ablation_llc(c: &mut Criterion) {
+    eprintln!("== ablation: LLC-aware gang placement ==");
+    for cross_us in [60u64, 200, 400, 800] {
+        let mut row = String::new();
+        for llc in [false, true] {
+            let (mut m, a) = asman_cfg();
+            m.cross_socket_warmup_us = cross_us;
+            m.llc_aware = llc;
+            row.push_str(&format!(
+                " {}={:.1}s",
+                if llc { "aware" } else { "flat" },
+                run_secs_cfg(m, a.clone())
+            ));
+        }
+        eprintln!("  cross-socket {cross_us}us:{row}");
+    }
+    let mut g = c.benchmark_group("ablation_llc");
+    g.sample_size(10);
+    g.bench_function("llc_aware", |b| {
+        b.iter(|| {
+            let (mut m, a) = asman_cfg();
+            m.llc_aware = true;
+            run_secs_cfg(m, a)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_delta,
+    ablation_learning,
+    ablation_ipi,
+    ablation_warmup,
+    ablation_interval,
+    ablation_policies,
+    ablation_llc
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Substrate microbenchmarks: event-queue throughput, RNG, and the
+//! machine event loop's events-per-second.
+
+use asman_hypervisor::{Machine, MachineConfig, VmSpec};
+use asman_sim::{Clock, Cycles, EventQueue, SimRng};
+use asman_workloads::{NasBenchmark, NasSpec, ProblemClass};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(Cycles(rng.next_u64() % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, p)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("next_u64_1m", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    // Events per wall-second on a sync-heavy configuration.
+    let build = || {
+        let lu = NasSpec::new(NasBenchmark::LU, ProblemClass::S, 4)
+            .repeating()
+            .build(7);
+        Machine::new(
+            MachineConfig::default(),
+            vec![VmSpec::new("guest", 4, Box::new(lu))],
+        )
+    };
+    // Report the simulator's event rate once.
+    {
+        let clk = Clock::default();
+        let mut m = build();
+        let t0 = std::time::Instant::now();
+        m.run_until(clk.secs(5));
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "machine event loop: {:.1}M events in {wall:.2}s wall ({:.1}M events/s, {:.0}x real time)",
+            m.events_processed() as f64 / 1e6,
+            m.events_processed() as f64 / 1e6 / wall,
+            5.0 / wall,
+        );
+    }
+    g.sample_size(10);
+    g.bench_function("lu_1s_sim", |b| {
+        b.iter(|| {
+            let mut m = build();
+            m.run_until(Clock::default().secs(1));
+            black_box(m.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_machine_loop);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 1 bench: LU under Credit across the four online rates.
+//!
+//! Regenerates the motivation experiment (class S) inside the timing
+//! loop; the figure-of-merit printed once per rate is the simulated run
+//! time and over-threshold population.
+
+use asman_bench::reference_machine_cfg;
+use asman_core::AsmanConfig;
+use asman_hypervisor::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
+use asman_sim::Clock;
+use asman_workloads::{BackgroundConfig, BackgroundService, NasBenchmark, NasSpec, ProblemClass};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_rate(weight: u32, seed: u64) -> (f64, u64) {
+    let clk = Clock::default();
+    let lu = NasSpec::new(NasBenchmark::LU, ProblemClass::S, 4).build(seed ^ 7);
+    let dom0 = BackgroundService::new(BackgroundConfig::default(), 8, seed ^ 0xD0);
+    let mut m = asman_hypervisor::Machine::new(
+        MachineConfig {
+            seed,
+            policy: CoschedPolicy::None,
+            ..MachineConfig::default()
+        },
+        vec![
+            VmSpec::new("dom0", 8, Box::new(dom0)),
+            VmSpec::new("guest", 4, Box::new(lu))
+                .weight(weight)
+                .cap(CapMode::NonWorkConserving),
+        ],
+    );
+    m.run_to_completion(clk.secs(600));
+    let s = m.vm_kernel(1).stats();
+    (
+        clk.to_secs(s.finished_at.expect("finished")),
+        s.wait_hist.count_at_least_pow2(20),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_lu_credit");
+    g.sample_size(10);
+    for (weight, pct) in [(256u32, "100"), (128, "66.7"), (64, "40"), (32, "22.2")] {
+        let (secs, over) = run_rate(weight, 42);
+        eprintln!("fig01 rate {pct}%: run {secs:.1}s, {over} waits >= 2^20");
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &weight, |b, &w| {
+            b.iter(|| run_rate(w, 42))
+        });
+    }
+    g.finish();
+    // Silence an unused warning for the richer helper.
+    let _ = reference_machine_cfg(
+        MachineConfig::default(),
+        AsmanConfig::default(),
+        ProblemClass::S,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

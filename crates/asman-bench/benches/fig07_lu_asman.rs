@@ -1,0 +1,27 @@
+//! Figure 7 bench: LU at the lowest online rate, Credit vs ASMan.
+
+use asman_bench::reference_run_secs;
+use asman_hypervisor::CoschedPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_lu_22pct");
+    g.sample_size(10);
+    let credit = reference_run_secs(CoschedPolicy::None, 42);
+    let asman = reference_run_secs(CoschedPolicy::Adaptive, 42);
+    eprintln!(
+        "fig07 @22.2%: Credit {credit:.1}s vs ASMan {asman:.1}s (saving {:.0}%)",
+        (1.0 - asman / credit) * 100.0
+    );
+    assert!(asman < credit, "ASMan must win the reference scenario");
+    g.bench_function("credit", |b| {
+        b.iter(|| reference_run_secs(CoschedPolicy::None, 42))
+    });
+    g.bench_function("asman", |b| {
+        b.iter(|| reference_run_secs(CoschedPolicy::Adaptive, 42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 9 bench: NAS benchmark slowdowns under Credit and ASMan.
+//!
+//! Times the per-benchmark simulation at a 40% online rate (class S) and
+//! prints the slowdown pairs once, so `cargo bench` regenerates a
+//! class-S rendition of Figure 9(b).
+
+use asman_core::{asman_machine, AsmanConfig};
+use asman_hypervisor::{CapMode, CoschedPolicy, Machine, MachineConfig, VmSpec};
+use asman_sim::Clock;
+use asman_workloads::{BackgroundConfig, BackgroundService, NasBenchmark, NasSpec, ProblemClass};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run(bench: NasBenchmark, policy: CoschedPolicy, weight: u32) -> f64 {
+    let clk = Clock::default();
+    let seed = 42;
+    let prog = NasSpec::new(bench, ProblemClass::S, 4).build(seed ^ 7);
+    let dom0 = BackgroundService::new(BackgroundConfig::default(), 8, seed ^ 0xD0);
+    let cfg = MachineConfig {
+        policy,
+        seed,
+        ..MachineConfig::default()
+    };
+    let specs = vec![
+        VmSpec::new("dom0", 8, Box::new(dom0)),
+        VmSpec::new("guest", 4, Box::new(prog))
+            .weight(weight)
+            .cap(CapMode::NonWorkConserving),
+    ];
+    let mut m = match policy {
+        CoschedPolicy::Adaptive => asman_machine(
+            AsmanConfig {
+                machine: cfg,
+                ..AsmanConfig::default()
+            },
+            specs,
+        ),
+        _ => Machine::new(cfg, specs),
+    };
+    m.run_to_completion(clk.secs(600));
+    clk.to_secs(m.vm_kernel(1).stats().finished_at.expect("finished"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_nas_40pct");
+    g.sample_size(10);
+    for nas in NasBenchmark::ALL {
+        let base = run(nas, CoschedPolicy::None, 256);
+        let credit = run(nas, CoschedPolicy::None, 64);
+        let asman = run(nas, CoschedPolicy::Adaptive, 64);
+        eprintln!(
+            "fig09 {} @40%: Credit slowdown {:.2}, ASMan {:.2}",
+            nas.name(),
+            credit / base,
+            asman / base
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(nas.name()), &nas, |b, &n| {
+            b.iter(|| run(n, CoschedPolicy::Adaptive, 64))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 10 bench: SPECjbb throughput sweep at a 22.2% online rate.
+
+use asman_report::{JbbScenario, Sched};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_specjbb_22pct");
+    g.sample_size(10);
+    let sc = |sched| JbbScenario {
+        warmup_secs: 1,
+        window_secs: 4,
+        ..JbbScenario::new(sched, 32, 42)
+    };
+    for w in [1usize, 4, 8] {
+        let credit = sc(Sched::Credit).run(w);
+        let asman = sc(Sched::Asman).run(w);
+        eprintln!(
+            "fig10 w={w}: Credit {:.0} bops vs ASMan {:.0} bops",
+            credit.bops, asman.bops
+        );
+        g.bench_with_input(BenchmarkId::new("asman", w), &w, |b, &w| {
+            b.iter(|| sc(Sched::Asman).run(w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

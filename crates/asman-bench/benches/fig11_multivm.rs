@@ -1,0 +1,33 @@
+//! Figure 11 bench: the four-VM combinations under the three schedulers.
+
+use asman_report::{multivm::MultiVmScenario, paper_combination, Sched};
+use asman_workloads::ProblemClass;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run(which: u8, sched: Sched) -> f64 {
+    let mut sc = MultiVmScenario::new(sched, paper_combination(which), ProblemClass::S, 42);
+    sc.rounds = 2;
+    let rows = sc.run();
+    rows.iter().map(|r| r.mean_round_secs).sum::<f64>() / rows.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_4vms");
+    g.sample_size(10);
+    for which in [1u8, 2] {
+        for sched in Sched::ALL {
+            let mean = run(which, sched);
+            eprintln!(
+                "fig11 combo {which} {}: mean round {mean:.1}s",
+                sched.label()
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("asman", which), &which, |b, &w| {
+            b.iter(|| run(w, Sched::Asman))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

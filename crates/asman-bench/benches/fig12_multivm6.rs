@@ -1,0 +1,38 @@
+//! Figure 12 bench: the six-VM combinations under the three schedulers.
+
+use asman_report::{multivm::MultiVmScenario, paper_combination, Sched};
+use asman_workloads::ProblemClass;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run(which: u8, sched: Sched) -> f64 {
+    let mut sc = MultiVmScenario::new(sched, paper_combination(which), ProblemClass::S, 42);
+    sc.rounds = 2;
+    let rows = sc.run();
+    // Figure-of-merit: mean LU round time (the paper's headline saving).
+    rows.iter()
+        .filter(|r| r.workload == "LU")
+        .map(|r| r.mean_round_secs)
+        .sum::<f64>()
+        / rows.iter().filter(|r| r.workload == "LU").count().max(1) as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_6vms");
+    g.sample_size(10);
+    for which in [3u8, 4] {
+        for sched in Sched::ALL {
+            eprintln!(
+                "fig12 combo {which} {}: LU mean round {:.1}s",
+                sched.label(),
+                run(which, sched)
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("asman", which), &which, |b, &w| {
+            b.iter(|| run(w, Sched::Asman))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each `benches/figNN_*.rs` target regenerates (a class-S rendition of)
+//! one paper figure inside Criterion's timing loop, so `cargo bench`
+//! both regenerates the numbers and tracks the simulator's wall-clock
+//! performance. `benches/ablations.rs` sweeps the design parameters
+//! DESIGN.md calls out, and `benches/engine.rs` microbenchmarks the
+//! simulation substrate itself.
+
+#![warn(missing_docs)]
+
+use asman_core::{asman_machine, AsmanConfig};
+use asman_hypervisor::{CapMode, CoschedPolicy, Machine, MachineConfig, VmSpec};
+use asman_sim::Clock;
+use asman_workloads::{BackgroundConfig, BackgroundService, NasBenchmark, NasSpec, ProblemClass};
+
+/// The reference single-VM scenario (LU at a 22.2% online rate) used by
+/// benches: the paper's most scheduler-sensitive configuration.
+pub fn reference_machine(policy: CoschedPolicy, seed: u64, class: ProblemClass) -> Machine {
+    reference_machine_cfg(
+        MachineConfig {
+            policy,
+            seed,
+            ..MachineConfig::default()
+        },
+        AsmanConfig::default(),
+        class,
+    )
+}
+
+/// Like [`reference_machine`] but with full control over the machine and
+/// ASMan configurations (for the ablation sweeps).
+pub fn reference_machine_cfg(
+    cfg: MachineConfig,
+    asman: AsmanConfig,
+    class: ProblemClass,
+) -> Machine {
+    let seed = cfg.seed;
+    let lu = NasSpec::new(NasBenchmark::LU, class, 4).build(seed ^ 7);
+    let dom0 = BackgroundService::new(BackgroundConfig::default(), 8, seed ^ 0xD0);
+    let specs = vec![
+        VmSpec::new("dom0", 8, Box::new(dom0)),
+        VmSpec::new("guest", 4, Box::new(lu))
+            .weight(32)
+            .cap(CapMode::NonWorkConserving)
+            .concurrent(),
+    ];
+    match cfg.policy {
+        CoschedPolicy::Adaptive => asman_machine(
+            AsmanConfig {
+                machine: cfg,
+                ..asman
+            },
+            specs,
+        ),
+        _ => Machine::new(cfg, specs),
+    }
+}
+
+/// Run the reference scenario to completion and return the simulated run
+/// time in seconds (the figure-of-merit for the ablation benches).
+pub fn reference_run_secs(policy: CoschedPolicy, seed: u64) -> f64 {
+    let clk = Clock::default();
+    let mut m = reference_machine(policy, seed, ProblemClass::S);
+    m.run_to_completion(clk.secs(600));
+    clk.to_secs(m.vm_kernel(1).stats().finished_at.expect("finished"))
+}
+
+/// Simulated run time for a custom configuration.
+pub fn run_secs_cfg(cfg: MachineConfig, asman: AsmanConfig) -> f64 {
+    let clk = Clock::default();
+    let mut m = reference_machine_cfg(cfg, asman, ProblemClass::S);
+    m.run_to_completion(clk.secs(600));
+    clk.to_secs(m.vm_kernel(1).stats().finished_at.expect("finished"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_machine_runs_under_both_policies() {
+        let c = reference_run_secs(CoschedPolicy::None, 1);
+        let a = reference_run_secs(CoschedPolicy::Adaptive, 1);
+        assert!(c > 0.0 && a > 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The Monitoring Module wired into a real guest kernel: over-threshold
+//! waits produced by actual lock-holder preemption drive Algorithm 1.
+
+use asman_core::AsmanMonitor;
+use asman_guest::{Effects, GuestCosts, GuestKernel, GuestWork, Vcrd};
+use asman_sim::Cycles;
+use asman_workloads::{Op, ScriptProgram};
+
+fn costs_no_timer() -> GuestCosts {
+    GuestCosts {
+        timer_hold: Cycles(0),
+        ..GuestCosts::default()
+    }
+}
+
+#[test]
+fn holder_preemption_raises_vcrd_through_the_kernel() {
+    // Thread 0 holds lock 0 for a long critical section; we preempt it
+    // mid-hold and let thread 1 spin across an over-threshold gap.
+    let cs = |hold| Op::CriticalSection {
+        lock: 0,
+        hold: Cycles(hold),
+    };
+    let p = ScriptProgram::new("lhp", vec![vec![cs(10_000)], vec![cs(500)]]);
+    let monitor = AsmanMonitor::with_defaults(7);
+    let mut g = GuestKernel::new(Box::new(p), 2, costs_no_timer(), Box::new(monitor));
+    let mut e = Effects::default();
+    // Holder starts, gets preempted mid-hold.
+    g.dispatch(0, Cycles(0), Cycles(0), &mut e);
+    g.preempt(0, Cycles(4_000));
+    // Waiter spins across a > 2^20-cycle absence.
+    assert_eq!(
+        g.dispatch(1, Cycles(5_000), Cycles(0), &mut e),
+        GuestWork::Spin { thread: 1 }
+    );
+    let resume = Cycles(5_000 + (1 << 21));
+    g.dispatch(0, resume, Cycles(0), &mut e);
+    e.clear();
+    g.work_complete(0, resume + Cycles(6_000), &mut e);
+    // The grant to thread 1 recorded an over-threshold wait; the monitor
+    // must have requested a VCRD raise with an estimate.
+    let update = e.vcrd.expect("hypercall requested");
+    assert_eq!(update.vcrd, Vcrd::High);
+    let x = update.expire_in.expect("lasting-time estimate");
+    assert!(x >= Cycles(1), "estimate must be positive");
+}
+
+#[test]
+fn sub_threshold_traffic_never_raises() {
+    // Uncontended critical sections: plenty of waits, all tiny.
+    let p = ScriptProgram::homogeneous(
+        "quiet",
+        2,
+        vec![
+            Op::CriticalSection {
+                lock: 0,
+                hold: Cycles(500),
+            },
+            Op::Compute(Cycles(50_000)),
+        ],
+    );
+    let monitor = AsmanMonitor::with_defaults(7);
+    let mut g = GuestKernel::new(Box::new(p), 2, costs_no_timer(), Box::new(monitor));
+    // Single monotone clock: complete the earliest pending segment.
+    let mut e = Effects::default();
+    let mut now = Cycles(0);
+    let mut deadline: [Option<Cycles>; 2] = [None, None];
+    let set = |v: usize, w: GuestWork, now: Cycles, dl: &mut [Option<Cycles>; 2]| {
+        dl[v] = match w {
+            GuestWork::Timed { dur, .. } => Some(now + dur),
+            _ => None,
+        };
+    };
+    let w0 = g.dispatch(0, now, Cycles(0), &mut e);
+    set(0, w0, now, &mut deadline);
+    let w1 = g.dispatch(1, now + Cycles(25_000), Cycles(0), &mut e);
+    set(1, w1, now + Cycles(25_000), &mut deadline);
+    for _ in 0..200 {
+        let refresh: Vec<usize> = e.refresh_vcpus.drain(..).collect();
+        for v in refresh {
+            let w = g.dispatch_work(v, now, &mut e);
+            set(v, w, now, &mut deadline);
+        }
+        let Some((d, v)) = (0..2).filter_map(|v| deadline[v].map(|d| (d, v))).min() else {
+            break;
+        };
+        now = now.max(d);
+        let w = g.work_complete(v, now, &mut e);
+        set(v, w, now, &mut deadline);
+        assert!(e.vcrd.is_none(), "no raise expected for µs-scale waits");
+    }
+    assert!(g.stats().lock_acquisitions > 0);
+}

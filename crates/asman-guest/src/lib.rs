@@ -1,0 +1,41 @@
+//! Guest operating system model.
+//!
+//! A [`GuestKernel`] simulates the kernel of one virtual machine: its
+//! threads, the kernel spinlocks they contend on, OpenMP-style barriers
+//! (implemented the way libgomp does — brief kernel bookkeeping under a
+//! spinlock, bounded user-space spinning, then a blocking futex wait), and
+//! the per-VM **Monitoring Module** instrumentation that the paper inserts
+//! into the Linux spinlock path.
+//!
+//! The kernel is driven by the hypervisor model (crate
+//! `asman-hypervisor`), which tells it when each VCPU gains and loses a
+//! physical CPU. The crucial phenomenon reproduced here is **lock-holder
+//! preemption** (§2.2 of the paper): a kernel spinlock is held across a
+//! VCPU preemption, so other VCPUs spin for entire scheduling slices —
+//! waits of 2²⁴–2²⁸ CPU cycles instead of the usual < 2¹⁵ — and those
+//! *over-threshold spinlocks* are exactly what the Monitoring Module
+//! detects and reports to the adaptive scheduler via hypercall.
+//!
+//! Interaction contract:
+//!
+//! * the hypervisor calls [`GuestKernel::dispatch`] / [`GuestKernel::preempt`]
+//!   when a VCPU goes online/offline, and [`GuestKernel::work_complete`]
+//!   when a timed segment finishes;
+//! * the kernel returns a [`GuestWork`] describing what the VCPU executes
+//!   next, and accumulates side effects ([`Effects`]) — VCPUs to wake,
+//!   timers to arm, online VCPUs whose work changed (e.g. a spinning VCPU
+//!   was granted a lock), and VCRD updates requested by the monitor.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod kernel;
+pub mod monitor;
+pub mod stats;
+pub mod thread;
+
+pub use costs::GuestCosts;
+pub use kernel::{Effects, GuestKernel, GuestWork};
+pub use monitor::{MonitorConfig, NullObserver, SpinObserver, Vcrd, VcrdUpdate};
+pub use stats::GuestStats;
+pub use thread::{AfterWork, TState};

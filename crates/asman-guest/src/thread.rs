@@ -1,0 +1,245 @@
+//! Guest thread state machine types.
+
+use asman_sim::Cycles;
+
+/// Why a thread is trying to acquire a kernel spinlock; determines what it
+/// does once it gets the lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockPurpose {
+    /// Workload critical section: hold for `hold` cycles, then release.
+    Critical {
+        /// Cycles of work performed under the lock.
+        hold: Cycles,
+    },
+    /// Barrier arrival bookkeeping (under the barrier's lock).
+    BarrierEnter {
+        /// Barrier index.
+        id: u32,
+    },
+    /// Futex enqueue after the barrier spin budget ran out.
+    FutexEnqueue {
+        /// Barrier index.
+        id: u32,
+        /// Barrier generation observed when spinning began; if it advanced
+        /// meanwhile, the thread proceeds instead of blocking.
+        gen: u64,
+    },
+    /// Guest timer interrupt: the periodic tick's timekeeping/scheduler
+    /// bookkeeping under the global `xtime`-style lock.
+    TimerTick,
+    /// Futex enqueue after a pipeline spin-wait exhausted its budget.
+    PeerEnqueue {
+        /// Thread whose progress is awaited.
+        peer: usize,
+        /// Progress value being waited for.
+        target: u64,
+    },
+    /// Futex wake of blocked pipeline waiters by an advancing producer.
+    PeerWake,
+}
+
+/// What happens when a thread's current timed segment reaches zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AfterWork {
+    /// Fetch the next op from the workload program.
+    Fetch,
+    /// Release the held lock, then fetch.
+    ReleaseThenFetch,
+    /// Release the barrier lock and start spin-waiting on barrier `id`
+    /// (the segment was the arrival bookkeeping).
+    ReleaseThenSpin {
+        /// Barrier index.
+        id: u32,
+    },
+    /// Release the barrier lock and complete barrier `id`, waking all
+    /// waiters (the segment was the last arriver's wake walk).
+    ReleaseThenWake {
+        /// Barrier index.
+        id: u32,
+    },
+    /// Release the barrier lock and block on the futex for barrier `id`
+    /// (the segment was the futex enqueue).
+    ReleaseThenBlock {
+        /// Barrier index.
+        id: u32,
+    },
+    /// The spin budget for barrier `id` ran out: try to take the barrier
+    /// lock to enqueue on the futex.
+    TryFutexEnqueue {
+        /// Barrier index.
+        id: u32,
+        /// Generation observed when spinning began.
+        gen: u64,
+    },
+    /// The pipeline spin budget ran out: try to take the futex bucket
+    /// lock to block until the peer advances.
+    TryPeerEnqueue {
+        /// Thread whose progress is awaited.
+        peer: usize,
+        /// Progress value being waited for.
+        target: u64,
+    },
+    /// Release the bucket lock and block waiting for the peer's progress.
+    ReleaseThenBlockPeer {
+        /// Thread whose progress is awaited.
+        peer: usize,
+        /// Progress value being waited for.
+        target: u64,
+    },
+    /// Release the bucket lock and wake every blocked pipeline waiter of
+    /// this thread whose target is satisfied (futex wake walk done).
+    ReleaseThenWakePeers,
+    /// Release the timer lock and resume the interrupted segment stashed
+    /// in [`GThread::resume`].
+    ReleaseThenResume,
+}
+
+/// Execution state of a guest thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TState {
+    /// Needs its next op from the program (runnable).
+    Fetch,
+    /// Executing a timed segment (runnable; progresses only while its
+    /// VCPU is online and it is the VCPU's current thread).
+    Work {
+        /// Cycles of the segment still to execute.
+        remaining: Cycles,
+        /// Continuation once `remaining` reaches zero.
+        then: AfterWork,
+    },
+    /// Busy-waiting on kernel spinlock `lock` (burns CPU, no progress).
+    SpinKernel {
+        /// Lock index being waited on.
+        lock: u32,
+        /// Time the acquisition attempt started (for waiting-time
+        /// measurement — the paper's hrtimer instrumentation).
+        since: Cycles,
+        /// What to do once the lock is granted.
+        purpose: LockPurpose,
+    },
+    /// Blocked in a futex wait for barrier `id` (no CPU use).
+    BlockedBarrier {
+        /// Barrier index.
+        id: u32,
+    },
+    /// Blocked on a counting semaphore (no CPU use).
+    BlockedSem {
+        /// Semaphore index.
+        id: u32,
+        /// Time the wait began (for waiting-time measurement).
+        since: Cycles,
+    },
+    /// Blocked in a futex wait for a peer's progress (no CPU use).
+    BlockedPeer {
+        /// Thread whose progress is awaited.
+        peer: usize,
+        /// Progress value being waited for.
+        target: u64,
+    },
+    /// Sleeping until an absolute deadline (no CPU use).
+    Sleep {
+        /// Absolute wake-up time.
+        until: Cycles,
+    },
+    /// Finished its program.
+    Done,
+}
+
+impl TState {
+    /// Whether the thread can be selected by the guest scheduler.
+    pub fn is_runnable(&self) -> bool {
+        matches!(
+            self,
+            TState::Fetch | TState::Work { .. } | TState::SpinKernel { .. }
+        )
+    }
+
+    /// Whether the thread consumes CPU without making progress.
+    pub fn is_spinning(&self) -> bool {
+        matches!(self, TState::SpinKernel { .. })
+    }
+}
+
+/// One guest thread.
+#[derive(Clone, Debug)]
+pub struct GThread {
+    /// VM-local VCPU slot the thread is affine to.
+    pub vcpu: usize,
+    /// Lock currently held, if any (at most one in this model).
+    pub held: Option<u32>,
+    /// Execution state.
+    pub state: TState,
+    /// Rounds completed (count of `Mark::RoundEnd` seen).
+    pub rounds: u64,
+    /// Published progress counter (incremented by `Op::Advance`).
+    pub progress: u64,
+    /// Work segment stashed by a timer-interrupt injection, restored by
+    /// [`AfterWork::ReleaseThenResume`].
+    pub resume: Option<(Cycles, AfterWork)>,
+    /// Threads currently spin-waiting on this thread's progress.
+    pub spin_waiters: Vec<usize>,
+    /// Threads futex-blocked on this thread's progress, with their
+    /// targets.
+    pub blocked_waiters: Vec<(usize, u64)>,
+}
+
+impl GThread {
+    /// A fresh thread pinned to `vcpu`, ready to fetch its first op.
+    pub fn new(vcpu: usize) -> Self {
+        GThread {
+            vcpu,
+            held: None,
+            state: TState::Fetch,
+            rounds: 0,
+            progress: 0,
+            resume: None,
+            spin_waiters: Vec::new(),
+            blocked_waiters: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runnability_classification() {
+        assert!(TState::Fetch.is_runnable());
+        assert!(TState::Work {
+            remaining: Cycles(1),
+            then: AfterWork::Fetch
+        }
+        .is_runnable());
+        assert!(TState::SpinKernel {
+            lock: 0,
+            since: Cycles(0),
+            purpose: LockPurpose::Critical { hold: Cycles(1) }
+        }
+        .is_runnable());
+        assert!(!TState::BlockedBarrier { id: 0 }.is_runnable());
+        assert!(!TState::BlockedPeer { peer: 0, target: 1 }.is_runnable());
+        assert!(!TState::Sleep { until: Cycles(5) }.is_runnable());
+        assert!(!TState::Done.is_runnable());
+    }
+
+    #[test]
+    fn spinning_classification() {
+        assert!(TState::SpinKernel {
+            lock: 1,
+            since: Cycles(2),
+            purpose: LockPurpose::BarrierEnter { id: 0 }
+        }
+        .is_spinning());
+        assert!(!TState::Fetch.is_spinning());
+    }
+
+    #[test]
+    fn new_thread_is_fetchable() {
+        let t = GThread::new(3);
+        assert_eq!(t.vcpu, 3);
+        assert_eq!(t.state, TState::Fetch);
+        assert!(t.held.is_none());
+        assert_eq!(t.rounds, 0);
+    }
+}

@@ -1,0 +1,1453 @@
+//! The virtual machine monitor model: PCPUs, VCPUs, VMs and the
+//! discrete-event scheduling loop.
+//!
+//! The scheduler is the Xen **Credit scheduler** (proportional-share
+//! weights, 10 ms accounting slots, 30 ms credit assignment, BOOST
+//! priority for waking VCPUs, idle-stealing load balancing, work- and
+//! non-work-conserving cap modes), extended with the coscheduling
+//! machinery of the paper:
+//!
+//! * [`CoschedPolicy::Static`] — always coschedule VMs flagged as
+//!   concurrent (the authors' earlier VEE'09 system, `CON`);
+//! * [`CoschedPolicy::Adaptive`] — ASMan: coschedule while the guest's
+//!   Monitoring Module holds the VCRD HIGH. On a LOW→HIGH hypercall the
+//!   VM's runnable VCPUs are relocated to distinct PCPU runqueues
+//!   (Algorithm 3, lines 8–15) and, at scheduling events, the dispatching
+//!   PCPU sends IPIs that temporarily raise the priority of sibling VCPUs
+//!   so the whole VM comes online together (Algorithm 4).
+//!
+//! Timing realism notes: per-PCPU accounting ticks are staggered (as on
+//! real hardware, where each CPU's local APIC timer has its own phase),
+//! and wake-ups incur a small random dispatch latency (interrupt/softirq
+//! noise). Both are what desynchronizes sibling VCPUs under the plain
+//! Credit scheduler and creates the lock-holder-preemption exposure that
+//! the paper measures.
+
+use asman_guest::{Effects, GuestKernel, GuestWork, Vcrd, VcrdUpdate};
+use asman_sim::{Cycles, EventQueue, SimRng, TraceBuffer};
+
+use crate::config::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
+use crate::metrics::{SchedEvent, SchedEventKind, VmAccounting};
+
+/// VCPU scheduling state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VState {
+    /// Waiting in the runqueue of `assigned` PCPU.
+    Runnable,
+    /// Currently on its assigned PCPU.
+    Running,
+    /// Nothing runnable in the guest; not in any runqueue.
+    Blocked,
+}
+
+struct Vcpu {
+    vm: usize,
+    /// VM-local index.
+    slot: usize,
+    state: VState,
+    assigned: usize,
+    credit: i64,
+    boost: bool,
+    /// Invalidates in-flight `WorkDone` events.
+    epoch: u64,
+    /// Start of the current unaccounted running span.
+    last_charge: Cycles,
+    /// Parked by cap enforcement (set/cleared only at accounting
+    /// events, like Xen's CSCHED_PRI_TS_PARKED).
+    parked: bool,
+    /// Set on involuntary preemption: the next dispatch pays the cache
+    /// warm-up penalty.
+    cold: bool,
+    /// PCPU the VCPU last ran on (migration implies cold caches).
+    last_ran: Option<usize>,
+    /// Set while the VCPU's installed guest work is a kernel spin
+    /// (Pause-Loop-Exit style detection for the OutOfVm policy).
+    spinning_since: Option<Cycles>,
+    /// Relaxed coscheduling: accumulated time descheduled while at least
+    /// one sibling ran.
+    skew: Cycles,
+    /// When the VCPU last blocked (None while runnable/running).
+    blocked_since: Option<Cycles>,
+    /// Blocked time accumulated since the last credit assignment.
+    blocked_accum: Cycles,
+}
+
+struct Pcpu {
+    runq: Vec<usize>,
+    running: Option<usize>,
+}
+
+struct Vm {
+    name: String,
+    weight: u32,
+    cap: CapMode,
+    concurrent_hint: bool,
+    finite: bool,
+    kernel: GuestKernel,
+    vcpu_ids: Vec<usize>,
+    vcrd: Vcrd,
+    vcrd_epoch: u64,
+    vcrd_high_since: Cycles,
+    last_cosched: Option<Cycles>,
+    acct: VmAccounting,
+    /// VCPUs currently online (concurrency histogram bookkeeping).
+    online_count: usize,
+    co_last: Cycles,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Tick { pcpu: usize },
+    Assign,
+    Reschedule { pcpu: usize },
+    WorkDone { vcpu: usize, epoch: u64 },
+    SleepTimer { vm: usize, thread: usize },
+    VcrdTimer { vm: usize, epoch: u64 },
+    Ipi { vcpu: usize },
+    Wake { vcpu: usize },
+}
+
+/// The simulated physical machine: PCPUs, the VMM scheduler, and the VMs
+/// with their guest kernels.
+pub struct Machine {
+    cfg: MachineConfig,
+    now: Cycles,
+    events: EventQueue<Ev>,
+    pcpus: Vec<Pcpu>,
+    vcpus: Vec<Vcpu>,
+    vms: Vec<Vm>,
+    rng: SimRng,
+    total_weight: u64,
+    events_processed: u64,
+    sched_trace: TraceBuffer<SchedEvent>,
+}
+
+impl Machine {
+    /// Build a machine with the given VMs. VCPUs are spread round-robin
+    /// over the PCPU runqueues and everything starts runnable at t = 0.
+    pub fn new(cfg: MachineConfig, specs: Vec<VmSpec>) -> Self {
+        assert!(cfg.pcpus > 0, "need at least one PCPU");
+        assert!(!specs.is_empty(), "need at least one VM");
+        let mut vms = Vec::with_capacity(specs.len());
+        let mut vcpus = Vec::new();
+        let mut pcpus: Vec<Pcpu> = (0..cfg.pcpus)
+            .map(|_| Pcpu {
+                runq: Vec::new(),
+                running: None,
+            })
+            .collect();
+        let mut total_weight = 0u64;
+        let mut next_pcpu = 0usize;
+        for (vm_idx, spec) in specs.into_iter().enumerate() {
+            assert!(
+                spec.vcpus <= cfg.pcpus,
+                "a VM cannot have more VCPUs than the machine has PCPUs"
+            );
+            total_weight += spec.weight as u64;
+            let finite = spec.program.finite();
+            let kernel = GuestKernel::new(spec.program, spec.vcpus, spec.costs, spec.observer);
+            let mut vcpu_ids = Vec::with_capacity(spec.vcpus);
+            for slot in 0..spec.vcpus {
+                let id = vcpus.len();
+                vcpu_ids.push(id);
+                let assigned = next_pcpu % cfg.pcpus;
+                next_pcpu += 1;
+                pcpus[assigned].runq.push(id);
+                vcpus.push(Vcpu {
+                    vm: vm_idx,
+                    slot,
+                    state: VState::Runnable,
+                    assigned,
+                    credit: 0,
+                    boost: false,
+                    epoch: 0,
+                    last_charge: Cycles::ZERO,
+                    parked: false,
+                    cold: false,
+                    last_ran: None,
+                    spinning_since: None,
+                    skew: Cycles::ZERO,
+                    blocked_since: None,
+                    blocked_accum: Cycles::ZERO,
+                });
+            }
+            vms.push(Vm {
+                name: spec.name,
+                weight: spec.weight,
+                cap: spec.cap,
+                concurrent_hint: spec.concurrent_hint,
+                finite,
+                kernel,
+                vcpu_ids,
+                vcrd: Vcrd::Low,
+                vcrd_epoch: 0,
+                vcrd_high_since: Cycles::ZERO,
+                last_cosched: None,
+                acct: VmAccounting::new(spec.vcpus),
+                online_count: 0,
+                co_last: Cycles::ZERO,
+            });
+        }
+        let mut m = Machine {
+            rng: SimRng::new(cfg.seed),
+            events: EventQueue::with_capacity(1024),
+            now: Cycles::ZERO,
+            pcpus,
+            vcpus,
+            vms,
+            total_weight,
+            events_processed: 0,
+            sched_trace: TraceBuffer::disabled(),
+            cfg,
+        };
+        // Initial credit: one assignment interval's worth, so the first
+        // 30 ms behave like steady state.
+        m.assign_credit();
+        // Staggered per-PCPU ticks and the global assignment cadence.
+        let slot = m.cfg.slot();
+        for p in 0..m.cfg.pcpus {
+            let phase = slot.mul_ratio(p as u64, m.cfg.pcpus as u64);
+            m.events.schedule(phase + slot, Ev::Tick { pcpu: p });
+            m.events.schedule(Cycles::ZERO, Ev::Reschedule { pcpu: p });
+        }
+        m.events.schedule(m.cfg.assign_interval(), Ev::Assign);
+        m
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// VM name.
+    pub fn vm_name(&self, vm: usize) -> &str {
+        &self.vms[vm].name
+    }
+
+    /// The guest kernel of a VM (measurement access).
+    pub fn vm_kernel(&self, vm: usize) -> &GuestKernel {
+        &self.vms[vm].kernel
+    }
+
+    /// Mutable guest kernel (e.g. to gate wait traces to a window).
+    pub fn vm_kernel_mut(&mut self, vm: usize) -> &mut GuestKernel {
+        &mut self.vms[vm].kernel
+    }
+
+    /// VMM-side accounting for a VM.
+    pub fn vm_accounting(&self, vm: usize) -> &VmAccounting {
+        &self.vms[vm].acct
+    }
+
+    /// The VMM's current view of a VM's VCRD.
+    pub fn vm_vcrd(&self, vm: usize) -> Vcrd {
+        self.vms[vm].vcrd
+    }
+
+    /// How many of a VM's VCPUs are online right now (diagnostics).
+    pub fn vm_online_count(&self, vm: usize) -> usize {
+        self.vms[vm].online_count
+    }
+
+    /// Per-VCPU `(state-discriminant, credit)` snapshot for diagnostics:
+    /// 0 = runnable, 1 = running, 2 = blocked.
+    pub fn vcpu_snapshot(&self, vm: usize) -> Vec<(u8, i64)> {
+        self.vms[vm]
+            .vcpu_ids
+            .iter()
+            .map(|&v| {
+                let d = match self.vcpus[v].state {
+                    VState::Runnable => 0,
+                    VState::Running => 1,
+                    VState::Blocked => 2,
+                };
+                (d, self.vcpus[v].credit)
+            })
+            .collect()
+    }
+
+    /// Total events processed so far (engine benchmarking).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Start recording scheduling transitions (up to `capacity` events)
+    /// for timeline reconstruction.
+    pub fn enable_schedule_trace(&mut self, capacity: usize) {
+        self.sched_trace = TraceBuffer::new(capacity);
+    }
+
+    /// The recorded scheduling transitions.
+    pub fn schedule_trace(&self) -> &TraceBuffer<SchedEvent> {
+        &self.sched_trace
+    }
+
+    #[inline]
+    fn trace_sched(&mut self, vcpu: usize, pcpu: usize, kind: SchedEventKind) {
+        if self.sched_trace.is_enabled() {
+            let vm = self.vcpus[vcpu].vm;
+            self.sched_trace.record(
+                self.now,
+                SchedEvent {
+                    vcpu,
+                    vm,
+                    pcpu,
+                    kind,
+                },
+            );
+        }
+    }
+
+    /// The configured weight proportion ω(V_i) of a VM — Equation (1).
+    pub fn weight_proportion(&self, vm: usize) -> f64 {
+        self.vms[vm].weight as f64 / self.total_weight as f64
+    }
+
+    /// The configured VCPU online rate of a VM — Equation (2):
+    /// `|P| · ω(V_i) / |C(V_i)|`.
+    pub fn configured_online_rate(&self, vm: usize) -> f64 {
+        self.cfg.pcpus as f64 * self.weight_proportion(vm) / self.vms[vm].vcpu_ids.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Run drivers
+    // ------------------------------------------------------------------
+
+    /// Process events until `deadline`, a stop predicate fires, or the
+    /// event queue drains. Returns `true` if the predicate fired.
+    pub fn run_while<F: FnMut(&Machine) -> bool>(
+        &mut self,
+        deadline: Cycles,
+        mut keep_going: F,
+    ) -> bool {
+        loop {
+            if !keep_going(self) {
+                self.settle();
+                return true;
+            }
+            let Some(t) = self.events.peek_time() else {
+                self.settle();
+                return false;
+            };
+            if t > deadline {
+                self.now = deadline;
+                self.settle();
+                return false;
+            }
+            let (t, _, ev) = self.events.pop().expect("peeked");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            self.handle(ev);
+        }
+    }
+
+    /// Run until `deadline` unconditionally.
+    pub fn run_until(&mut self, deadline: Cycles) {
+        self.run_while(deadline, |_| true);
+    }
+
+    /// Run until every finite VM's program completed (or `deadline`).
+    /// Returns `true` on completion.
+    pub fn run_to_completion(&mut self, deadline: Cycles) -> bool {
+        self.run_while(deadline, |m| {
+            m.vms.iter().any(|vm| vm.finite && !vm.kernel.is_finished())
+        })
+    }
+
+    /// Run until every VM has completed at least `rounds` VM-level rounds
+    /// (or `deadline`). Returns `true` on completion.
+    pub fn run_until_rounds(&mut self, rounds: usize, deadline: Cycles) -> bool {
+        self.run_while(deadline, |m| {
+            m.vms
+                .iter()
+                .any(|vm| vm.kernel.stats().vm_rounds_completed() < rounds)
+        })
+    }
+
+    /// Charge all running VCPUs up to `now` so accounting reads are exact.
+    fn settle(&mut self) {
+        for p in 0..self.pcpus.len() {
+            if let Some(v) = self.pcpus[p].running {
+                self.charge(v);
+            }
+        }
+        for vm in 0..self.vms.len() {
+            self.note_online_change(vm, 0);
+            if self.vms[vm].vcrd == Vcrd::High {
+                let since = self.vms[vm].vcrd_high_since;
+                self.vms[vm].acct.vcrd_high_cycles += self.now - since;
+                self.vms[vm].vcrd_high_since = self.now;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Tick { pcpu } => {
+                if let Some(v) = self.pcpus[pcpu].running {
+                    // BOOST lasts until the first accounting tick the
+                    // VCPU survives (Xen semantics).
+                    self.vcpus[v].boost = false;
+                    self.charge(v);
+                    // Out-of-VM VCRD inference: sustained busy-waiting is
+                    // visible to the VMM via Pause-Loop-Exit hardware.
+                    if self.cfg.policy == CoschedPolicy::OutOfVm {
+                        if let Some(since) = self.vcpus[v].spinning_since {
+                            // PLE window: only sustained spinning (about
+                            // the over-threshold scale) raises the VCRD;
+                            // short benign spins must not trigger
+                            // coscheduling churn.
+                            if self.now - since > Cycles(1 << 21) {
+                                self.vcpus[v].spinning_since = Some(self.now);
+                                let vm = self.vcpus[v].vm;
+                                self.handle_vcrd(
+                                    vm,
+                                    VcrdUpdate {
+                                        vcrd: Vcrd::High,
+                                        expire_in: Some(self.cfg.assign_interval()),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    self.enforce_cap(v);
+                }
+                if self.cfg.policy == CoschedPolicy::Relaxed && pcpu == 0 {
+                    self.relaxed_skew_pass();
+                }
+                self.schedule_pcpu(pcpu);
+                self.post_schedule_cosched(pcpu);
+                self.events
+                    .schedule(self.now + self.cfg.slot(), Ev::Tick { pcpu });
+            }
+            Ev::Assign => {
+                self.assign_credit();
+                // Parked NWC VCPUs that regained credit are *not* tickled
+                // here: as in Xen, they are picked up lazily at each
+                // PCPU's next (staggered) accounting tick. This is what
+                // desynchronizes sibling VCPUs' duty cycles at low online
+                // rates — the phenomenon the paper measures.
+                self.events
+                    .schedule(self.now + self.cfg.assign_interval(), Ev::Assign);
+            }
+            Ev::Reschedule { pcpu } => {
+                self.schedule_pcpu(pcpu);
+                self.post_schedule_cosched(pcpu);
+            }
+            Ev::WorkDone { vcpu, epoch } => {
+                if self.vcpus[vcpu].epoch != epoch || self.vcpus[vcpu].state != VState::Running {
+                    return;
+                }
+                self.charge(vcpu);
+                if self.enforce_cap(vcpu) {
+                    return;
+                }
+                let vm = self.vcpus[vcpu].vm;
+                let slot = self.vcpus[vcpu].slot;
+                let mut fx = Effects::default();
+                let work = self.vms[vm].kernel.work_complete(slot, self.now, &mut fx);
+                let still_running = self.install_work(vcpu, work);
+                self.apply_effects(vm, fx);
+                if still_running
+                    && matches!(
+                        self.cfg.policy,
+                        CoschedPolicy::Adaptive | CoschedPolicy::OutOfVm
+                    )
+                    && self.cosched_active(vm)
+                {
+                    // Segment boundaries are scheduling events too
+                    // (Algorithm 4): ASMan keeps its gang together for
+                    // the whole estimated lasting time. The static
+                    // coscheduler (VEE'09) re-gangs only at scheduler
+                    // events proper, or it starves everything else.
+                    self.maybe_cosched(vm);
+                }
+            }
+            Ev::SleepTimer { vm, thread } => {
+                let mut fx = Effects::default();
+                self.vms[vm].kernel.sleep_timer(thread, self.now, &mut fx);
+                self.apply_effects(vm, fx);
+            }
+            Ev::VcrdTimer { vm, epoch } => {
+                if self.vms[vm].vcrd_epoch != epoch {
+                    return;
+                }
+                if self.cfg.policy == CoschedPolicy::OutOfVm {
+                    // No guest-side Monitoring Module to consult: the
+                    // hypervisor lowers the VCRD itself.
+                    self.handle_vcrd(
+                        vm,
+                        VcrdUpdate {
+                            vcrd: Vcrd::Low,
+                            expire_in: None,
+                        },
+                    );
+                    return;
+                }
+                let mut fx = Effects::default();
+                self.vms[vm].kernel.vcrd_timer(self.now, &mut fx);
+                self.apply_effects(vm, fx);
+            }
+            Ev::Ipi { vcpu } => {
+                if self.vcpus[vcpu].state == VState::Runnable {
+                    let p = self.vcpus[vcpu].assigned;
+                    self.schedule_pcpu(p);
+                }
+            }
+            Ev::Wake { vcpu } => self.deliver_wake(vcpu),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Credit accounting
+    // ------------------------------------------------------------------
+
+    /// Distribute one interval's credit: `Cred_total = |P| × Cred_unit ×
+    /// K` split by weight, equally among each VM's VCPUs (Algorithm 3).
+    fn assign_credit(&mut self) {
+        let interval = self.cfg.assign_interval();
+        let total = self.cfg.slot() * self.cfg.pcpus as u64 * self.cfg.assign_interval_slots as u64;
+        for vm in 0..self.vms.len() {
+            let inc = total.mul_ratio(self.vms[vm].weight as u64, self.total_weight);
+            let per_vcpu = (inc / self.vms[vm].vcpu_ids.len() as u64).as_u64() as i64;
+            let cap = per_vcpu.saturating_mul(self.cfg.credit_cap_intervals as i64);
+            // The domain's income is divided among its VCPUs according to
+            // their *active* (non-blocked) time this interval, mirroring
+            // the Credit scheduler's active-set accounting. The division
+            // preserves the domain total, so a VCPU that busy-waits while
+            // its siblings block soaks up the whole domain's credit — the
+            // positive feedback that lets sibling duty cycles drift apart
+            // under asynchronous scheduling.
+            let actives: Vec<u64> = self.vms[vm]
+                .vcpu_ids
+                .clone()
+                .iter()
+                .map(|&v| {
+                    let mut blocked = self.vcpus[v].blocked_accum;
+                    if let Some(since) = self.vcpus[v].blocked_since {
+                        blocked += self.now.saturating_sub(since);
+                        self.vcpus[v].blocked_since = Some(self.now);
+                    }
+                    self.vcpus[v].blocked_accum = Cycles::ZERO;
+                    interval.saturating_sub(blocked.min(interval)).as_u64()
+                })
+                .collect();
+            let active_sum: u128 = actives.iter().map(|&a| a as u128).sum();
+            for (i, &v) in self.vms[vm].vcpu_ids.clone().iter().enumerate() {
+                let income = (inc.as_u64() as u128 * actives[i] as u128)
+                    .checked_div(active_sum)
+                    .unwrap_or(0) as i64;
+                let c = &mut self.vcpus[v].credit;
+                *c = (*c + income).min(cap);
+                if self.vms[vm].cap == CapMode::NonWorkConserving {
+                    // Park/unpark decisions happen here and only here
+                    // (Xen's CSCHED_FLAG_VCPU_PARKED semantics).
+                    let was = self.vcpus[v].parked;
+                    let park = self.vcpus[v].credit <= 0;
+                    self.vcpus[v].parked = park;
+                    if was != park {
+                        let p = self.vcpus[v].assigned;
+                        self.trace_sched(
+                            v,
+                            p,
+                            if park {
+                                SchedEventKind::Park
+                            } else {
+                                SchedEventKind::Unpark
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulate the concurrency histogram and adjust a VM's online
+    /// VCPU count by `delta` (+1 on dispatch, −1 on preempt/block).
+    fn note_online_change(&mut self, vm: usize, delta: i64) {
+        let v = &mut self.vms[vm];
+        let el = self.now.saturating_sub(v.co_last);
+        v.acct.co_online[v.online_count] += el;
+        if v.vcrd == Vcrd::High {
+            v.acct.co_online_high[v.online_count] += el;
+        }
+        v.co_last = self.now;
+        v.online_count = (v.online_count as i64 + delta) as usize;
+    }
+
+    /// Park a capped VCPU that has overdrawn its credit beyond one
+    /// timeslice-worth of slack (Xen's cap enforcement bound). Returns
+    /// `true` if the VCPU was preempted as a result. Unparking happens
+    /// only at accounting events, once credit is positive again.
+    fn enforce_cap(&mut self, vcpu: usize) -> bool {
+        let v = &self.vcpus[vcpu];
+        if self.vms[v.vm].cap != CapMode::NonWorkConserving || v.parked {
+            return false;
+        }
+        let slack = (self.cfg.slot().as_u64() / 4) as i64;
+        if v.credit >= -slack {
+            return false;
+        }
+        self.vcpus[vcpu].parked = true;
+        self.trace_sched(vcpu, self.vcpus[vcpu].assigned, SchedEventKind::Park);
+        if self.vcpus[vcpu].state == VState::Running {
+            let pcpu = self.vcpus[vcpu].assigned;
+            self.preempt_to_runq(vcpu);
+            self.schedule_pcpu(pcpu);
+            return true;
+        }
+        false
+    }
+
+    /// Burn credit and account online time for a running VCPU.
+    fn charge(&mut self, vcpu: usize) {
+        let el = self.now.saturating_sub(self.vcpus[vcpu].last_charge);
+        self.vcpus[vcpu].last_charge = self.now;
+        if el.is_zero() {
+            return;
+        }
+        self.vcpus[vcpu].credit -= el.as_u64() as i64;
+        let vm = self.vcpus[vcpu].vm;
+        let slot = self.vcpus[vcpu].slot;
+        self.vms[vm].acct.vcpu_online[slot] += el;
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// The socket a PCPU belongs to (PCPUs split evenly).
+    fn socket_of(&self, pcpu: usize) -> usize {
+        pcpu * self.cfg.sockets.max(1) / self.cfg.pcpus
+    }
+
+    /// Priority class: BOOST > UNDER (credit > 0) > OVER.
+    fn prio(&self, vcpu: usize) -> (u8, i64) {
+        let v = &self.vcpus[vcpu];
+        let class = if v.boost {
+            2
+        } else if v.credit > 0 {
+            1
+        } else {
+            0
+        };
+        (class, v.credit)
+    }
+
+    /// Whether a runnable VCPU may be given a PCPU right now. Cap
+    /// enforcement is coarse, exactly as in Xen: a capped VCPU is parked
+    /// or unparked only at 30 ms accounting events, so it can overshoot
+    /// its share by a whole accounting period and then pay it back over
+    /// several periods. This quantization is what lets sibling VCPUs'
+    /// duty cycles diverge by multiples of 30 ms under the plain Credit
+    /// scheduler.
+    fn eligible(&self, vcpu: usize) -> bool {
+        !self.vcpus[vcpu].parked
+    }
+
+    /// The Credit-scheduler decision for one PCPU (with the paper's
+    /// Algorithm 4 IPI coscheduling layered on top via `install`'s
+    /// cosched trigger).
+    fn schedule_pcpu(&mut self, pcpu: usize) {
+        // Charge the incumbent so priority comparison uses fresh credit.
+        if let Some(cur) = self.pcpus[pcpu].running {
+            self.charge(cur);
+        }
+        loop {
+            let cur = self.pcpus[pcpu].running;
+            // Best eligible local candidate.
+            let mut cand: Option<usize> = None;
+            for &v in &self.pcpus[pcpu].runq {
+                if self.eligible(v) && cand.is_none_or(|c| self.prio(v) > self.prio(c)) {
+                    cand = Some(v);
+                }
+            }
+            // Load balancing: steal if the local best is OVER-class or
+            // absent (Credit-scheduler idle/priority stealing).
+            let local_class = cand.map(|c| self.prio(c).0).unwrap_or(0);
+            if local_class < 1 {
+                let mut best_remote: Option<usize> = None;
+                for p in 0..self.pcpus.len() {
+                    if p == pcpu {
+                        continue;
+                    }
+                    for &v in &self.pcpus[p].runq {
+                        if self.eligible(v)
+                            && self.prio(v).0 >= 1
+                            && best_remote.is_none_or(|b| self.prio(v) > self.prio(b))
+                        {
+                            best_remote = Some(v);
+                        }
+                    }
+                }
+                // A remote UNDER/BOOST candidate beats a local OVER one;
+                // when the PCPU would otherwise idle, any eligible remote
+                // OVER candidate is also worth stealing (work conserving).
+                if best_remote.is_none() && cand.is_none() {
+                    for p in 0..self.pcpus.len() {
+                        if p == pcpu {
+                            continue;
+                        }
+                        for &v in &self.pcpus[p].runq {
+                            if self.eligible(v)
+                                && best_remote.is_none_or(|b| self.prio(v) > self.prio(b))
+                            {
+                                best_remote = Some(v);
+                            }
+                        }
+                    }
+                }
+                if let Some(r) = best_remote {
+                    if cand.is_none_or(|c| self.prio(r) > self.prio(c)) {
+                        cand = Some(r);
+                    }
+                }
+            }
+            let Some(next) = cand else {
+                // Nothing eligible anywhere. An ineligible incumbent (a
+                // capped VCPU whose credit ran out) must still be parked.
+                if let Some(c) = cur {
+                    if !self.eligible(c) {
+                        self.preempt_to_runq(c);
+                    }
+                }
+                return;
+            };
+            let mut demoted = None;
+            match cur {
+                Some(c) if self.eligible(c) && self.prio(c) >= self.prio(next) => {
+                    return; // incumbent stays
+                }
+                Some(c) => {
+                    self.preempt_to_runq(c);
+                    demoted = Some(c);
+                }
+                None => {}
+            }
+            // Dequeue `next` from wherever it is homed and run it here.
+            let home = self.vcpus[next].assigned;
+            if let Some(pos) = self.pcpus[home].runq.iter().position(|&v| v == next) {
+                self.pcpus[home].runq.swap_remove(pos);
+            }
+            if home != pcpu {
+                self.vms[self.vcpus[next].vm].acct.migrations += 1;
+            }
+            if self.dispatch(next, pcpu) {
+                // Xen tickles an idler when a preemption leaves a
+                // runnable VCPU behind, so the demoted VCPU migrates
+                // immediately instead of stranding until the next tick.
+                if let Some(c) = demoted {
+                    if self.vcpus[c].state == VState::Runnable && self.eligible(c) {
+                        if let Some(idle) =
+                            (0..self.pcpus.len()).find(|&p| self.pcpus[p].running.is_none())
+                        {
+                            self.schedule_pcpu(idle);
+                        }
+                    }
+                }
+                return;
+            }
+            // Guest had nothing to run (raced a block): the VCPU blocked;
+            // loop to find another candidate.
+        }
+    }
+
+    /// Preempt a running VCPU back to its PCPU's runqueue.
+    fn preempt_to_runq(&mut self, vcpu: usize) {
+        debug_assert_eq!(self.vcpus[vcpu].state, VState::Running);
+        self.charge(vcpu);
+        let pcpu = self.vcpus[vcpu].assigned;
+        debug_assert_eq!(self.pcpus[pcpu].running, Some(vcpu));
+        let vm = self.vcpus[vcpu].vm;
+        let slot = self.vcpus[vcpu].slot;
+        self.vms[vm].kernel.preempt(slot, self.now);
+        self.note_online_change(vm, -1);
+        self.vcpus[vcpu].epoch += 1;
+        self.vcpus[vcpu].cold = true;
+        self.vcpus[vcpu].state = VState::Runnable;
+        self.trace_sched(vcpu, pcpu, SchedEventKind::Preempt);
+        self.pcpus[pcpu].running = None;
+        self.pcpus[pcpu].runq.push(vcpu);
+    }
+
+    /// Give `vcpu` the PCPU. Returns `false` if the guest immediately
+    /// blocked (nothing runnable).
+    fn dispatch(&mut self, vcpu: usize, pcpu: usize) -> bool {
+        debug_assert_eq!(self.vcpus[vcpu].state, VState::Runnable);
+        debug_assert!(self.pcpus[pcpu].running.is_none());
+        let vm = self.vcpus[vcpu].vm;
+        let slot = self.vcpus[vcpu].slot;
+        self.vcpus[vcpu].state = VState::Running;
+        self.vcpus[vcpu].assigned = pcpu;
+        // BOOST persists until the VCPU runs a tick (Xen semantics);
+        // it is cleared in the Tick handler, not here.
+        self.vcpus[vcpu].last_charge = self.now;
+        self.pcpus[pcpu].running = Some(vcpu);
+        self.vms[vm].acct.dispatches[slot] += 1;
+        self.note_online_change(vm, 1);
+        self.trace_sched(vcpu, pcpu, SchedEventKind::Dispatch);
+        // Cache warm-up: involuntary preemption or PCPU migration leaves
+        // the working set cold; crossing a socket also loses the LLC.
+        let cold = self.vcpus[vcpu].cold || self.vcpus[vcpu].last_ran != Some(pcpu);
+        let crossed_socket = self.vcpus[vcpu]
+            .last_ran
+            .map(|p| self.socket_of(p) != self.socket_of(pcpu))
+            .unwrap_or(false);
+        self.vcpus[vcpu].cold = false;
+        self.vcpus[vcpu].last_ran = Some(pcpu);
+        let warmup = if crossed_socket {
+            self.cfg.clock.us(self.cfg.cross_socket_warmup_us)
+        } else if cold {
+            self.cfg.clock.us(self.cfg.warmup_us)
+        } else {
+            Cycles::ZERO
+        };
+        let mut fx = Effects::default();
+        let work = self.vms[vm]
+            .kernel
+            .dispatch(slot, self.now, warmup, &mut fx);
+        let still_running = self.install_work(vcpu, work);
+        self.apply_effects(vm, fx);
+        if still_running && self.cosched_active(vm) {
+            self.maybe_cosched(vm);
+        }
+        still_running
+    }
+
+    /// Install the guest's declared work for a running VCPU. Returns
+    /// `false` if the VCPU blocked (guest reported idle).
+    fn install_work(&mut self, vcpu: usize, work: GuestWork) -> bool {
+        self.vcpus[vcpu].epoch += 1;
+        match work {
+            GuestWork::Timed { dur, .. } => {
+                self.vcpus[vcpu].spinning_since = None;
+                let epoch = self.vcpus[vcpu].epoch;
+                self.events
+                    .schedule(self.now + dur.max(Cycles(1)), Ev::WorkDone { vcpu, epoch });
+                true
+            }
+            GuestWork::Spin { .. } => {
+                // Burns until tick/refresh; note the onset for PLE-style
+                // out-of-VM spin detection.
+                if self.vcpus[vcpu].spinning_since.is_none() {
+                    self.vcpus[vcpu].spinning_since = Some(self.now);
+                }
+                true
+            }
+            GuestWork::Idle => {
+                self.vcpus[vcpu].spinning_since = None;
+                self.block_vcpu(vcpu);
+                false
+            }
+        }
+    }
+
+    fn block_vcpu(&mut self, vcpu: usize) {
+        debug_assert_eq!(self.vcpus[vcpu].state, VState::Running);
+        self.charge(vcpu);
+        let pcpu = self.vcpus[vcpu].assigned;
+        let vm = self.vcpus[vcpu].vm;
+        let slot = self.vcpus[vcpu].slot;
+        self.vms[vm].kernel.preempt(slot, self.now);
+        self.note_online_change(vm, -1);
+        self.vcpus[vcpu].state = VState::Blocked;
+        self.vcpus[vcpu].blocked_since = Some(self.now);
+        self.pcpus[pcpu].running = None;
+        self.trace_sched(vcpu, pcpu, SchedEventKind::Block);
+    }
+
+    /// Apply guest side effects: arm timers, wake VCPUs (with dispatch
+    /// jitter), deliver VCRD hypercalls, and refresh online VCPUs whose
+    /// work changed (lock grants, barrier releases).
+    fn apply_effects(&mut self, vm: usize, fx: Effects) {
+        let Effects {
+            wake_vcpus,
+            refresh_vcpus,
+            sleep_timers,
+            vcrd,
+        } = fx;
+        for (thread, at) in sleep_timers {
+            self.events.schedule(at, Ev::SleepTimer { vm, thread });
+        }
+        for slot in wake_vcpus {
+            let vcpu = self.vms[vm].vcpu_ids[slot];
+            let jitter = if self.cfg.wake_jitter_us > 0 {
+                self.cfg
+                    .clock
+                    .us(self.rng.below(self.cfg.wake_jitter_us + 1))
+            } else {
+                Cycles::ZERO
+            };
+            self.events.schedule(self.now + jitter, Ev::Wake { vcpu });
+        }
+        if let Some(update) = vcrd {
+            self.handle_vcrd(vm, update);
+        }
+        for slot in refresh_vcpus {
+            let vcpu = self.vms[vm].vcpu_ids[slot];
+            if self.vcpus[vcpu].state != VState::Running {
+                continue;
+            }
+            let mut fx2 = Effects::default();
+            let work = self.vms[vm].kernel.dispatch_work(slot, self.now, &mut fx2);
+            self.install_work(vcpu, work);
+            self.apply_effects(vm, fx2);
+        }
+    }
+
+    fn deliver_wake(&mut self, vcpu: usize) {
+        if self.vcpus[vcpu].state != VState::Blocked {
+            return;
+        }
+        let vm = self.vcpus[vcpu].vm;
+        let slot = self.vcpus[vcpu].slot;
+        if !self.vms[vm].kernel.vcpu_runnable(slot) {
+            return; // stale wake; the thread blocked again meanwhile
+        }
+        // Xen boosts waking VCPUs so interactive work gets the CPU fast.
+        if let Some(since) = self.vcpus[vcpu].blocked_since.take() {
+            self.vcpus[vcpu].blocked_accum += self.now.saturating_sub(since);
+        }
+        self.vcpus[vcpu].state = VState::Runnable;
+        self.vcpus[vcpu].boost = self.cfg.boost_enabled;
+        self.trace_sched(vcpu, self.vcpus[vcpu].assigned, SchedEventKind::Wake);
+        // The VCPU wakes on its home PCPU (interrupt affinity): with
+        // BOOST priority it preempts whatever runs there. Idle PCPUs will
+        // steal it instead if the home is running something even hotter.
+        let target = self.vcpus[vcpu].assigned;
+        self.pcpus[target].runq.push(vcpu);
+        self.schedule_pcpu(target);
+        // If it did not get the home PCPU, tickle one idle PCPU to steal.
+        if self.vcpus[vcpu].state == VState::Runnable {
+            if let Some(idle) = (0..self.pcpus.len()).find(|&p| self.pcpus[p].running.is_none()) {
+                self.schedule_pcpu(idle);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coscheduling (the paper's Algorithms 3–4 mechanics)
+    // ------------------------------------------------------------------
+
+    /// Algorithm 4 runs at *every* scheduling event: whichever VCPU ends
+    /// up (or stays) running after a decision, if its VM's VCRD is HIGH,
+    /// it launches the IPI burst that re-gangs any demoted siblings.
+    fn post_schedule_cosched(&mut self, pcpu: usize) {
+        if let Some(v) = self.pcpus[pcpu].running {
+            let vm = self.vcpus[v].vm;
+            if self.cosched_active(vm) {
+                self.maybe_cosched(vm);
+            }
+        }
+    }
+
+    fn cosched_active(&self, vm: usize) -> bool {
+        match self.cfg.policy {
+            CoschedPolicy::None | CoschedPolicy::Relaxed => false,
+            CoschedPolicy::Static => self.vms[vm].concurrent_hint,
+            CoschedPolicy::Adaptive | CoschedPolicy::OutOfVm => self.vms[vm].vcrd == Vcrd::High,
+        }
+    }
+
+    /// Relaxed coscheduling (VMware-style): accumulate per-VCPU skew for
+    /// concurrent VMs and boost only the laggards whose skew exceeds two
+    /// slots. Runs once per slot (piggybacked on PCPU 0's tick).
+    fn relaxed_skew_pass(&mut self) {
+        let slot = self.cfg.slot();
+        let bound = slot * 2;
+        let ipi_at = self.now + self.cfg.ipi_latency();
+        for vm in 0..self.vms.len() {
+            if !self.vms[vm].concurrent_hint {
+                continue;
+            }
+            let any_running = self.vms[vm]
+                .vcpu_ids
+                .iter()
+                .any(|&v| self.vcpus[v].state == VState::Running);
+            for i in 0..self.vms[vm].vcpu_ids.len() {
+                let v = self.vms[vm].vcpu_ids[i];
+                match self.vcpus[v].state {
+                    VState::Running => self.vcpus[v].skew = Cycles::ZERO,
+                    VState::Runnable if any_running => {
+                        self.vcpus[v].skew += slot;
+                        if self.vcpus[v].skew > bound && self.eligible(v) {
+                            self.vcpus[v].skew = Cycles::ZERO;
+                            self.vcpus[v].boost = true;
+                            self.vms[vm].acct.cosched_bursts += 1;
+                            self.events.schedule(ipi_at, Ev::Ipi { vcpu: v });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Launch an IPI burst to bring the VM's runnable siblings online.
+    /// ASMan throttles bursts to one per slot per VM (the paper's
+    /// per-scheduling-event mutex); the static coscheduler re-gangs far
+    /// more aggressively — it has no adaptivity to tell it when
+    /// coscheduling is unnecessary, which is exactly the overhead the
+    /// paper charges it with.
+    fn maybe_cosched(&mut self, vm: usize) {
+        // Algorithm 4 coschedules at every scheduling event of a HIGH VM
+        // (a mutex merely serialises concurrent IPI launches); the only
+        // throttle needed is against re-ganging within one IPI flight
+        // time. The same cadence applies to the static coscheduler.
+        let slot_len = self.cfg.slot() / 8;
+        if let Some(last) = self.vms[vm].last_cosched {
+            if self.now - last < slot_len {
+                return;
+            }
+        }
+        self.vms[vm].last_cosched = Some(self.now);
+        self.vms[vm].acct.cosched_bursts += 1;
+        self.relocate_siblings(vm);
+        let ipi_at = self.now + self.cfg.ipi_latency();
+        for i in 0..self.vms[vm].vcpu_ids.len() {
+            let v = self.vms[vm].vcpu_ids[i];
+            if self.vcpus[v].state == VState::Runnable {
+                self.vcpus[v].boost = true;
+                self.events.schedule(ipi_at, Ev::Ipi { vcpu: v });
+            }
+        }
+    }
+
+    /// Algorithm 3, lines 8–15: put the VM's runnable VCPUs into
+    /// runqueues of distinct PCPUs (none of which already hosts a sibling)
+    /// so the IPI burst can bring them online simultaneously.
+    fn relocate_siblings(&mut self, vm: usize) {
+        let ids = self.vms[vm].vcpu_ids.clone();
+        // PCPUs already occupied by a sibling (running or queued).
+        let mut occupied = vec![false; self.pcpus.len()];
+        for &v in &ids {
+            match self.vcpus[v].state {
+                VState::Running => occupied[self.vcpus[v].assigned] = true,
+                VState::Runnable => {}
+                VState::Blocked => {}
+            }
+        }
+        for &v in &ids {
+            if self.vcpus[v].state != VState::Runnable {
+                continue;
+            }
+            let home = self.vcpus[v].assigned;
+            if !occupied[home] {
+                occupied[home] = true;
+                continue;
+            }
+            // Find a PCPU with no sibling: prefer idle ones, then PCPUs
+            // not currently running another VM's coscheduled gang member
+            // (two gangs fighting over the same PCPUs defeats both). When
+            // LLC-aware (§7 future work), also prefer the home socket so
+            // the gang shares a last-level cache.
+            let home_socket = self.socket_of(home);
+            let target = (0..self.pcpus.len())
+                .filter(|&p| !occupied[p])
+                .min_by_key(|&p| {
+                    let gang_conflict = self.pcpus[p]
+                        .running
+                        .map(|r| {
+                            let rvm = self.vcpus[r].vm;
+                            rvm != vm && self.cosched_active(rvm)
+                        })
+                        .unwrap_or(false);
+                    let off_socket = self.cfg.llc_aware && self.socket_of(p) != home_socket;
+                    (
+                        gang_conflict as u8,
+                        off_socket as u8,
+                        self.pcpus[p].running.is_some() as u8,
+                        self.pcpus[p].runq.len(),
+                        p,
+                    )
+                });
+            let Some(target) = target else {
+                break; // more VCPUs than PCPUs without siblings
+            };
+            if let Some(pos) = self.pcpus[home].runq.iter().position(|&x| x == v) {
+                self.pcpus[home].runq.swap_remove(pos);
+            }
+            self.pcpus[target].runq.push(v);
+            self.vcpus[v].assigned = target;
+            self.vms[vm].acct.migrations += 1;
+            occupied[target] = true;
+        }
+    }
+
+    /// `do_vcrd_op` hypercall handler.
+    fn handle_vcrd(&mut self, vm: usize, update: VcrdUpdate) {
+        if !matches!(
+            self.cfg.policy,
+            CoschedPolicy::Adaptive | CoschedPolicy::OutOfVm
+        ) {
+            return; // baselines ignore the hypercall
+        }
+        self.note_online_change(vm, 0);
+        let prev = self.vms[vm].vcrd;
+        match (prev, update.vcrd) {
+            (Vcrd::Low, Vcrd::High) => {
+                self.vms[vm].vcrd = Vcrd::High;
+                self.vms[vm].vcrd_high_since = self.now;
+                self.vms[vm].acct.vcrd_raises += 1;
+                // Allow an immediate burst even if one ran this slot.
+                self.vms[vm].last_cosched = None;
+                self.maybe_cosched(vm);
+            }
+            (Vcrd::High, Vcrd::High) => { /* extension: timer re-armed below */ }
+            (Vcrd::High, Vcrd::Low) => {
+                let since = self.vms[vm].vcrd_high_since;
+                self.vms[vm].acct.vcrd_high_cycles += self.now - since;
+                self.vms[vm].vcrd = Vcrd::Low;
+            }
+            (Vcrd::Low, Vcrd::Low) => {}
+        }
+        self.vms[vm].vcrd_epoch += 1;
+        if let Some(x) = update.expire_in {
+            let epoch = self.vms[vm].vcrd_epoch;
+            self.events
+                .schedule(self.now + x, Ev::VcrdTimer { vm, epoch });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use asman_sim::Clock;
+    use asman_workloads::{Op, ScriptProgram};
+
+    fn clk() -> Clock {
+        Clock::default()
+    }
+
+    /// A busy-looping compute workload with `threads` threads.
+    fn busy(threads: usize) -> Box<ScriptProgram> {
+        Box::new(
+            ScriptProgram::homogeneous("busy", threads, vec![Op::Compute(clk().ms(1))]).looping(),
+        )
+    }
+
+    fn idle_vm(name: &str, vcpus: usize) -> VmSpec {
+        // A program whose threads finish instantly: models Domain-0 with
+        // no workload.
+        VmSpec::new(
+            name,
+            vcpus,
+            Box::new(ScriptProgram::homogeneous("idle", vcpus, vec![])),
+        )
+    }
+
+    #[test]
+    fn single_vm_finishes_compute() {
+        let total = clk().ms(50);
+        let p = ScriptProgram::homogeneous("job", 2, vec![Op::Compute(total)]);
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![VmSpec::new("v1", 2, Box::new(p))],
+        );
+        let done = m.run_to_completion(clk().secs(5));
+        assert!(done, "compute job must finish");
+        let fin = m.vm_kernel(0).stats().finished_at.expect("finished");
+        // With idle PCPUs and 100% share it should take ~50 ms.
+        let secs = clk().to_secs(fin);
+        assert!(secs < 0.2, "took {secs}s for 50ms of work");
+    }
+
+    #[test]
+    fn equal_weights_share_equally_when_contended() {
+        // Two 4-VCPU busy VMs on 4 PCPUs: each should get ~50%.
+        let cfg = MachineConfig {
+            pcpus: 4,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![VmSpec::new("a", 4, busy(4)), VmSpec::new("b", 4, busy(4))],
+        );
+        m.run_until(clk().secs(3));
+        let ra = m.vm_accounting(0).online_rate(m.now());
+        let rb = m.vm_accounting(1).online_rate(m.now());
+        assert!((ra - 0.5).abs() < 0.05, "vm a rate {ra}");
+        assert!((rb - 0.5).abs() < 0.05, "vm b rate {rb}");
+    }
+
+    #[test]
+    fn weights_drive_proportional_share() {
+        // 2:1 weights, both busy, fully contended machine.
+        let cfg = MachineConfig {
+            pcpus: 4,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![
+                VmSpec::new("heavy", 4, busy(4)).weight(512),
+                VmSpec::new("light", 4, busy(4)).weight(256),
+            ],
+        );
+        m.run_until(clk().secs(3));
+        let rh = m.vm_accounting(0).online_rate(m.now());
+        let rl = m.vm_accounting(1).online_rate(m.now());
+        let ratio = rh / rl;
+        assert!((ratio - 2.0).abs() < 0.25, "share ratio {ratio} != 2");
+    }
+
+    #[test]
+    fn nwc_cap_limits_online_rate_with_idle_peer() {
+        // The paper's single-VM setup: V0 (8 VCPUs, idle, weight 256) +
+        // V1 (4 busy VCPUs, weight 64 -> ω = 0.2, online rate 40%), NWC.
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![
+                idle_vm("v0", 8),
+                VmSpec::new("v1", 4, busy(4))
+                    .weight(64)
+                    .cap(CapMode::NonWorkConserving),
+            ],
+        );
+        assert!((m.configured_online_rate(1) - 0.4).abs() < 1e-9);
+        m.run_until(clk().secs(3));
+        let r = m.vm_accounting(1).online_rate(m.now());
+        assert!((r - 0.4).abs() < 0.05, "measured rate {r}, expected ~0.4");
+    }
+
+    #[test]
+    fn work_conserving_lets_vm_exceed_share() {
+        // Same weights as above but WC: the idle peer's share is
+        // available, so V1 runs ~100%.
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![
+                idle_vm("v0", 8),
+                VmSpec::new("v1", 4, busy(4))
+                    .weight(64)
+                    .cap(CapMode::WorkConserving),
+            ],
+        );
+        m.run_until(clk().secs(2));
+        let r = m.vm_accounting(1).online_rate(m.now());
+        assert!(r > 0.9, "WC rate {r} should be ~1.0");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let cfg = MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::new(
+                cfg,
+                vec![idle_vm("v0", 8), VmSpec::new("v1", 4, busy(4)).weight(64)],
+            );
+            m.run_until(clk().secs(1));
+            (
+                m.events_processed(),
+                m.vm_accounting(1).total_online(),
+                m.vm_accounting(1).dispatches.clone(),
+            )
+        };
+        assert_eq!(run(1), run(1));
+        // Different machine seed shifts wake jitter -> different trace.
+        // (Equality is astronomically unlikely but not impossible, so we
+        // only check the strong property: same-seed equality.)
+    }
+
+    #[test]
+    fn blocked_vcpus_do_not_consume_cpu() {
+        // Sleep-only workload: VM online time must be tiny.
+        let p = ScriptProgram::homogeneous(
+            "sleepy",
+            2,
+            vec![Op::Sleep(clk().ms(100)), Op::Compute(Cycles(1_000))],
+        );
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![VmSpec::new("s", 2, Box::new(p))],
+        );
+        assert!(m.run_to_completion(clk().secs(2)));
+        let online = m.vm_accounting(0).total_online();
+        assert!(
+            clk().to_ms(online) < 5.0,
+            "sleeping VM consumed {} ms",
+            clk().to_ms(online)
+        );
+        // But simulated time advanced past the sleep.
+        let fin = m.vm_kernel(0).stats().finished_at.unwrap();
+        assert!(clk().to_ms(fin) >= 100.0);
+    }
+
+    #[test]
+    fn one_vcpu_per_pcpu_invariant() {
+        // Spot-check the core structural invariant under load: every
+        // running VCPU is unique and matches its PCPU's record.
+        let cfg = MachineConfig {
+            pcpus: 4,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![
+                VmSpec::new("a", 4, busy(4)),
+                VmSpec::new("b", 4, busy(4)),
+                VmSpec::new("c", 2, busy(2)),
+            ],
+        );
+        for step in 1..=40u64 {
+            m.run_until(clk().ms(25 * step));
+            let mut seen = std::collections::HashSet::new();
+            for (p, pc) in m.pcpus.iter().enumerate() {
+                if let Some(v) = pc.running {
+                    assert!(seen.insert(v), "vcpu {v} on two pcpus");
+                    assert_eq!(m.vcpus[v].assigned, p);
+                    assert_eq!(m.vcpus[v].state, VState::Running);
+                }
+                for &v in &pc.runq {
+                    assert_eq!(m.vcpus[v].state, VState::Runnable, "runq holds {v}");
+                    assert!(!seen.contains(&v), "running vcpu also queued");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_cosched_counts_bursts_for_concurrent_vm() {
+        let cfg = MachineConfig {
+            policy: CoschedPolicy::Static,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![
+                VmSpec::new("con", 4, busy(4)).concurrent(),
+                VmSpec::new("other", 4, busy(4)),
+            ],
+        );
+        m.run_until(clk().secs(1));
+        assert!(m.vm_accounting(0).cosched_bursts > 0, "CON VM coscheduled");
+        assert_eq!(m.vm_accounting(1).cosched_bursts, 0, "plain VM not");
+    }
+
+    #[test]
+    fn credit_policy_ignores_vcrd_hypercalls() {
+        // An observer that always demands HIGH must have no effect under
+        // CoschedPolicy::None.
+        struct Always;
+        impl asman_guest::SpinObserver for Always {
+            fn on_spinlock_wait(&mut self, _now: Cycles, _wait: Cycles) -> Option<VcrdUpdate> {
+                Some(VcrdUpdate {
+                    vcrd: Vcrd::High,
+                    expire_in: Some(Cycles(1_000_000)),
+                })
+            }
+            fn on_vcrd_timer(&mut self, _now: Cycles) -> Option<VcrdUpdate> {
+                None
+            }
+        }
+        let p = ScriptProgram::homogeneous(
+            "l",
+            2,
+            vec![Op::CriticalSection {
+                lock: 0,
+                hold: Cycles(1_000),
+            }],
+        )
+        .looping();
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![VmSpec::new("v", 2, Box::new(p)).observer(Box::new(Always))],
+        );
+        m.run_until(clk().ms(200));
+        assert_eq!(m.vm_vcrd(0), Vcrd::Low);
+        assert_eq!(m.vm_accounting(0).vcrd_raises, 0);
+        assert_eq!(m.vm_accounting(0).cosched_bursts, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_honours_vcrd_and_expires() {
+        struct Once {
+            fired: bool,
+        }
+        impl asman_guest::SpinObserver for Once {
+            fn on_spinlock_wait(&mut self, _now: Cycles, _wait: Cycles) -> Option<VcrdUpdate> {
+                if self.fired {
+                    None
+                } else {
+                    self.fired = true;
+                    Some(VcrdUpdate {
+                        vcrd: Vcrd::High,
+                        expire_in: Some(Clock::default().ms(5)),
+                    })
+                }
+            }
+            fn on_vcrd_timer(&mut self, _now: Cycles) -> Option<VcrdUpdate> {
+                Some(VcrdUpdate {
+                    vcrd: Vcrd::Low,
+                    expire_in: None,
+                })
+            }
+        }
+        let p = ScriptProgram::homogeneous(
+            "l",
+            2,
+            vec![
+                Op::CriticalSection {
+                    lock: 0,
+                    hold: Cycles(1_000),
+                },
+                Op::Compute(clk().ms(1)),
+            ],
+        )
+        .looping();
+        let cfg = MachineConfig {
+            policy: CoschedPolicy::Adaptive,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![VmSpec::new("v", 2, Box::new(p)).observer(Box::new(Once { fired: false }))],
+        );
+        m.run_until(clk().ms(500));
+        assert_eq!(m.vm_accounting(0).vcrd_raises, 1);
+        assert_eq!(m.vm_vcrd(0), Vcrd::Low, "expired back to LOW");
+        let high_ms = clk().to_ms(m.vm_accounting(0).vcrd_high_cycles);
+        assert!(
+            (4.0..=6.5).contains(&high_ms),
+            "VCRD HIGH for {high_ms} ms, expected ~5"
+        );
+    }
+
+    #[test]
+    fn more_vcpus_than_pcpus_rejected() {
+        let r = std::panic::catch_unwind(|| {
+            Machine::new(
+                MachineConfig {
+                    pcpus: 2,
+                    ..MachineConfig::default()
+                },
+                vec![VmSpec::new("v", 4, busy(4))],
+            )
+        });
+        assert!(r.is_err());
+    }
+}

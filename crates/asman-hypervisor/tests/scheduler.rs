@@ -1,0 +1,350 @@
+//! Scheduler-mechanics integration tests: cap parking, boost handling,
+//! relocation, migration accounting and the coscheduling IPI path.
+
+use asman_guest::{NullObserver, SpinObserver, Vcrd, VcrdUpdate};
+use asman_hypervisor::{CapMode, CoschedPolicy, Machine, MachineConfig, VmSpec};
+use asman_sim::{Clock, Cycles};
+use asman_workloads::{Op, ScriptProgram};
+
+fn clk() -> Clock {
+    Clock::default()
+}
+
+fn busy(threads: usize) -> Box<ScriptProgram> {
+    Box::new(ScriptProgram::homogeneous("busy", threads, vec![Op::Compute(clk().ms(1))]).looping())
+}
+
+#[test]
+fn parked_vcpus_are_never_scheduled_between_accountings() {
+    // Sample the capped VM's online count at fine granularity: between
+    // parking (prompt, at cap overdraft) and the accounting event the
+    // VCPU must stay offline.
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        vec![
+            VmSpec::new(
+                "idle",
+                8,
+                Box::new(ScriptProgram::homogeneous("i", 8, vec![])),
+            ),
+            VmSpec::new("busy", 4, busy(4))
+                .weight(32)
+                .cap(CapMode::NonWorkConserving),
+        ],
+    );
+    // Long-run cap: strictly at most the configured rate plus slack.
+    m.run_until(clk().secs(3));
+    let rate = m.vm_accounting(1).online_rate(m.now());
+    let configured = m.configured_online_rate(1);
+    assert!(
+        rate < configured + 0.05,
+        "rate {rate:.3} vs configured {configured:.3}"
+    );
+}
+
+#[test]
+fn migrations_are_accounted() {
+    // Overcommitted machine: stealing must happen and be counted.
+    let cfg = MachineConfig {
+        pcpus: 4,
+        ..MachineConfig::default()
+    };
+    // A frequently-waking VM whose boost preemptions demote the busy
+    // VM's VCPUs to other PCPUs (wake-to-home + demotion tickling).
+    let waker = Box::new(
+        ScriptProgram::homogeneous(
+            "waker",
+            4,
+            vec![Op::Sleep(clk().ms(2)), Op::Compute(clk().us(200))],
+        )
+        .looping(),
+    );
+    let mut m = Machine::new(
+        cfg,
+        vec![
+            VmSpec::new("busy", 4, busy(4)),
+            VmSpec::new("waker", 4, waker),
+        ],
+    );
+    m.run_until(clk().secs(2));
+    let total: u64 = (0..2).map(|vm| m.vm_accounting(vm).migrations).sum();
+    assert!(total > 0, "boost preemptions must trigger migrations");
+}
+
+#[test]
+fn dispatch_counts_are_positive_for_runnable_vms() {
+    let mut m = Machine::new(MachineConfig::default(), vec![VmSpec::new("v", 2, busy(2))]);
+    m.run_until(clk().ms(500));
+    let d = m.vm_accounting(0);
+    assert!(d.dispatches.iter().all(|&x| x > 0), "{:?}", d.dispatches);
+    assert!(d.total_online() > Cycles::ZERO);
+}
+
+/// Observer that raises the VCRD on the very first spinlock wait and
+/// never lowers it — lets us test relocation/co-online behaviour.
+struct RaiseOnce {
+    fired: bool,
+}
+
+impl SpinObserver for RaiseOnce {
+    fn on_spinlock_wait(&mut self, _now: Cycles, _wait: Cycles) -> Option<VcrdUpdate> {
+        if self.fired {
+            None
+        } else {
+            self.fired = true;
+            Some(VcrdUpdate {
+                vcrd: Vcrd::High,
+                expire_in: Some(Clock::default().secs(30)),
+            })
+        }
+    }
+    fn on_vcrd_timer(&mut self, _now: Cycles) -> Option<VcrdUpdate> {
+        Some(VcrdUpdate {
+            vcrd: Vcrd::Low,
+            expire_in: None,
+        })
+    }
+}
+
+#[test]
+fn adaptive_high_vm_gets_coscheduled_online_windows() {
+    // 2x overcommit so asynchronous scheduling would rarely align all
+    // four siblings; a permanently-HIGH VCRD must push the all-online
+    // fraction well above the competing plain VM's.
+    let cfg = MachineConfig {
+        pcpus: 4,
+        policy: CoschedPolicy::Adaptive,
+        ..MachineConfig::default()
+    };
+    // Uncontended per-thread critical sections: every acquisition tickles
+    // the observer (arming the VCRD on the first one) without coupling
+    // the threads, so alignment is purely the scheduler's doing.
+    let work = |_: u64| {
+        let scripts: Vec<Vec<Op>> = (0..4)
+            .map(|t| {
+                vec![
+                    Op::CriticalSection {
+                        lock: t,
+                        hold: Cycles(800),
+                    },
+                    Op::Compute(clk().us(400)),
+                ]
+            })
+            .collect();
+        Box::new(ScriptProgram::new("l", scripts).looping())
+    };
+    // Three VMs, so the gang's complement is split across two plain VMs
+    // (with only two VMs the complement of a gang is itself a gang).
+    let mut m = Machine::new(
+        cfg,
+        vec![
+            VmSpec::new("watched", 4, work(1)).observer(Box::new(RaiseOnce { fired: false })),
+            VmSpec::new("plain-a", 4, work(2)),
+            VmSpec::new("plain-b", 4, work(3)),
+        ],
+    );
+    m.run_until(clk().secs(3));
+    assert_eq!(m.vm_vcrd(0), Vcrd::High, "raised and held");
+    let bursts = m.vm_accounting(0).cosched_bursts;
+    assert!(bursts > 10, "expected IPI bursts, got {bursts}");
+    let watched = m.vm_accounting(0).all_online_frac(m.now());
+    let plain = (m.vm_accounting(1).all_online_frac(m.now())
+        + m.vm_accounting(2).all_online_frac(m.now()))
+        / 2.0;
+    assert!(
+        watched > plain * 1.5 && watched > 0.2,
+        "coscheduled VM must align far more: {watched:.3} vs {plain:.3} ({bursts} bursts)"
+    );
+}
+
+#[test]
+fn out_of_vm_policy_detects_pure_spin_without_observer() {
+    // A guest that spins on a kernel lock held by a preempted sibling —
+    // with a NullObserver. Only PLE-style detection can see it.
+    let cfg = MachineConfig {
+        pcpus: 2,
+        policy: CoschedPolicy::OutOfVm,
+        ..MachineConfig::default()
+    };
+    let locky = Box::new(
+        ScriptProgram::homogeneous(
+            "l",
+            2,
+            vec![
+                Op::CriticalSection {
+                    lock: 0,
+                    hold: Cycles(clk().us(400).as_u64()),
+                },
+                Op::Compute(Cycles(clk().us(100).as_u64())),
+            ],
+        )
+        .looping(),
+    );
+    let mut m = Machine::new(
+        cfg,
+        vec![
+            VmSpec::new("spinny", 2, locky).observer(Box::new(NullObserver)),
+            VmSpec::new("noise", 2, busy(2)),
+        ],
+    );
+    m.run_until(clk().secs(5));
+    assert!(
+        m.vm_accounting(0).vcrd_raises > 0,
+        "PLE detection must fire on sustained spinning"
+    );
+}
+
+#[test]
+fn relaxed_policy_touches_only_concurrent_vms() {
+    let cfg = MachineConfig {
+        pcpus: 4,
+        policy: CoschedPolicy::Relaxed,
+        ..MachineConfig::default()
+    };
+    let sync = |seed: u64| {
+        Box::new(
+            asman_workloads::NasSpec::new(
+                asman_workloads::NasBenchmark::CG,
+                asman_workloads::ProblemClass::S,
+                4,
+            )
+            .repeating()
+            .build(seed),
+        )
+    };
+    let mut m = Machine::new(
+        cfg,
+        vec![
+            VmSpec::new("flagged", 4, sync(1)).concurrent(),
+            VmSpec::new("plain", 4, sync(2)),
+        ],
+    );
+    m.run_until(clk().secs(3));
+    assert!(
+        m.vm_accounting(0).cosched_bursts > 0,
+        "skew boosts for flagged"
+    );
+    assert_eq!(m.vm_accounting(1).cosched_bursts, 0, "none for unflagged");
+}
+
+#[test]
+fn co_online_histogram_integrates_to_elapsed_time() {
+    let mut m = Machine::new(MachineConfig::default(), vec![VmSpec::new("v", 3, busy(3))]);
+    m.run_until(clk().secs(1));
+    let acct = m.vm_accounting(0);
+    let total: u64 = acct.co_online.iter().map(|c| c.as_u64()).sum();
+    let elapsed = m.now().as_u64();
+    assert!(
+        (total as i64 - elapsed as i64).unsigned_abs() < 1_000_000,
+        "histogram covers elapsed time: {total} vs {elapsed}"
+    );
+    // A lone busy VM on 8 PCPUs should be nearly always fully online.
+    assert!(acct.all_online_frac(m.now()) > 0.9);
+}
+
+#[test]
+fn weight_proportion_equation_1() {
+    let m = Machine::new(
+        MachineConfig::default(),
+        vec![
+            VmSpec::new("a", 2, busy(2)).weight(256),
+            VmSpec::new("b", 2, busy(2)).weight(128),
+            VmSpec::new("c", 2, busy(2)).weight(128),
+        ],
+    );
+    assert!((m.weight_proportion(0) - 0.5).abs() < 1e-12);
+    assert!((m.weight_proportion(1) - 0.25).abs() < 1e-12);
+    // Equation 2: |P| * omega / |C|.
+    assert!((m.configured_online_rate(1) - 8.0 * 0.25 / 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn llc_aware_ganging_reduces_cross_socket_migrations() {
+    // With an expensive cross-socket penalty, LLC-aware gang placement
+    // must give the coscheduled VM at least as much useful progress.
+    let run = |llc_aware: bool| {
+        let cfg = MachineConfig {
+            pcpus: 8,
+            sockets: 2,
+            cross_socket_warmup_us: 400,
+            llc_aware,
+            policy: CoschedPolicy::Adaptive,
+            ..MachineConfig::default()
+        };
+        let lu = asman_workloads::NasSpec::new(
+            asman_workloads::NasBenchmark::LU,
+            asman_workloads::ProblemClass::S,
+            4,
+        )
+        .build(7);
+        let mut m = Machine::new(
+            cfg,
+            vec![
+                VmSpec::new("noise", 8, busy(8)),
+                VmSpec::new("guest", 4, Box::new(lu))
+                    .observer(Box::new(RaiseOnce { fired: false })),
+            ],
+        );
+        m.run_to_completion(clk().secs(120));
+        (
+            m.vm_kernel(1).stats().finished_at.expect("finished"),
+            m.vm_kernel(1).stats().warmup_cycles,
+        )
+    };
+    let (t_flat, w_flat) = run(false);
+    let (t_llc, w_llc) = run(true);
+    // LLC-aware placement should not lose time and should waste no more
+    // cycles on warm-ups.
+    assert!(
+        t_llc <= t_flat + clk().ms(500),
+        "LLC-aware must not regress: {:?} vs {:?}",
+        t_llc,
+        t_flat
+    );
+    assert!(
+        w_llc <= w_flat,
+        "LLC-aware must reduce warm-up waste: {:?} vs {:?}",
+        w_llc,
+        w_flat
+    );
+}
+
+#[test]
+fn socket_mapping_is_even() {
+    // White-box via behaviour: with 2 sockets and cross-socket penalty 0
+    // vs huge, run times diverge only if migrations cross sockets — and
+    // the default (penalty == warmup) is socket-oblivious.
+    let run = |cross: u64| {
+        let cfg = MachineConfig {
+            pcpus: 4,
+            sockets: 2,
+            cross_socket_warmup_us: cross,
+            ..MachineConfig::default()
+        };
+        // A frequently-waking VM forces boost preemptions and migrations,
+        // some of which cross the socket boundary.
+        let waker = Box::new(
+            ScriptProgram::homogeneous(
+                "waker",
+                4,
+                vec![Op::Sleep(clk().ms(2)), Op::Compute(clk().us(200))],
+            )
+            .looping(),
+        );
+        let mut m = Machine::new(
+            cfg,
+            vec![
+                VmSpec::new("busy", 4, busy(4)),
+                VmSpec::new("waker", 4, waker),
+            ],
+        );
+        m.run_until(clk().secs(1));
+        m.vm_kernel(0).stats().warmup_cycles
+    };
+    let cheap = run(60);
+    let dear = run(600);
+    assert!(
+        dear > cheap,
+        "higher cross-socket penalty must show up: {cheap:?} vs {dear:?}"
+    );
+}

@@ -1,0 +1,20 @@
+//! Calibration probe for the multi-VM combinations (not a paper figure).
+fn main() {
+    use asman_report::{
+        multivm::{paper_combination, MultiVmScenario},
+        Sched,
+    };
+    use asman_workloads::ProblemClass;
+    for which in [1u8, 2] {
+        let mut sc =
+            MultiVmScenario::new(Sched::Asman, paper_combination(which), ProblemClass::W, 42);
+        sc.rounds = 3;
+        let rows = sc.run();
+        for r in &rows {
+            eprintln!(
+                "combo{} {} mean={:.1}s raises={} online={:.2}",
+                which, r.workload, r.mean_round_secs, r.vcrd_raises, r.online_rate
+            );
+        }
+    }
+}

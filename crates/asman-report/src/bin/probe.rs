@@ -1,0 +1,54 @@
+//! Diagnostic probe: sample VM1's VCPU states over time at a low online
+//! rate to inspect duty-cycle geometry (calibration aid, not a paper
+//! experiment).
+
+use asman_report::{Sched, SingleVmScenario};
+use asman_sim::Clock;
+use asman_workloads::{NasBenchmark, NasSpec, ProblemClass};
+
+fn main() {
+    let sched = match std::env::args().nth(1).as_deref() {
+        Some("asman") => Sched::Asman,
+        _ => Sched::Credit,
+    };
+    let clk = Clock::default();
+    let sc = SingleVmScenario::new(sched, 32, 42); // 22.2%
+    let lu = NasSpec::new(NasBenchmark::LU, ProblemClass::W, 4).build(7);
+    let mut m = sc.build(Box::new(lu));
+    // Warm up 2 s, then sample ~1 ms for 400 ms.
+    m.run_until(clk.secs(2));
+    let mut next = m.now();
+    let step = clk.us(1000);
+    let end = m.now() + clk.ms(400);
+    while m.now() < end {
+        let stop = next;
+        m.run_until(stop);
+        let snap = m.vcpu_snapshot(1);
+        let states: String = snap
+            .iter()
+            .map(|(d, _)| match d {
+                1 => 'R',
+                0 => '.',
+                _ => '_',
+            })
+            .collect();
+        let credits: Vec<i64> = snap.iter().map(|(_, c)| c / 1_000_000).collect();
+        println!(
+            "{:9.1}ms {} credits(M){:?} vcrd={:?}",
+            clk.to_ms(m.now()),
+            states,
+            credits,
+            m.vm_vcrd(1)
+        );
+        next = stop + step;
+    }
+    let acct = m.vm_accounting(1);
+    eprintln!(
+        "high_all_online_frac={:.3} bursts={} raises={}",
+        acct.high_all_online_frac(),
+        acct.cosched_bursts,
+        acct.vcrd_raises
+    );
+}
+
+// (extended diagnostics appended by calibration work; see main above)

@@ -1,0 +1,170 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline]
+//!       [--class s|w|a] [--seed N] [--rounds N] [--json DIR]
+//! ```
+//!
+//! `timeline` renders an ASCII Gantt chart of the guest VM's VCPU duty
+//! cycles at a 22.2% online rate, under Credit and under ASMan — the
+//! visual core of the paper in two panels.
+//!
+//! Prints each figure's table and shape checks; `--json DIR` additionally
+//! writes the raw series as JSON artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+use asman_report::figures::{
+    fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
+};
+use asman_workloads::ProblemClass;
+
+struct Args {
+    which: Vec<String>,
+    params: FigureParams,
+    json_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut which = Vec::new();
+    let mut params = FigureParams::default();
+    let mut json_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--class" => {
+                params.class = match it.next().as_deref() {
+                    Some("s") => ProblemClass::S,
+                    Some("w") => ProblemClass::W,
+                    Some("a") => ProblemClass::A,
+                    other => panic!("unknown class {other:?} (use s|w|a)"),
+                };
+            }
+            "--seed" => {
+                params.seed = it.next().expect("--seed N").parse().expect("seed number");
+            }
+            "--rounds" => {
+                params.rounds = it
+                    .next()
+                    .expect("--rounds N")
+                    .parse()
+                    .expect("rounds number");
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(it.next().expect("--json DIR")));
+            }
+            fig => which.push(fig.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        ]
+        .map(String::from)
+        .to_vec();
+    }
+    Args {
+        which,
+        params,
+        json_dir,
+    }
+}
+
+fn emit<T: serde::Serialize>(
+    args: &Args,
+    name: &str,
+    table: String,
+    checks: Vec<ShapeCheck>,
+    value: &T,
+) {
+    println!("{table}");
+    for c in &checks {
+        println!(
+            "  [{}] {} — {}",
+            if c.holds { "PASS" } else { "MISS" },
+            c.claim,
+            c.evidence
+        );
+    }
+    println!();
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, serde_json::to_vec_pretty(value).expect("serialize")).expect("write json");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn run_timeline(p: &FigureParams) {
+    use asman_report::{Sched, SingleVmScenario, Timeline};
+    use asman_sim::Clock;
+    use asman_workloads::{NasBenchmark, NasSpec};
+    let clk = Clock::default();
+    for sched in [Sched::Credit, Sched::Asman] {
+        let sc = SingleVmScenario::new(sched, 32, p.seed);
+        let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
+        let mut m = sc.build(Box::new(lu));
+        m.enable_schedule_trace(500_000);
+        m.run_until(clk.secs(3));
+        let tl = Timeline::from_machine(&m);
+        println!(
+            "LU @ 22.2% under {} — guest VCPU duty cycles, 400 ms window\n(# online, + partial, . offline; rows: dom0 x8 then guest x4)",
+            sched.label()
+        );
+        println!("{}", tl.gantt(clk.secs(2), clk.secs(2) + clk.ms(400), 100));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let p = &args.params;
+    eprintln!(
+        "class={:?} seed={} rounds={} figures={:?}",
+        p.class, p.seed, p.rounds, args.which
+    );
+    for fig in args.which.clone() {
+        let t0 = std::time::Instant::now();
+        match fig.as_str() {
+            "fig1" => {
+                let f = fig01::run(p);
+                emit(&args, "fig01", f.render(), f.shape_checks(), &f);
+            }
+            "fig2" => {
+                let f = fig02::run(p);
+                emit(&args, "fig02", f.render(), f.shape_checks(), &f);
+            }
+            "fig7" => {
+                let f = fig07::run(p);
+                emit(&args, "fig07", f.render(), f.shape_checks(), &f);
+            }
+            "fig8" => {
+                let f = fig08::run(p);
+                emit(&args, "fig08", f.render(), f.shape_checks(), &f);
+            }
+            "fig9" => {
+                let f = fig09::run(p);
+                emit(&args, "fig09", f.render(), f.shape_checks(), &f);
+            }
+            "fig10" => {
+                let f = fig10::run(p);
+                emit(&args, "fig10", f.render(), f.shape_checks(), &f);
+            }
+            "fig11" => {
+                let f = fig11::run(p);
+                emit(&args, "fig11", f.render(), f.shape_checks(), &f);
+            }
+            "fig12" => {
+                let f = fig12::run(p);
+                emit(&args, "fig12", f.render(), f.shape_checks(), &f);
+            }
+            "timeline" => run_timeline(p),
+            "extensions" => {
+                let f = asman_report::extensions::run(p);
+                emit(&args, "extensions", f.render(), f.shape_checks(), &f);
+            }
+            other => eprintln!("unknown figure {other}"),
+        }
+        eprintln!("[{fig} took {:.1?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,153 @@
+//! Generic parameter sweep: benchmark × online rate × scheduler.
+//!
+//! ```text
+//! sweep [--bench LU,SP,...|all] [--rates 100,66.7,40,22.2]
+//!       [--scheds credit,asman,con] [--class s|w|a] [--seed N] [--csv]
+//! ```
+//!
+//! Prints one row per (benchmark, rate, scheduler) with run time,
+//! slowdown vs the 100% Credit baseline, spin waste and VCRD activity —
+//! the workhorse for exploring beyond the paper's fixed grid.
+
+use asman_report::{Sched, SingleVmScenario};
+use asman_workloads::{NasBenchmark, NasSpec, ProblemClass};
+
+struct Args {
+    benches: Vec<NasBenchmark>,
+    rates: Vec<(u32, f64)>,
+    scheds: Vec<Sched>,
+    class: ProblemClass,
+    seed: u64,
+    csv: bool,
+}
+
+fn weight_for(rate_pct: f64) -> u32 {
+    // Invert Equation 2 with V0 weight 256, |P| = 8, |C| = 4:
+    // rate = 2w/(w+256)  =>  w = 256*rate/(2-rate).
+    let rate = rate_pct / 100.0;
+    ((256.0 * rate / (2.0 - rate)).round() as u32).max(1)
+}
+
+fn parse() -> Args {
+    let mut benches = vec![NasBenchmark::LU];
+    let mut rates = vec![(256, 100.0), (128, 66.7), (64, 40.0), (32, 22.2)];
+    let mut scheds = vec![Sched::Credit, Sched::Asman];
+    let mut class = ProblemClass::S;
+    let mut seed = 42;
+    let mut csv = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => {
+                let v = it.next().expect("--bench LIST");
+                if v == "all" {
+                    benches = NasBenchmark::ALL.to_vec();
+                } else {
+                    benches = v
+                        .split(',')
+                        .map(|n| {
+                            NasBenchmark::ALL
+                                .into_iter()
+                                .find(|b| b.name().eq_ignore_ascii_case(n))
+                                .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+                        })
+                        .collect();
+                }
+            }
+            "--rates" => {
+                rates = it
+                    .next()
+                    .expect("--rates LIST")
+                    .split(',')
+                    .map(|r| {
+                        let pct: f64 = r.parse().expect("rate percent");
+                        (weight_for(pct), pct)
+                    })
+                    .collect();
+            }
+            "--scheds" => {
+                scheds = it
+                    .next()
+                    .expect("--scheds LIST")
+                    .split(',')
+                    .map(|s| match s {
+                        "credit" => Sched::Credit,
+                        "asman" => Sched::Asman,
+                        "con" => Sched::Con,
+                        other => panic!("unknown scheduler {other}"),
+                    })
+                    .collect();
+            }
+            "--class" => {
+                class = match it.next().as_deref() {
+                    Some("s") => ProblemClass::S,
+                    Some("w") => ProblemClass::W,
+                    Some("a") => ProblemClass::A,
+                    other => panic!("unknown class {other:?}"),
+                };
+            }
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--csv" => csv = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    Args {
+        benches,
+        rates,
+        scheds,
+        class,
+        seed,
+        csv,
+    }
+}
+
+fn main() {
+    let args = parse();
+    if args.csv {
+        println!("bench,rate_pct,sched,run_secs,slowdown,spin_secs,vcrd_raises,high_frac");
+    } else {
+        println!(
+            "{:<6} {:>7} {:<7} {:>9} {:>9} {:>9} {:>7} {:>6}",
+            "bench", "rate%", "sched", "run(s)", "slowdown", "spin(s)", "raises", "high%"
+        );
+    }
+    for bench in &args.benches {
+        // Baseline: Credit at 100%.
+        let base = SingleVmScenario::new(Sched::Credit, 256, args.seed).run(Box::new(
+            NasSpec::new(*bench, args.class, 4).build(args.seed ^ 7),
+        ));
+        for &(w, pct) in &args.rates {
+            for &sched in &args.scheds {
+                let out = SingleVmScenario::new(sched, w, args.seed).run(Box::new(
+                    NasSpec::new(*bench, args.class, 4).build(args.seed ^ 7),
+                ));
+                let spin = out.spin_kernel_secs + out.spin_pipeline_secs + out.spin_barrier_secs;
+                if args.csv {
+                    println!(
+                        "{},{},{},{:.3},{:.3},{:.3},{},{:.3}",
+                        bench.name(),
+                        pct,
+                        sched.label(),
+                        out.run_secs,
+                        out.run_secs / base.run_secs,
+                        spin,
+                        out.vcrd_raises,
+                        out.vcrd_high_frac
+                    );
+                } else {
+                    println!(
+                        "{:<6} {:>7.1} {:<7} {:>9.1} {:>9.2} {:>9.2} {:>7} {:>6.1}",
+                        bench.name(),
+                        pct,
+                        sched.label(),
+                        out.run_secs,
+                        out.run_secs / base.run_secs,
+                        spin,
+                        out.vcrd_raises,
+                        out.vcrd_high_frac * 100.0
+                    );
+                }
+            }
+        }
+    }
+}

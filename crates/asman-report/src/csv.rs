@@ -1,0 +1,144 @@
+//! Plotting-ready CSV export of the figure series.
+//!
+//! The JSON artifacts carry everything; these flat CSV views are what a
+//! gnuplot/matplotlib script actually wants — one row per point.
+
+use std::fmt::Write as _;
+
+use crate::figures::fig11::Combination;
+use crate::figures::{fig01::Fig01, fig02::Scatter, fig07::Fig07, fig09::Fig09, fig10::Fig10};
+use crate::multivm::MultiVmRow;
+
+/// Escape a CSV field (quotes fields containing separators).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Figure 1 rows: `rate_pct,run_secs,window_locks,over_2_10,over_2_20`.
+pub fn fig01_csv(f: &Fig01) -> String {
+    let mut out = String::from("rate_pct,run_secs,window_locks,over_2_10,over_2_20\n");
+    for r in &f.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.rate_pct, r.run_secs, r.window_locks, r.over_2_10, r.over_2_20
+        );
+    }
+    out
+}
+
+/// Scatter panels: `rate_pct,index,wait_cycles` (Figures 2 and 8).
+pub fn scatter_csv(s: &Scatter) -> String {
+    let mut out = String::from("rate_pct,index,wait_cycles\n");
+    for p in &s.panels {
+        for (i, w) in p.waits.iter().enumerate() {
+            let _ = writeln!(out, "{},{},{}", p.rate_pct, i, w);
+        }
+    }
+    out
+}
+
+/// Figure 7 rows: `rate_pct,credit_secs,asman_secs,vcrd_raises,high_frac`.
+pub fn fig07_csv(f: &Fig07) -> String {
+    let mut out = String::from("rate_pct,credit_secs,asman_secs,vcrd_raises,high_frac\n");
+    for r in &f.rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.rate_pct, r.credit_secs, r.asman_secs, r.vcrd_raises, r.vcrd_high_frac
+        );
+    }
+    out
+}
+
+/// Figure 9 cells: `bench,rate_pct,credit_slowdown,asman_slowdown`.
+pub fn fig09_csv(f: &Fig09) -> String {
+    let mut out = String::from("bench,rate_pct,credit_slowdown,asman_slowdown\n");
+    for c in &f.cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            field(c.bench),
+            c.rate_pct,
+            c.credit,
+            c.asman
+        );
+    }
+    out
+}
+
+/// Figure 10 points: `rate_pct,warehouses,sched,bops`.
+pub fn fig10_csv(f: &Fig10) -> String {
+    let mut out = String::from("rate_pct,warehouses,sched,bops\n");
+    for p in &f.panels {
+        for pt in &p.credit {
+            let _ = writeln!(out, "{},{},Credit,{}", p.rate_pct, pt.warehouses, pt.bops);
+        }
+        for pt in &p.asman {
+            let _ = writeln!(out, "{},{},ASMan,{}", p.rate_pct, pt.warehouses, pt.bops);
+        }
+    }
+    out
+}
+
+/// Multi-VM combination: `combination,vm,workload,sched,mean_round_secs,cov`.
+pub fn combination_csv(c: &Combination) -> String {
+    let mut out = String::from("combination,vm,workload,sched,mean_round_secs,cov\n");
+    let mut push = |rows: &[MultiVmRow], sched: &str| {
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                field(&c.label),
+                r.vm,
+                field(&r.workload),
+                sched,
+                r.mean_round_secs,
+                r.cov
+            );
+        }
+    };
+    push(&c.credit, "Credit");
+    push(&c.asman, "ASMan");
+    push(&c.con, "CON");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig01::Fig01Row;
+
+    #[test]
+    fn fig01_roundtrip_shape() {
+        let f = Fig01 {
+            rows: vec![Fig01Row {
+                rate_pct: 22.2,
+                run_secs: 376.2,
+                window_locks: 100,
+                over_2_10: 10,
+                over_2_20: 3,
+            }],
+            window_secs: 30,
+        };
+        let csv = fig01_csv(&f);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "rate_pct,run_secs,window_locks,over_2_10,over_2_20"
+        );
+        assert_eq!(lines.next().unwrap(), "22.2,376.2,100,10,3");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn field_escaping() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+    }
+}

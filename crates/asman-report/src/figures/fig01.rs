@@ -1,0 +1,151 @@
+//! Figure 1: LU on a 4-VCPU VM under the Credit scheduler.
+//!
+//! (a) run time vs VCPU online rate {100, 66.7, 40, 22.2}%;
+//! (b) counts of spinlocks with waits > 2^10 and > 2^20 cycles during a
+//! fixed observation window while LU runs.
+
+use asman_sim::Clock;
+use asman_workloads::{NasBenchmark, NasSpec};
+use serde::Serialize;
+
+use crate::figures::{FigureParams, ShapeCheck};
+use crate::scenario::{Sched, SingleVmScenario, WEIGHT_RATES};
+use crate::window::WaitWindow;
+
+/// One online-rate point of Figure 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig01Row {
+    /// Configured VCPU online rate, percent.
+    pub rate_pct: f64,
+    /// LU run time, simulated seconds (Figure 1(a)).
+    pub run_secs: f64,
+    /// Windowed waits > 2^10 (Figure 1(b), light bars).
+    pub over_2_10: u64,
+    /// Windowed waits > 2^20 (Figure 1(b), dark bars).
+    pub over_2_20: u64,
+    /// Spinlock acquisitions in the window.
+    pub window_locks: u64,
+}
+
+/// Complete Figure 1 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig01 {
+    /// One row per online rate.
+    pub rows: Vec<Fig01Row>,
+    /// Observation window length, simulated seconds.
+    pub window_secs: u64,
+}
+
+/// Run Figure 1.
+pub fn run(params: &FigureParams) -> Fig01 {
+    let clk = Clock::default();
+    // The paper observes 30 s; we scale the window with the problem
+    // class so it always sits inside the run.
+    let window_secs = match params.class {
+        asman_workloads::ProblemClass::S => 2,
+        asman_workloads::ProblemClass::W => 10,
+        asman_workloads::ProblemClass::A => 30,
+    };
+    let rows = WEIGHT_RATES
+        .iter()
+        .map(|&(w, pct)| {
+            let sc = SingleVmScenario::new(Sched::Credit, w, params.seed);
+            // Run-time measurement.
+            let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+            let out = sc.run(Box::new(lu));
+            // Windowed wait measurement on a fresh machine.
+            let lu2 = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+            let mut m = sc.build(Box::new(lu2));
+            let win = WaitWindow::collect(&mut m, 1, clk.ms(500), clk.secs(window_secs));
+            Fig01Row {
+                rate_pct: pct,
+                run_secs: out.run_secs,
+                over_2_10: win.over_2_10,
+                over_2_20: win.over_2_20,
+                window_locks: win.locks,
+            }
+        })
+        .collect();
+    Fig01 { rows, window_secs }
+}
+
+impl Fig01 {
+    /// Text table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "Figure 1 — LU under Credit: run time and spinlock waits vs online rate\n",
+        );
+        s.push_str(&format!(
+            "{:>8} {:>12} {:>14} {:>12} {:>12}\n",
+            "rate%", "run time(s)", "window locks", ">2^10", ">2^20"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:>8.1} {:>12.1} {:>14} {:>12} {:>12}\n",
+                r.rate_pct, r.run_secs, r.window_locks, r.over_2_10, r.over_2_20
+            ));
+        }
+        s
+    }
+
+    /// The paper's qualitative claims about Figure 1.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let r = &self.rows;
+        let run = |i: usize| r[i].run_secs;
+        vec![
+            ShapeCheck::new(
+                "run time increases monotonically as the online rate decreases",
+                run(0) < run(1) && run(1) < run(2) && run(2) < run(3),
+                format!(
+                    "{:.1}s -> {:.1}s -> {:.1}s -> {:.1}s",
+                    run(0),
+                    run(1),
+                    run(2),
+                    run(3)
+                ),
+            ),
+            ShapeCheck::new(
+                "degradation is super-proportional: slowdown at 22.2% exceeds the ideal 4.5x",
+                run(3) / run(0) > 4.5,
+                format!("slowdown {:.2}x vs ideal 4.5x", run(3) / run(0)),
+            ),
+            ShapeCheck::new(
+                "over-threshold (> 2^20) waits appear at reduced rates but not at 100%",
+                r[0].over_2_20 <= r[1].over_2_20.max(1)
+                    && r[3].over_2_20 > r[0].over_2_20
+                    && r[3].over_2_20 > 0,
+                format!(
+                    ">2^20 counts: {} / {} / {} / {}",
+                    r[0].over_2_20, r[1].over_2_20, r[2].over_2_20, r[3].over_2_20
+                ),
+            ),
+            ShapeCheck::new(
+                "window lock count shrinks as the online rate decreases (less work per window)",
+                r[3].window_locks < r[0].window_locks,
+                format!(
+                    "locks/window: {} at 100% vs {} at 22.2%",
+                    r[0].window_locks, r[3].window_locks
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_smoke() {
+        let fig = run(&FigureParams {
+            class: asman_workloads::ProblemClass::S,
+            seed: 1,
+            rounds: 2,
+        });
+        assert_eq!(fig.rows.len(), 4);
+        assert!(fig.rows.iter().all(|r| r.run_secs > 0.0));
+        // Monotone degradation must hold even at the smallest class.
+        assert!(fig.rows[3].run_secs > fig.rows[0].run_secs);
+        assert!(!fig.render().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 7: LU run time in VM V1 — Credit vs ASMan across online rates.
+
+use asman_workloads::{NasBenchmark, NasSpec};
+use serde::Serialize;
+
+use crate::figures::{FigureParams, ShapeCheck};
+use crate::scenario::{Sched, SingleVmScenario, WEIGHT_RATES};
+
+/// One online-rate point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig07Row {
+    /// Configured online rate, percent.
+    pub rate_pct: f64,
+    /// Run time under the Credit scheduler, simulated seconds.
+    pub credit_secs: f64,
+    /// Run time under ASMan, simulated seconds.
+    pub asman_secs: f64,
+    /// VCRD raises observed in the ASMan run.
+    pub vcrd_raises: u64,
+    /// Fraction of the ASMan run spent with VCRD HIGH.
+    pub vcrd_high_frac: f64,
+}
+
+/// Complete Figure 7 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig07 {
+    /// One row per online rate.
+    pub rows: Vec<Fig07Row>,
+}
+
+/// Run Figure 7.
+pub fn run(params: &FigureParams) -> Fig07 {
+    let rows = WEIGHT_RATES
+        .iter()
+        .map(|&(w, pct)| {
+            let mk = || NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+            let credit = SingleVmScenario::new(Sched::Credit, w, params.seed).run(Box::new(mk()));
+            let asman = SingleVmScenario::new(Sched::Asman, w, params.seed).run(Box::new(mk()));
+            Fig07Row {
+                rate_pct: pct,
+                credit_secs: credit.run_secs,
+                asman_secs: asman.run_secs,
+                vcrd_raises: asman.vcrd_raises,
+                vcrd_high_frac: asman.vcrd_high_frac,
+            }
+        })
+        .collect();
+    Fig07 { rows }
+}
+
+impl Fig07 {
+    /// Text table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 7 — LU run time in V1: Credit vs ASMan vs online rate\n");
+        s.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>10} {:>8} {:>8}\n",
+            "rate%", "Credit(s)", "ASMan(s)", "saving%", "raises", "high%"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:>8.1} {:>12.1} {:>12.1} {:>10.1} {:>8} {:>8.1}\n",
+                r.rate_pct,
+                r.credit_secs,
+                r.asman_secs,
+                (1.0 - r.asman_secs / r.credit_secs) * 100.0,
+                r.vcrd_raises,
+                r.vcrd_high_frac * 100.0
+            ));
+        }
+        s
+    }
+
+    /// The paper's qualitative claims about Figure 7.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let r = &self.rows;
+        let ideal = |pct: f64| r[0].credit_secs / (pct / 100.0);
+        // Excess over the ideal rate-scaled run time.
+        let excess = |t: f64, pct: f64| (t - ideal(pct)).max(0.0);
+        let recovered = {
+            let (c, a) = (r[3].credit_secs, r[3].asman_secs);
+            let e = excess(c, 22.2);
+            if e > 0.0 {
+                (c - a) / e
+            } else {
+                0.0
+            }
+        };
+        vec![
+            ShapeCheck::new(
+                "at 100% online rate the two schedulers perform alike (within 3%)",
+                (r[0].asman_secs / r[0].credit_secs - 1.0).abs() < 0.03,
+                format!(
+                    "Credit {:.2}s vs ASMan {:.2}s",
+                    r[0].credit_secs, r[0].asman_secs
+                ),
+            ),
+            ShapeCheck::new(
+                "ASMan beats Credit at every reduced online rate",
+                r[1..].iter().all(|x| x.asman_secs < x.credit_secs),
+                r[1..]
+                    .iter()
+                    .map(|x| {
+                        format!(
+                            "{:.0}%: {:.1} vs {:.1}",
+                            x.rate_pct, x.credit_secs, x.asman_secs
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            ShapeCheck::new(
+                "ASMan recovers a large share of Credit's excess over the ideal at 22.2%",
+                recovered > 0.25,
+                format!("{:.0}% of the excess recovered", recovered * 100.0),
+            ),
+            ShapeCheck::new(
+                "the VCRD is HIGH for a substantial fraction at reduced rates, and ~never at 100%",
+                r[0].vcrd_high_frac < 0.05 && r[1..].iter().all(|x| x.vcrd_high_frac > 0.10),
+                format!(
+                    "high fraction: {:.2} (100%) / {:.2} / {:.2} / {:.2}",
+                    r[0].vcrd_high_frac,
+                    r[1].vcrd_high_frac,
+                    r[2].vcrd_high_frac,
+                    r[3].vcrd_high_frac
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_smoke() {
+        let fig = run(&FigureParams {
+            class: asman_workloads::ProblemClass::S,
+            seed: 1,
+            rounds: 2,
+        });
+        assert_eq!(fig.rows.len(), 4);
+        // Both schedulers complete at all rates.
+        assert!(fig
+            .rows
+            .iter()
+            .all(|r| r.credit_secs > 0.0 && r.asman_secs > 0.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 9: slowdowns of all seven NAS benchmarks at 66.7/40/22.2%
+//! online rates under Credit and ASMan, plus the per-rate averages.
+//!
+//! The slowdown of a run is its run time divided by the run time of the
+//! same benchmark under Credit at a 100% online rate.
+
+use asman_workloads::{NasBenchmark, NasSpec};
+use serde::Serialize;
+
+use crate::figures::{FigureParams, ShapeCheck};
+use crate::scenario::{Sched, SingleVmScenario};
+
+/// Slowdown of one benchmark at one rate under both schedulers.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig09Cell {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Online rate, percent.
+    pub rate_pct: f64,
+    /// Credit slowdown.
+    pub credit: f64,
+    /// ASMan slowdown.
+    pub asman: f64,
+}
+
+/// Complete Figure 9 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig09 {
+    /// Baseline (Credit @ 100%) run times per benchmark, seconds.
+    pub baseline_secs: Vec<(&'static str, f64)>,
+    /// All cells (7 benchmarks × 3 rates).
+    pub cells: Vec<Fig09Cell>,
+}
+
+const RATES: [(u32, f64); 3] = [(128, 66.7), (64, 40.0), (32, 22.2)];
+
+/// Run Figure 9.
+pub fn run(params: &FigureParams) -> Fig09 {
+    let mut baseline_secs = Vec::new();
+    let mut cells = Vec::new();
+    for bench in NasBenchmark::ALL {
+        let mk = |seed: u64| NasSpec::new(bench, params.class, 4).build(seed);
+        let base = SingleVmScenario::new(Sched::Credit, 256, params.seed)
+            .run(Box::new(mk(params.seed ^ 7)));
+        baseline_secs.push((bench.name(), base.run_secs));
+        for (w, pct) in RATES {
+            let credit = SingleVmScenario::new(Sched::Credit, w, params.seed)
+                .run(Box::new(mk(params.seed ^ 7)));
+            let asman = SingleVmScenario::new(Sched::Asman, w, params.seed)
+                .run(Box::new(mk(params.seed ^ 7)));
+            cells.push(Fig09Cell {
+                bench: bench.name(),
+                rate_pct: pct,
+                credit: credit.run_secs / base.run_secs,
+                asman: asman.run_secs / base.run_secs,
+            });
+        }
+    }
+    Fig09 {
+        baseline_secs,
+        cells,
+    }
+}
+
+impl Fig09 {
+    /// Cells at one rate.
+    pub fn at_rate(&self, pct: f64) -> Vec<&Fig09Cell> {
+        self.cells
+            .iter()
+            .filter(|c| (c.rate_pct - pct).abs() < 0.1)
+            .collect()
+    }
+
+    /// Figure 9(d): average slowdown over all benchmarks per rate.
+    pub fn averages(&self) -> Vec<(f64, f64, f64)> {
+        RATES
+            .iter()
+            .map(|&(_, pct)| {
+                let cells = self.at_rate(pct);
+                let n = cells.len() as f64;
+                let c = cells.iter().map(|x| x.credit).sum::<f64>() / n;
+                let a = cells.iter().map(|x| x.asman).sum::<f64>() / n;
+                (pct, c, a)
+            })
+            .collect()
+    }
+
+    /// Text tables in the paper's layout (panels (a)-(c) and (d)).
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 9 — NAS slowdowns (vs Credit @ 100%)\n");
+        for (_, pct) in RATES {
+            s.push_str(&format!("  online rate {pct}%:\n"));
+            s.push_str(&format!(
+                "  {:>6} {:>10} {:>10} {:>10}\n",
+                "bench", "Credit", "ASMan", "saving%"
+            ));
+            for c in self.at_rate(pct) {
+                s.push_str(&format!(
+                    "  {:>6} {:>10.2} {:>10.2} {:>10.1}\n",
+                    c.bench,
+                    c.credit,
+                    c.asman,
+                    (1.0 - c.asman / c.credit) * 100.0
+                ));
+            }
+        }
+        s.push_str("  (d) average slowdown:\n");
+        for (pct, c, a) in self.averages() {
+            s.push_str(&format!(
+                "  {:>6.1}% Credit {:.2} ASMan {:.2} (excess saved {:.0}%)\n",
+                pct,
+                c,
+                a,
+                if c > 100.0 / pct {
+                    (c - a) / (c - 100.0 / pct) * 100.0
+                } else {
+                    0.0
+                }
+            ));
+        }
+        s
+    }
+
+    /// The paper's qualitative claims about Figure 9.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let avg = self.averages();
+        let cell = |bench: &str, pct: f64| {
+            self.cells
+                .iter()
+                .find(|c| c.bench == bench && (c.rate_pct - pct).abs() < 0.1)
+                .expect("cell")
+        };
+        let lu = cell("LU", 22.2);
+        let ep = cell("EP", 22.2);
+        let wins = self
+            .cells
+            .iter()
+            .filter(|c| c.asman <= c.credit * 1.02)
+            .count();
+        vec![
+            ShapeCheck::new(
+                "ASMan outperforms (or matches) Credit across benchmarks and rates",
+                wins * 10 >= self.cells.len() * 9,
+                format!("{} of {} cells within/below Credit", wins, self.cells.len()),
+            ),
+            ShapeCheck::new(
+                "average ASMan slowdown is lower than Credit at every reduced rate",
+                avg.iter().all(|&(_, c, a)| a < c),
+                avg.iter()
+                    .map(|(p, c, a)| format!("{p}%: {c:.2} vs {a:.2}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            ShapeCheck::new(
+                "LU is the most scheduler-sensitive benchmark at 22.2% under Credit",
+                self.at_rate(22.2)
+                    .iter()
+                    .all(|c| c.bench == "LU" || c.credit <= lu.credit),
+                format!("LU Credit slowdown {:.2}", lu.credit),
+            ),
+            ShapeCheck::new(
+                "EP (no synchronization) stays near the ideal 4.5x at 22.2% under both schedulers",
+                ep.credit < 5.5 && ep.asman < 5.5,
+                format!("EP: Credit {:.2}, ASMan {:.2}", ep.credit, ep.asman),
+            ),
+            ShapeCheck::new(
+                "ASMan saves a substantial share of the average excess slowdown at 22.2%",
+                {
+                    let (_, c, a) = avg[2];
+                    c > 4.5 && (c - a) / (c - 4.5) > 0.2
+                },
+                format!(
+                    "avg at 22.2%: Credit {:.2}, ASMan {:.2}",
+                    avg[2].1, avg[2].2
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_smoke_subset() {
+        // Full fig09 at class S is still 7×7 runs; keep the smoke test on
+        // the shape plumbing only.
+        let fig = run(&FigureParams {
+            class: asman_workloads::ProblemClass::S,
+            seed: 1,
+            rounds: 2,
+        });
+        assert_eq!(fig.cells.len(), 21);
+        assert_eq!(fig.baseline_secs.len(), 7);
+        assert_eq!(fig.averages().len(), 3);
+        assert!(!fig.render().is_empty());
+    }
+}

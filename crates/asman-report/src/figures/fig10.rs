@@ -1,0 +1,138 @@
+//! Figure 10: SPECjbb2005 throughput in V1 for 1..=8 warehouses at
+//! 66.7/40/22.2% online rates under Credit and ASMan, plus the SPECjbb
+//! score (panel (d)).
+
+use serde::Serialize;
+
+use crate::figures::{FigureParams, ShapeCheck};
+use crate::jbb::{JbbPoint, JbbScenario};
+use crate::scenario::Sched;
+
+/// One rate panel: throughput curves for both schedulers.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Panel {
+    /// Online rate, percent.
+    pub rate_pct: f64,
+    /// Credit throughput per warehouse count.
+    pub credit: Vec<JbbPoint>,
+    /// ASMan throughput per warehouse count.
+    pub asman: Vec<JbbPoint>,
+}
+
+/// Complete Figure 10 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10 {
+    /// Panels (a)-(c).
+    pub panels: Vec<Fig10Panel>,
+}
+
+const RATES: [(u32, f64); 3] = [(128, 66.7), (64, 40.0), (32, 22.2)];
+
+/// Run Figure 10.
+pub fn run(params: &FigureParams) -> Fig10 {
+    let max_w = 8;
+    let panels = RATES
+        .iter()
+        .map(|&(w, pct)| Fig10Panel {
+            rate_pct: pct,
+            credit: JbbScenario::new(Sched::Credit, w, params.seed).sweep(max_w),
+            asman: JbbScenario::new(Sched::Asman, w, params.seed).sweep(max_w),
+        })
+        .collect();
+    Fig10 { panels }
+}
+
+impl Fig10 {
+    /// Panel (d): SPECjbb scores per rate for both schedulers.
+    pub fn scores(&self) -> Vec<(f64, f64, f64)> {
+        self.panels
+            .iter()
+            .map(|p| {
+                (
+                    p.rate_pct,
+                    JbbScenario::score(&p.credit),
+                    JbbScenario::score(&p.asman),
+                )
+            })
+            .collect()
+    }
+
+    /// Text tables in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 10 — SPECjbb throughput (bops) vs warehouses\n");
+        for p in &self.panels {
+            s.push_str(&format!("  online rate {}%:\n", p.rate_pct));
+            s.push_str(&format!("  {:>4} {:>12} {:>12}\n", "w", "Credit", "ASMan"));
+            for i in 0..p.credit.len() {
+                s.push_str(&format!(
+                    "  {:>4} {:>12.0} {:>12.0}\n",
+                    p.credit[i].warehouses, p.credit[i].bops, p.asman[i].bops
+                ));
+            }
+        }
+        s.push_str("  (d) SPECjbb score:\n");
+        for (pct, c, a) in self.scores() {
+            s.push_str(&format!(
+                "  {:>6.1}% Credit {:>8.0} ASMan {:>8.0} (gain {:+.1}%)\n",
+                pct,
+                c,
+                a,
+                (a / c - 1.0) * 100.0
+            ));
+        }
+        s
+    }
+
+    /// The paper's qualitative claims about Figure 10.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let scores = self.scores();
+        let gain_low = scores.last().map(|&(_, c, a)| a / c - 1.0).unwrap_or(0.0);
+        let p66 = &self.panels[0];
+        let ramp = p66.credit[3].bops > p66.credit[0].bops * 2.0;
+        vec![
+            ShapeCheck::new(
+                "throughput ramps with warehouse count up to the VCPU count",
+                ramp,
+                format!(
+                    "66.7%: 1w {:.0} vs 4w {:.0} bops",
+                    p66.credit[0].bops, p66.credit[3].bops
+                ),
+            ),
+            ShapeCheck::new(
+                "ASMan's SPECjbb score beats Credit's at reduced online rates",
+                scores.iter().all(|&(_, c, a)| a > c * 0.99)
+                    && scores.iter().any(|&(_, c, a)| a > c),
+                scores
+                    .iter()
+                    .map(|(p, c, a)| format!("{p}%: {c:.0} vs {a:.0}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            ShapeCheck::new(
+                "the ASMan gain is largest at the lowest online rate (paper: up to ~26%)",
+                gain_low >= scores[0].2 / scores[0].1 - 1.0 && gain_low > 0.0,
+                format!("gain at 22.2%: {:+.1}%", gain_low * 100.0),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_follow_panels() {
+        // Use a tiny window to keep the smoke test fast: run only one
+        // panel worth of sweeps manually.
+        let sc = JbbScenario {
+            warmup_secs: 1,
+            window_secs: 3,
+            ..JbbScenario::new(Sched::Credit, 64, 3)
+        };
+        let pts = sc.sweep(5);
+        assert_eq!(pts.len(), 5);
+        let score = JbbScenario::score(&pts);
+        assert!(score > 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 12: six VMs running simultaneously under Credit, ASMan, CON.
+//!
+//! (a) bzip2, bzip2, gcc, gcc, SP, LU;
+//! (b) bzip2, gcc, SP, SP, LU, LU.
+
+use serde::Serialize;
+
+use crate::figures::fig11::Combination;
+use crate::figures::{FigureParams, ShapeCheck};
+
+/// Complete Figure 12 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig12 {
+    /// Panel (a): four throughput + two concurrent VMs.
+    pub throughput_heavy: Combination,
+    /// Panel (b): two throughput + four concurrent VMs.
+    pub concurrent_heavy: Combination,
+}
+
+/// Run Figure 12.
+pub fn run(params: &FigureParams) -> Fig12 {
+    Fig12 {
+        throughput_heavy: Combination::run("12(a) bzip2x2/gccx2/SP/LU", 3, params),
+        concurrent_heavy: Combination::run("12(b) bzip2/gcc/SPx2/LUx2", 4, params),
+    }
+}
+
+impl Fig12 {
+    /// Text tables.
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 12 — six VMs running simultaneously\n{}{}",
+            self.throughput_heavy.render(),
+            self.concurrent_heavy.render()
+        )
+    }
+
+    /// Shape checks, including the §5.3 summary claims.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut v = self.throughput_heavy.shape_checks();
+        v.extend(self.concurrent_heavy.shape_checks());
+        // §5.3: coscheduling saves a large share of LU's run time in the
+        // six-VM combinations.
+        let lu_saving = |c: &Combination| {
+            let idx = c
+                .credit
+                .iter()
+                .position(|r| r.workload == "LU")
+                .expect("LU present");
+            1.0 - c.asman[idx].mean_round_secs / c.credit[idx].mean_round_secs
+        };
+        let s_a = lu_saving(&self.throughput_heavy);
+        let s_b = lu_saving(&self.concurrent_heavy);
+        v.push(ShapeCheck::new(
+            "12: coscheduling saves a substantial share of LU's run time in both combinations",
+            s_a > 0.05 && s_b > 0.05,
+            format!(
+                "LU savings: 12(a) {:.0}%, 12(b) {:.0}%",
+                s_a * 100.0,
+                s_b * 100.0
+            ),
+        ));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asman_workloads::ProblemClass;
+
+    #[test]
+    fn six_vm_combo_smoke() {
+        let params = FigureParams {
+            class: ProblemClass::S,
+            seed: 3,
+            rounds: 2,
+        };
+        let combo = Combination::run("test-6", 3, &params);
+        assert_eq!(combo.credit.len(), 6);
+        assert!(combo.credit.iter().any(|r| r.workload == "LU"));
+    }
+}

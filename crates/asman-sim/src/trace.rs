@@ -1,0 +1,138 @@
+//! Bounded trace recording.
+//!
+//! Figures 2 and 8 of the paper are scatter plots of individual spinlock
+//! waiting times over a fixed observation window. [`TraceBuffer`] records
+//! timestamped samples up to a configurable cap (so pathological runs
+//! cannot exhaust memory) while still counting everything it saw.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Cycles;
+
+/// A timestamped sample stream with a hard capacity limit.
+///
+/// Once `capacity` samples have been stored, further samples are counted
+/// (`total_seen` keeps increasing) but not retained; `dropped()` reports how
+/// many were discarded so analyses can detect truncation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceBuffer<T> {
+    samples: Vec<(Cycles, T)>,
+    capacity: usize,
+    total_seen: u64,
+    enabled: bool,
+}
+
+impl<T> TraceBuffer<T> {
+    /// A trace that retains at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            samples: Vec::new(),
+            capacity,
+            total_seen: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: records nothing, counts nothing. Useful as the
+    /// default when an experiment does not need scatter data.
+    pub fn disabled() -> Self {
+        TraceBuffer {
+            samples: Vec::new(),
+            capacity: 0,
+            total_seen: 0,
+            enabled: false,
+        }
+    }
+
+    /// Enable or disable recording (e.g. to restrict the capture to the
+    /// paper's 30-second observation window).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a sample at time `t`.
+    pub fn record(&mut self, t: Cycles, sample: T) {
+        if !self.enabled {
+            return;
+        }
+        self.total_seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push((t, sample));
+        }
+    }
+
+    /// Retained samples in record order.
+    pub fn samples(&self) -> &[(Cycles, T)] {
+        &self.samples
+    }
+
+    /// Total samples offered while enabled (retained + dropped).
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Samples that were offered but not retained due to the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.total_seen - self.samples.len() as u64
+    }
+
+    /// Discard retained samples and reset counters (capacity and enablement
+    /// are preserved).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.total_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_counts() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.record(Cycles(i), i * 10);
+        }
+        assert_eq!(t.samples().len(), 3);
+        assert_eq!(t.total_seen(), 5);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.samples()[2], (Cycles(2), 20));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        t.record(Cycles(1), 1);
+        assert_eq!(t.total_seen(), 0);
+        assert!(t.samples().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn toggling_enablement_gates_recording() {
+        let mut t = TraceBuffer::new(10);
+        t.set_enabled(false);
+        t.record(Cycles(1), 'a');
+        t.set_enabled(true);
+        t.record(Cycles(2), 'b');
+        assert_eq!(t.total_seen(), 1);
+        assert_eq!(t.samples(), &[(Cycles(2), 'b')]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut t = TraceBuffer::new(1);
+        t.record(Cycles(1), ());
+        t.record(Cycles(2), ());
+        t.clear();
+        assert_eq!(t.total_seen(), 0);
+        t.record(Cycles(3), ());
+        assert_eq!(t.samples().len(), 1);
+    }
+}

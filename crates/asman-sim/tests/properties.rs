@@ -1,0 +1,96 @@
+//! Property-based tests for the simulation substrate.
+
+use asman_sim::{Cycles, EventQueue, Log2Histogram, OnlineStats, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping must yield events sorted by time, FIFO within equal times.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycles(t), i);
+        }
+        let mut prev: Option<(Cycles, u64)> = None;
+        while let Some((t, seq, _)) = q.pop() {
+            if let Some((pt, pseq)) = prev {
+                prop_assert!(t > pt || (t == pt && seq > pseq),
+                    "order violated: ({t:?},{seq}) after ({pt:?},{pseq})");
+            }
+            prev = Some((t, seq));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Histogram bucket totals must equal the number of recorded samples,
+    /// and the >= 2^k cumulative counts must be monotone non-increasing.
+    #[test]
+    fn histogram_counts_consistent(values in proptest::collection::vec(0u64..u64::MAX, 0..300)) {
+        let mut h = Log2Histogram::new();
+        for &v in &values {
+            h.record(Cycles(v));
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let zeros = values.iter().filter(|&&v| v == 0).count() as u64;
+        let bucketed: u64 = (0..64).map(|b| h.bucket(b)).sum();
+        prop_assert_eq!(bucketed + zeros, h.count());
+        for k in 1..64u32 {
+            prop_assert!(h.count_at_least_pow2(k) <= h.count_at_least_pow2(k - 1));
+        }
+        // Cross-check one cumulative count against a direct scan.
+        let direct = values.iter().filter(|&&v| v >= (1 << 20)).count() as u64;
+        prop_assert_eq!(h.count_at_least_pow2(20), direct);
+    }
+
+    /// `below(n)` is always < n, for any seed and bound.
+    #[test]
+    fn rng_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// `range(lo, hi)` stays within its half-open interval.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = r.range(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+
+    /// Welford accumulation matches the naive two-pass mean/variance.
+    #[test]
+    fn online_stats_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    /// Identical seeds produce identical streams; forked children with the
+    /// same stream id from identically-seeded parents also agree.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut ca = a.fork(stream);
+        let mut cb = b.fork(stream);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic workload models for the ASMan reproduction.
+//!
+//! The paper evaluates three benchmark families on guest VMs:
+//!
+//! * **NAS Parallel Benchmarks 2.3** (OpenMP C, Class A) as concurrent
+//!   workloads — modelled in [`nas`] as phased iteration programs whose
+//!   *synchronization structure* (sync interval, barrier/critical-section
+//!   mix, load imbalance) matches each benchmark's published character.
+//! * **SPECjbb2005** as a contended-throughput probe — modelled in
+//!   [`specjbb`] as warehouse threads running transactions against a shared
+//!   lock.
+//! * **SPEC CPU2000 rate** (176.gcc, 256.bzip2) as synchronization-free
+//!   high-throughput workloads — modelled in [`speccpu`].
+//!
+//! A workload is a [`Program`]: a deterministic per-thread generator of
+//! [`Op`]s (compute bursts, kernel critical sections, barriers, sleeps,
+//! progress marks). The guest-kernel model executes the ops; the program
+//! never sees simulated time, which keeps workload logic independent of
+//! scheduling behaviour.
+//!
+//! Only the *shape* of the computation matters to a CPU scheduler, so
+//! compute content is opaque cycle counts. Nominal full-problem ("Class A")
+//! run times are scaled about 10× below the paper's wall-clock numbers so
+//! the complete evaluation suite simulates quickly; every ratio the paper
+//! reports (slowdowns, savings) is unit-free and survives the scaling.
+
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod nas;
+pub mod ops;
+pub mod phased;
+pub mod speccpu;
+pub mod specjbb;
+pub mod synthetic;
+
+pub use background::{BackgroundConfig, BackgroundService};
+pub use nas::{NasBenchmark, NasSpec, ProblemClass};
+pub use ops::{Mark, Op, Program};
+pub use phased::PhasedProgram;
+pub use speccpu::{SpecCpuKind, SpecCpuRate};
+pub use specjbb::{SpecJbb, SpecJbbConfig};
+pub use synthetic::ScriptProgram;

@@ -1,0 +1,168 @@
+//! Scripted workloads for tests and microbenchmarks.
+//!
+//! [`ScriptProgram`] replays a fixed per-thread op list — the workload
+//! equivalent of a unit-test fixture. The guest and hypervisor test suites
+//! use it to construct exact interleavings (e.g. "thread 0 holds lock 0
+//! while thread 1 contends").
+
+use crate::ops::{Op, Program};
+
+/// A workload defined by explicit per-thread op scripts.
+pub struct ScriptProgram {
+    name: String,
+    scripts: Vec<Vec<Op>>,
+    pos: Vec<usize>,
+    looping: bool,
+    kernel_locks: u32,
+    barriers: u32,
+    semaphores: u32,
+}
+
+impl ScriptProgram {
+    /// One script per thread; each thread's script is played once and then
+    /// the thread reports [`Op::Done`].
+    pub fn new(name: impl Into<String>, scripts: Vec<Vec<Op>>) -> Self {
+        assert!(!scripts.is_empty(), "need at least one thread");
+        let kernel_locks = scripts
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::CriticalSection { lock, .. } => Some(lock + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let barriers = scripts
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::Barrier { id } => Some(id + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let semaphores = scripts
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::SemWait { id } | Op::SemPost { id } => Some(id + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let pos = vec![0; scripts.len()];
+        ScriptProgram {
+            name: name.into(),
+            scripts,
+            pos,
+            looping: false,
+            kernel_locks,
+            barriers,
+            semaphores,
+        }
+    }
+
+    /// Make the scripts repeat forever instead of finishing.
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+
+    /// Convenience: the same script replicated across `threads` threads.
+    pub fn homogeneous(name: impl Into<String>, threads: usize, script: Vec<Op>) -> Self {
+        ScriptProgram::new(name, vec![script; threads])
+    }
+}
+
+impl Program for ScriptProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn thread_count(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn next_op(&mut self, tid: usize) -> Op {
+        let script = &self.scripts[tid];
+        if self.pos[tid] >= script.len() {
+            if self.looping && !script.is_empty() {
+                self.pos[tid] = 0;
+            } else {
+                return Op::Done;
+            }
+        }
+        let op = script[self.pos[tid]];
+        self.pos[tid] += 1;
+        op
+    }
+
+    fn kernel_locks(&self) -> u32 {
+        self.kernel_locks
+    }
+
+    fn barriers(&self) -> u32 {
+        self.barriers
+    }
+
+    fn semaphores(&self) -> u32 {
+        self.semaphores
+    }
+
+    fn finite(&self) -> bool {
+        !self.looping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asman_sim::Cycles;
+
+    #[test]
+    fn plays_script_then_done() {
+        let mut p = ScriptProgram::new(
+            "s",
+            vec![vec![Op::Compute(Cycles(5)), Op::Barrier { id: 2 }]],
+        );
+        assert_eq!(p.next_op(0), Op::Compute(Cycles(5)));
+        assert_eq!(p.next_op(0), Op::Barrier { id: 2 });
+        assert_eq!(p.next_op(0), Op::Done);
+        assert_eq!(p.next_op(0), Op::Done);
+    }
+
+    #[test]
+    fn infers_resource_counts() {
+        let p = ScriptProgram::new(
+            "r",
+            vec![
+                vec![Op::CriticalSection {
+                    lock: 3,
+                    hold: Cycles(1),
+                }],
+                vec![Op::Barrier { id: 1 }],
+            ],
+        );
+        assert_eq!(p.kernel_locks(), 4);
+        assert_eq!(p.barriers(), 2);
+        assert_eq!(p.thread_count(), 2);
+    }
+
+    #[test]
+    fn looping_replays() {
+        let mut p = ScriptProgram::homogeneous("l", 1, vec![Op::Compute(Cycles(1))]).looping();
+        for _ in 0..10 {
+            assert_eq!(p.next_op(0), Op::Compute(Cycles(1)));
+        }
+        assert!(!p.finite());
+    }
+
+    #[test]
+    fn homogeneous_replicates() {
+        let mut p = ScriptProgram::homogeneous("h", 3, vec![Op::Sleep(Cycles(2))]);
+        for tid in 0..3 {
+            assert_eq!(p.next_op(tid), Op::Sleep(Cycles(2)));
+            assert_eq!(p.next_op(tid), Op::Done);
+        }
+    }
+}

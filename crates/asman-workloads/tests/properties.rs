@@ -1,0 +1,197 @@
+//! Property-based tests on workload generators: structural invariants
+//! that the guest kernel depends on for liveness.
+
+use asman_sim::Cycles;
+use asman_workloads::{
+    BackgroundConfig, BackgroundService, NasBenchmark, NasSpec, Op, PhasedProgram, ProblemClass,
+    Program, SpecCpuKind, SpecCpuRate, SpecJbb, SpecJbbConfig,
+};
+use proptest::prelude::*;
+
+/// Drain a finite thread's stream (bounded).
+fn drain(p: &mut dyn Program, tid: usize, cap: usize) -> Vec<Op> {
+    let mut out = Vec::new();
+    for _ in 0..cap {
+        let op = p.next_op(tid);
+        if op == Op::Done {
+            break;
+        }
+        out.push(op);
+    }
+    out
+}
+
+fn barrier_count(ops: &[Op]) -> usize {
+    ops.iter()
+        .filter(|o| matches!(o, Op::Barrier { .. }))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every NAS benchmark, at every class and seed: all threads emit the
+    /// same number of barriers (otherwise the guest deadlocks), ops stay
+    /// within declared resource bounds, and the stream terminates.
+    #[test]
+    fn nas_streams_are_deadlock_free_by_construction(
+        bench_idx in 0usize..7,
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+    ) {
+        let bench = NasBenchmark::ALL[bench_idx];
+        let spec = NasSpec::new(bench, ProblemClass::S, threads);
+        let mut p = spec.build(seed);
+        let streams: Vec<Vec<Op>> = (0..threads).map(|t| drain(&mut p, t, 2_000_000)).collect();
+        let b0 = barrier_count(&streams[0]);
+        for (t, s) in streams.iter().enumerate() {
+            prop_assert_eq!(
+                barrier_count(s), b0,
+                "thread {} barrier count mismatch for {}", t, bench.name()
+            );
+            for op in s {
+                match *op {
+                    Op::CriticalSection { lock, .. } => {
+                        prop_assert!(lock < p.kernel_locks());
+                    }
+                    Op::Barrier { id } => prop_assert!(id < p.barriers()),
+                    Op::WaitPeer { peer, target } => {
+                        prop_assert!((peer as usize) < threads);
+                        prop_assert!(target > 0);
+                    }
+                    Op::Compute(c) => prop_assert!(c > Cycles::ZERO),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Pipeline WaitPeer targets never regress by more than the slack
+    /// bound per (thread, peer) pair. (At a sweep-direction flip the same
+    /// peer switches from data-dependency to buffer-bound role, which may
+    /// lower the target by up to `pipeline_slack`; anything already
+    /// awaited above the new target is trivially satisfied, so liveness
+    /// holds.)
+    #[test]
+    fn pipeline_targets_never_regress_beyond_slack(seed in 0u64..10_000) {
+        let spec = NasSpec::new(NasBenchmark::LU, ProblemClass::S, 4);
+        let slack = spec.phased.pipeline_slack as u64;
+        let mut p = spec.build(seed);
+        for t in 0..4 {
+            let ops = drain(&mut p, t, 2_000_000);
+            let mut last: std::collections::HashMap<u32, u64> = Default::default();
+            for op in ops {
+                if let Op::WaitPeer { peer, target } = op {
+                    let prev = last.insert(peer, target).unwrap_or(0);
+                    prop_assert!(
+                        target + slack >= prev,
+                        "thread {t} target on peer {peer} regressed beyond slack: {prev} -> {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bounded-slack safety: no thread's wait target on its downstream
+    /// neighbour ever exceeds what that neighbour will have advanced by
+    /// the time it reaches the same chunk (the classic bounded-buffer
+    /// deadlock-freedom condition).
+    #[test]
+    fn pipeline_slack_waits_are_satisfiable(seed in 0u64..5_000) {
+        let spec = NasSpec::new(NasBenchmark::SP, ProblemClass::S, 4);
+        let mut p = spec.build(seed);
+        // Count each thread's total advances.
+        let advances: Vec<u64> = (0..4)
+            .map(|t| {
+                drain(&mut p, t, 2_000_000)
+                    .iter()
+                    .filter(|o| matches!(o, Op::Advance))
+                    .count() as u64
+            })
+            .collect();
+        // All threads advance the same number of times (same chunk grid),
+        // so every target <= total advances is eventually satisfied.
+        prop_assert!(advances.windows(2).all(|w| w[0] == w[1]));
+        let mut p = spec.build(seed);
+        for t in 0..4 {
+            for op in drain(&mut p, t, 2_000_000) {
+                if let Op::WaitPeer { target, .. } = op {
+                    prop_assert!(target <= advances[0]);
+                }
+            }
+        }
+    }
+
+    /// SPEC-rate rounds land within jitter of the nominal compute.
+    #[test]
+    fn spec_rate_round_totals_are_stable(seed in 0u64..10_000, kind_gcc in any::<bool>()) {
+        let kind = if kind_gcc { SpecCpuKind::Gcc } else { SpecCpuKind::Bzip2 };
+        let mut w = SpecCpuRate::new(kind, 1, seed);
+        let target = kind.round_compute().as_u64() as f64;
+        let mut compute = 0u64;
+        for _ in 0..200_000 {
+            match w.next_op(0) {
+                Op::Compute(c) => compute += c.as_u64(),
+                Op::CriticalSection { hold, .. } => compute += hold.as_u64(),
+                Op::Mark(asman_workloads::Mark::RoundEnd) => break,
+                _ => {}
+            }
+        }
+        let ratio = compute as f64 / target;
+        prop_assert!((0.90..=1.10).contains(&ratio), "round ratio {ratio}");
+    }
+
+    /// SPECjbb safepoints: every warehouse emits barriers in enter/exit
+    /// pairs, so the global barrier can never half-complete.
+    #[test]
+    fn specjbb_barriers_come_in_pairs(seed in 0u64..10_000, w in 1usize..6) {
+        let mut jbb = SpecJbb::new(
+            SpecJbbConfig { warehouses: w, ..SpecJbbConfig::default() },
+            seed,
+        );
+        for tid in 0..w {
+            let mut barriers = 0u64;
+            for _ in 0..5_000 {
+                if let Op::Barrier { .. } = jbb.next_op(tid) {
+                    barriers += 1;
+                }
+            }
+            // Trailing odd barrier is possible mid-safepoint; allow 1.
+            prop_assert!(barriers % 2 <= 1);
+            prop_assert!(barriers > 0, "safepoints must occur");
+        }
+    }
+
+    /// Background noise stays light for any seed: duty cycle in the
+    /// sub-10% band that a real dom0 exhibits.
+    #[test]
+    fn background_duty_cycle_is_light(seed in 0u64..10_000) {
+        let mut b = BackgroundService::new(BackgroundConfig::default(), 1, seed);
+        let (mut sleep, mut busy) = (0u64, 0u64);
+        for _ in 0..4_000 {
+            match b.next_op(0) {
+                Op::Sleep(c) => sleep += c.as_u64(),
+                Op::Compute(c) => busy += c.as_u64(),
+                Op::CriticalSection { hold, .. } => busy += hold.as_u64(),
+                _ => {}
+            }
+        }
+        let duty = busy as f64 / (busy + sleep) as f64;
+        prop_assert!(duty < 0.12, "duty {duty}");
+    }
+
+    /// Identical (spec, seed) pairs produce identical streams even when
+    /// threads are drained in different orders.
+    #[test]
+    fn phased_streams_are_order_independent(seed in 0u64..10_000) {
+        let spec = NasSpec::new(NasBenchmark::CG, ProblemClass::S, 3).phased;
+        let mut a = PhasedProgram::new(spec.clone(), seed);
+        let mut b = PhasedProgram::new(spec, seed);
+        let a2 = drain(&mut a, 2, 1_000_000);
+        let a0 = drain(&mut a, 0, 1_000_000);
+        let b0 = drain(&mut b, 0, 1_000_000);
+        let b2 = drain(&mut b, 2, 1_000_000);
+        prop_assert_eq!(a0, b0);
+        prop_assert_eq!(a2, b2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Watch the Roth–Erev estimator learn (Algorithms 1–2).
+//!
+//! Feeds the lasting-time estimator three synthetic locality regimes —
+//! short bursts, long episodes, then short bursts again — and prints the
+//! propensity vector after each phase, showing the under-/over-
+//! coscheduling feedback steering the estimate.
+//!
+//! ```text
+//! cargo run --release --example learning_trace
+//! ```
+
+use asman::core::{LastingTimeEstimator, LearningConfig, SyntheticLocalityProcess};
+use asman::prelude::*;
+use asman::sim::SimRng;
+
+fn feed(
+    est: &mut LastingTimeEstimator,
+    rng: &mut SimRng,
+    proc: &SyntheticLocalityProcess,
+    secs: u64,
+    label: &str,
+) {
+    let clk = Clock::default();
+    let events = proc.generate(rng, clk.secs(secs));
+    let mut last: Option<Cycles> = None;
+    let mut chosen = Cycles::ZERO;
+    for &t in &events {
+        let z = last.map(|p| t.saturating_sub(p));
+        last = Some(t);
+        chosen = est.adjust(z, rng);
+    }
+    println!("after {label} ({} adjusting events):", events.len());
+    println!("  estimate x = {:.1} ms", clk.to_ms(chosen));
+    print!("  propensities:");
+    for (v, q) in est.values().to_vec().iter().zip(est.propensities()) {
+        print!(" {:.0}ms:{:.2}", clk.to_ms(*v), q);
+    }
+    println!("\n");
+}
+
+fn main() {
+    let clk = Clock::default();
+    let mut est = LastingTimeEstimator::new(LearningConfig::default());
+    let mut rng = SimRng::new(2026);
+
+    println!("Roth–Erev lasting-time estimator, candidates 5..640 ms\n");
+
+    // Phase 1: tight bursts — over-threshold events cluster within a few
+    // milliseconds (deep misalignment): the under-coscheduling branch
+    // should push the estimate up.
+    let bursts = SyntheticLocalityProcess {
+        mean_lasting: clk.ms(60),
+        mean_gap: clk.ms(400),
+        intra_spacing: clk.ms(4),
+        jitter: 0.3,
+    };
+    feed(
+        &mut est,
+        &mut rng,
+        &bursts,
+        20,
+        "phase 1: dense 60 ms localities",
+    );
+
+    // Phase 2: sparse singleton events far apart — the over-coscheduling
+    // feedback (slack comparison + downward exploration trials) slowly
+    // shifts propensity toward shorter durations.
+    let sparse = SyntheticLocalityProcess {
+        mean_lasting: clk.ms(1),
+        mean_gap: clk.secs(1),
+        intra_spacing: clk.ms(1),
+        jitter: 0.3,
+    };
+    feed(
+        &mut est,
+        &mut rng,
+        &sparse,
+        180,
+        "phase 2: sparse singleton events",
+    );
+
+    // Phase 3: dense localities again — it must climb back.
+    feed(
+        &mut est,
+        &mut rng,
+        &bursts,
+        20,
+        "phase 3: dense localities return",
+    );
+
+    println!("Observation: the paper's updating rule ratchets the estimate UP");
+    println!("within a handful of dense-locality events, but the downward path");
+    println!("is slow — Algorithm 2 only reinforces larger candidates (under-");
+    println!("coscheduling) or the incumbent (slack growth); shorter durations");
+    println!("recover propensity only through this library's exploration trials");
+    println!("(LearningConfig::downward_share). In closed-loop operation this");
+    println!("asymmetry is benign: a long estimate costs at most one coscheduling");
+    println!("window per locality, and windows end early when the VCRD timer");
+    println!("finds no further over-threshold waits.");
+}

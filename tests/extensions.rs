@@ -1,0 +1,85 @@
+//! Extension policies: VMware-style relaxed coscheduling and the paper's
+//! future-work out-of-VM VCRD inference.
+
+use asman::hypervisor::{CoschedPolicy, Machine, MachineConfig};
+use asman::prelude::*;
+
+fn capped_lu(policy: CoschedPolicy, seed: u64) -> Machine {
+    let lu = NasSpec::new(NasBenchmark::LU, ProblemClass::S, 4).build(seed ^ 7);
+    let dom0 = BackgroundService::new(BackgroundConfig::default(), 8, seed ^ 0xD0);
+    let cfg = MachineConfig {
+        policy,
+        seed,
+        ..MachineConfig::default()
+    };
+    Machine::new(
+        cfg,
+        vec![
+            VmSpec::new("dom0", 8, Box::new(dom0)),
+            VmSpec::new("guest", 4, Box::new(lu))
+                .weight(32)
+                .cap(CapMode::NonWorkConserving)
+                .concurrent(),
+        ],
+    )
+}
+
+#[test]
+fn out_of_vm_inference_raises_vcrd_without_guest_help() {
+    let clk = Clock::default();
+    let mut m = capped_lu(CoschedPolicy::OutOfVm, 42);
+    m.run_to_completion(clk.secs(600));
+    // The guest runs a NullObserver (no Monitoring Module, no
+    // hypercalls), yet the VMM inferred synchronization trouble from
+    // sustained spinning.
+    assert!(
+        m.vm_accounting(1).vcrd_raises > 0,
+        "PLE-style detection must raise the VCRD"
+    );
+    assert!(m.vm_accounting(1).cosched_bursts > 0);
+}
+
+#[test]
+fn out_of_vm_recovers_part_of_the_excess() {
+    let clk = Clock::default();
+    let mut credit = capped_lu(CoschedPolicy::None, 42);
+    credit.run_to_completion(clk.secs(600));
+    let mut oov = capped_lu(CoschedPolicy::OutOfVm, 42);
+    oov.run_to_completion(clk.secs(600));
+    let t_credit = clk.to_secs(credit.vm_kernel(1).stats().finished_at.unwrap());
+    let t_oov = clk.to_secs(oov.vm_kernel(1).stats().finished_at.unwrap());
+    assert!(
+        t_oov < t_credit * 1.02,
+        "out-of-VM inference must not lose to Credit: {t_oov:.1} vs {t_credit:.1}"
+    );
+}
+
+#[test]
+fn relaxed_boosts_laggards_only() {
+    let clk = Clock::default();
+    let mut m = capped_lu(CoschedPolicy::Relaxed, 42);
+    m.run_until(clk.secs(10));
+    // Relaxed coscheduling fires skew-triggered boosts but never raises
+    // the VCRD (it has no notion of it).
+    assert!(
+        m.vm_accounting(1).cosched_bursts > 0,
+        "skew boosts expected"
+    );
+    assert_eq!(m.vm_accounting(1).vcrd_raises, 0);
+    assert_eq!(m.vm_vcrd(1), Vcrd::Low);
+}
+
+#[test]
+fn relaxed_does_not_regress_credit_badly() {
+    let clk = Clock::default();
+    let mut credit = capped_lu(CoschedPolicy::None, 42);
+    credit.run_to_completion(clk.secs(600));
+    let mut relaxed = capped_lu(CoschedPolicy::Relaxed, 42);
+    relaxed.run_to_completion(clk.secs(600));
+    let t_credit = clk.to_secs(credit.vm_kernel(1).stats().finished_at.unwrap());
+    let t_relaxed = clk.to_secs(relaxed.vm_kernel(1).stats().finished_at.unwrap());
+    assert!(
+        t_relaxed < t_credit * 1.10,
+        "relaxed must stay within 10% of Credit: {t_relaxed:.1} vs {t_credit:.1}"
+    );
+}

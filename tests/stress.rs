@@ -1,0 +1,142 @@
+//! Stress and failure-injection scenarios: malformed or adversarial
+//! workloads must degrade gracefully (horizon return), never panic or
+//! violate accounting.
+
+use asman::prelude::*;
+
+#[test]
+fn orphaned_barrier_hits_the_horizon_gracefully() {
+    // Thread 1 finishes immediately while thread 0 waits at a barrier
+    // that can never complete — a malformed program. The machine must
+    // simply run to the horizon (like a hung guest on real hardware).
+    let clk = Clock::default();
+    let p = ScriptProgram::new("broken", vec![vec![Op::Barrier { id: 0 }], vec![]]);
+    let mut m = SimulationBuilder::new()
+        .pcpus(2)
+        .seed(1)
+        .vm(VmSpec::new("broken", 2, Box::new(p)))
+        .build();
+    let done = m.run_to_completion(clk.ms(500));
+    assert!(!done, "a deadlocked guest cannot complete");
+    assert_eq!(m.now(), clk.ms(500), "simulation reaches the horizon");
+    // The stuck VM burned almost nothing (spin budget then futex block).
+    let online = m.vm_accounting(0).total_online();
+    assert!(clk.to_ms(online) < 50.0);
+}
+
+#[test]
+fn zero_weight_is_rejected_or_starved_safely() {
+    // Weight 1 (minimum meaningful): the VM still progresses, just slowly.
+    let clk = Clock::default();
+    let p = ScriptProgram::homogeneous("w", 1, vec![Op::Compute(clk.ms(1))]);
+    let mut m = SimulationBuilder::new()
+        .pcpus(2)
+        .seed(2)
+        .vm(VmSpec::new(
+            "heavy",
+            1,
+            Box::new(ScriptProgram::homogeneous("h", 1, vec![Op::Compute(clk.ms(1))]).looping()),
+        )
+        .weight(2560))
+        .vm(VmSpec::new("tiny", 1, Box::new(p)).weight(1))
+        .build();
+    assert!(m.run_to_completion(clk.secs(10)), "weight-1 VM must finish");
+}
+
+#[test]
+fn many_threads_per_vcpu_round_robin() {
+    // 8 threads on 2 VCPUs: the guest quantum must interleave them all.
+    let clk = Clock::default();
+    let p = ScriptProgram::homogeneous(
+        "crowd",
+        8,
+        vec![Op::Compute(clk.ms(3)), Op::Mark(Mark::RoundEnd)],
+    );
+    let mut m = SimulationBuilder::new()
+        .pcpus(2)
+        .seed(3)
+        .vm(VmSpec::new("crowd", 2, Box::new(p)))
+        .build();
+    assert!(m.run_to_completion(clk.secs(5)));
+    let stats = m.vm_kernel(0).stats();
+    assert_eq!(stats.vm_rounds_completed(), 1);
+    // All eight threads recorded their round.
+    assert!(stats.vm_round_time(0).is_some());
+}
+
+#[test]
+fn sixteen_vms_on_eight_pcpus_stay_consistent() {
+    // Heavy consolidation: 16 single-VCPU VMs with mixed workloads.
+    let clk = Clock::default();
+    let mut b = SimulationBuilder::new().seed(4);
+    for i in 0..16 {
+        let spec = if i % 3 == 0 {
+            let script = vec![
+                Op::CriticalSection {
+                    lock: 0,
+                    hold: Cycles(2_000),
+                },
+                Op::Compute(clk.us(300)),
+            ];
+            VmSpec::new(
+                format!("locky{i}"),
+                1,
+                Box::new(ScriptProgram::homogeneous("l", 1, script).looping()),
+            )
+        } else if i % 3 == 1 {
+            VmSpec::new(
+                format!("sleepy{i}"),
+                1,
+                Box::new(
+                    ScriptProgram::homogeneous(
+                        "s",
+                        1,
+                        vec![Op::Sleep(clk.ms(3)), Op::Compute(clk.us(500))],
+                    )
+                    .looping(),
+                ),
+            )
+        } else {
+            VmSpec::new(
+                format!("busy{i}"),
+                1,
+                Box::new(
+                    ScriptProgram::homogeneous("b", 1, vec![Op::Compute(clk.ms(1))]).looping(),
+                ),
+            )
+        };
+        b = b.vm(spec);
+    }
+    let mut m = b.build();
+    m.run_until(clk.secs(2));
+    // Conservation: the sum of all VMs' online time cannot exceed
+    // pcpus × elapsed.
+    let total: u64 = (0..16)
+        .map(|vm| m.vm_accounting(vm).total_online().as_u64())
+        .sum();
+    let capacity = 8 * m.now().as_u64();
+    assert!(
+        total <= capacity,
+        "online time {total} exceeds machine capacity {capacity}"
+    );
+    // Busy VMs all made progress.
+    for vm in 0..16 {
+        assert!(m.vm_accounting(vm).total_online() > Cycles::ZERO, "vm {vm}");
+    }
+}
+
+#[test]
+fn horizon_zero_and_tiny_runs_are_safe() {
+    let clk = Clock::default();
+    let p = ScriptProgram::homogeneous("t", 1, vec![Op::Compute(Cycles(100))]);
+    let mut m = SimulationBuilder::new()
+        .pcpus(1)
+        .seed(5)
+        .vm(VmSpec::new("v", 1, Box::new(p)))
+        .build();
+    m.run_until(Cycles::ZERO);
+    assert_eq!(m.now(), Cycles::ZERO);
+    m.run_until(Cycles(1));
+    m.run_until(clk.ms(1));
+    assert!(m.run_to_completion(clk.secs(1)));
+}
