@@ -112,7 +112,7 @@ fn semaphores_survive_low_online_rates() {
     // Tokens are always produced ahead of consumption within a pair, so
     // waits stay short *if the primitive itself is virtualization-safe*.
     let mk = |i: usize| -> Vec<Op> {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             vec![Op::SemPost { id: (i / 2) as u32 }, Op::Compute(clk.us(500))]
         } else {
             vec![Op::Compute(clk.us(480)), Op::SemWait { id: (i / 2) as u32 }]

@@ -70,7 +70,13 @@ struct Vcpu {
     blocked_since: Option<Cycles>,
     /// Blocked time accumulated since the last credit assignment.
     blocked_accum: Cycles,
+    /// Position in `assigned`'s runqueue while Runnable; `NOT_QUEUED`
+    /// otherwise. Keeps dequeues O(1) instead of a linear scan.
+    runq_pos: usize,
 }
+
+/// `runq_pos` sentinel for a VCPU that is not in any runqueue.
+const NOT_QUEUED: usize = usize::MAX;
 
 struct Pcpu {
     runq: Vec<usize>,
@@ -96,15 +102,18 @@ struct Vm {
 }
 
 #[derive(Clone, Copy, Debug)]
+/// Event payload. Entity indices are `u32` so the whole enum packs into
+/// 16 bytes — the event queue moves these on every sift, and the
+/// simulation never has 4 billion VCPUs.
 enum Ev {
-    Tick { pcpu: usize },
+    Tick { pcpu: u32 },
     Assign,
-    Reschedule { pcpu: usize },
-    WorkDone { vcpu: usize, epoch: u64 },
-    SleepTimer { vm: usize, thread: usize },
-    VcrdTimer { vm: usize, epoch: u64 },
-    Ipi { vcpu: usize },
-    Wake { vcpu: usize },
+    Reschedule { pcpu: u32 },
+    WorkDone { vcpu: u32, epoch: u64 },
+    SleepTimer { vm: u32, thread: u32 },
+    VcrdTimer { vm: u32, epoch: u64 },
+    Ipi { vcpu: u32 },
+    Wake { vcpu: u32 },
 }
 
 /// The simulated physical machine: PCPUs, the VMM scheduler, and the VMs
@@ -119,7 +128,36 @@ pub struct Machine {
     rng: SimRng,
     total_weight: u64,
     events_processed: u64,
+    run_wall: std::time::Duration,
     sched_trace: TraceBuffer<SchedEvent>,
+    /// Bit p set ⇔ PCPU p has no running VCPU. Lets tickle sites find
+    /// the first idle PCPU without scanning the PCPU table.
+    idle_mask: u128,
+    /// Bit p set ⇔ PCPU p's runqueue is non-empty. Lets the stealing
+    /// scan skip PCPUs with nothing to steal.
+    queued_mask: u128,
+    /// Scratch for `assign_credit` (avoids a per-VM allocation every
+    /// 30 ms accounting interval).
+    scratch_actives: Vec<u64>,
+    /// Reusable guest-effects buffer for the hot event handlers.
+    scratch_fx: Effects,
+    /// Scratch for `relocate_siblings` (avoids an allocation per IPI
+    /// burst).
+    scratch_occupied: Vec<bool>,
+}
+
+/// Engine throughput snapshot: how many events the machine has popped,
+/// how much host wall time the run drivers spent popping them, and the
+/// derived rate. Purely observational — reading it never perturbs the
+/// simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfSnapshot {
+    /// Events popped from the queue since construction.
+    pub events: u64,
+    /// Host wall time accumulated inside the run drivers.
+    pub wall: std::time::Duration,
+    /// `events / wall`, or 0 if no time has been recorded.
+    pub events_per_sec: f64,
 }
 
 impl Machine {
@@ -127,6 +165,7 @@ impl Machine {
     /// over the PCPU runqueues and everything starts runnable at t = 0.
     pub fn new(cfg: MachineConfig, specs: Vec<VmSpec>) -> Self {
         assert!(cfg.pcpus > 0, "need at least one PCPU");
+        assert!(cfg.pcpus <= 128, "the idle/queued masks hold 128 PCPUs");
         assert!(!specs.is_empty(), "need at least one VM");
         let mut vms = Vec::with_capacity(specs.len());
         let mut vcpus = Vec::new();
@@ -152,6 +191,7 @@ impl Machine {
                 vcpu_ids.push(id);
                 let assigned = next_pcpu % cfg.pcpus;
                 next_pcpu += 1;
+                let runq_pos = pcpus[assigned].runq.len();
                 pcpus[assigned].runq.push(id);
                 vcpus.push(Vcpu {
                     vm: vm_idx,
@@ -169,6 +209,7 @@ impl Machine {
                     skew: Cycles::ZERO,
                     blocked_since: None,
                     blocked_accum: Cycles::ZERO,
+                    runq_pos,
                 });
             }
             vms.push(Vm {
@@ -188,6 +229,18 @@ impl Machine {
                 co_last: Cycles::ZERO,
             });
         }
+        // All PCPUs start idle; the initial runqueues are all non-empty
+        // or empty per the round-robin spread above.
+        let idle_mask = if cfg.pcpus == 128 {
+            u128::MAX
+        } else {
+            (1u128 << cfg.pcpus) - 1
+        };
+        let queued_mask = pcpus
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.runq.is_empty())
+            .fold(0u128, |m, (i, _)| m | (1u128 << i));
         let mut m = Machine {
             rng: SimRng::new(cfg.seed),
             events: EventQueue::with_capacity(1024),
@@ -197,7 +250,13 @@ impl Machine {
             vms,
             total_weight,
             events_processed: 0,
+            run_wall: std::time::Duration::ZERO,
             sched_trace: TraceBuffer::disabled(),
+            idle_mask,
+            queued_mask,
+            scratch_actives: Vec::new(),
+            scratch_fx: Effects::default(),
+            scratch_occupied: Vec::new(),
             cfg,
         };
         // Initial credit: one assignment interval's worth, so the first
@@ -207,8 +266,8 @@ impl Machine {
         let slot = m.cfg.slot();
         for p in 0..m.cfg.pcpus {
             let phase = slot.mul_ratio(p as u64, m.cfg.pcpus as u64);
-            m.events.schedule(phase + slot, Ev::Tick { pcpu: p });
-            m.events.schedule(Cycles::ZERO, Ev::Reschedule { pcpu: p });
+            m.events.schedule(phase + slot, Ev::Tick { pcpu: p as u32 });
+            m.events.schedule(Cycles::ZERO, Ev::Reschedule { pcpu: p as u32 });
         }
         m.events.schedule(m.cfg.assign_interval(), Ev::Assign);
         m
@@ -285,6 +344,70 @@ impl Machine {
         self.events_processed
     }
 
+    /// Engine throughput so far: events popped, wall time spent in the
+    /// run drivers, and events/sec.
+    pub fn perf(&self) -> PerfSnapshot {
+        let secs = self.run_wall.as_secs_f64();
+        PerfSnapshot {
+            events: self.events_processed,
+            wall: self.run_wall,
+            events_per_sec: if secs > 0.0 {
+                self.events_processed as f64 / secs
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Check the machine's structural invariants, panicking on any
+    /// violation. Intended for tests and debug-build stress harnesses:
+    ///
+    /// * a PCPU's `running` VCPU is `Running`, assigned to it, and not
+    ///   queued anywhere;
+    /// * every runqueue entry is `Runnable`, assigned to that PCPU, and
+    ///   its `runq_pos` index points back at its exact queue position;
+    /// * every `Runnable` VCPU appears in exactly its assigned PCPU's
+    ///   runqueue; `Blocked` VCPUs appear in none;
+    /// * the idle and queued masks agree with the PCPU table.
+    pub fn check_invariants(&self) {
+        let mut queued_seen = 0usize;
+        for (p, pc) in self.pcpus.iter().enumerate() {
+            if let Some(v) = pc.running {
+                assert_eq!(self.vcpus[v].state, VState::Running, "running vcpu {v}");
+                assert_eq!(self.vcpus[v].assigned, p, "running vcpu {v} assignment");
+                assert_eq!(self.vcpus[v].runq_pos, NOT_QUEUED, "running vcpu {v} queued");
+                assert_eq!(self.idle_mask & (1u128 << p), 0, "pcpu {p} marked idle");
+            } else {
+                assert_ne!(self.idle_mask & (1u128 << p), 0, "pcpu {p} not marked idle");
+            }
+            assert_eq!(
+                self.queued_mask & (1u128 << p) != 0,
+                !pc.runq.is_empty(),
+                "pcpu {p} queued-mask bit"
+            );
+            for (pos, &v) in pc.runq.iter().enumerate() {
+                assert_eq!(self.vcpus[v].state, VState::Runnable, "queued vcpu {v}");
+                assert_eq!(self.vcpus[v].assigned, p, "queued vcpu {v} assignment");
+                assert_eq!(self.vcpus[v].runq_pos, pos, "vcpu {v} position index");
+                queued_seen += 1;
+            }
+        }
+        // Position-index equality above already rules out duplicates
+        // within a queue; cross-queue duplicates would break the per-VCPU
+        // totals here.
+        let runnable = self
+            .vcpus
+            .iter()
+            .filter(|v| v.state == VState::Runnable)
+            .count();
+        assert_eq!(queued_seen, runnable, "every runnable vcpu queued once");
+        for (i, v) in self.vcpus.iter().enumerate() {
+            if v.state != VState::Runnable {
+                assert_eq!(v.runq_pos, NOT_QUEUED, "non-runnable vcpu {i} queued");
+            }
+        }
+    }
+
     /// Start recording scheduling transitions (up to `capacity` events)
     /// for timeline reconstruction.
     pub fn enable_schedule_trace(&mut self, capacity: usize) {
@@ -334,26 +457,31 @@ impl Machine {
         deadline: Cycles,
         mut keep_going: F,
     ) -> bool {
-        loop {
+        let wall_start = std::time::Instant::now();
+        let fired = loop {
             if !keep_going(self) {
                 self.settle();
-                return true;
+                break true;
             }
-            let Some(t) = self.events.peek_time() else {
-                self.settle();
-                return false;
-            };
-            if t > deadline {
-                self.now = deadline;
-                self.settle();
-                return false;
+            match self.events.pop_before(deadline) {
+                Some((t, _, ev)) => {
+                    debug_assert!(t >= self.now, "time went backwards");
+                    self.now = t;
+                    self.events_processed += 1;
+                    self.handle(ev);
+                }
+                None => {
+                    // Pending events (if any) all lie beyond the deadline.
+                    if !self.events.is_empty() {
+                        self.now = deadline;
+                    }
+                    self.settle();
+                    break false;
+                }
             }
-            let (t, _, ev) = self.events.pop().expect("peeked");
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.events_processed += 1;
-            self.handle(ev);
-        }
+        };
+        self.run_wall += wall_start.elapsed();
+        fired
     }
 
     /// Run until `deadline` unconditionally.
@@ -403,6 +531,7 @@ impl Machine {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Tick { pcpu } => {
+                let pcpu = pcpu as usize;
                 if let Some(v) = self.pcpus[pcpu].running {
                     // BOOST lasts until the first accounting tick the
                     // VCPU survives (Xen semantics).
@@ -437,7 +566,7 @@ impl Machine {
                 self.schedule_pcpu(pcpu);
                 self.post_schedule_cosched(pcpu);
                 self.events
-                    .schedule(self.now + self.cfg.slot(), Ev::Tick { pcpu });
+                    .schedule(self.now + self.cfg.slot(), Ev::Tick { pcpu: pcpu as u32 });
             }
             Ev::Assign => {
                 self.assign_credit();
@@ -450,10 +579,12 @@ impl Machine {
                     .schedule(self.now + self.cfg.assign_interval(), Ev::Assign);
             }
             Ev::Reschedule { pcpu } => {
+                let pcpu = pcpu as usize;
                 self.schedule_pcpu(pcpu);
                 self.post_schedule_cosched(pcpu);
             }
             Ev::WorkDone { vcpu, epoch } => {
+                let vcpu = vcpu as usize;
                 if self.vcpus[vcpu].epoch != epoch || self.vcpus[vcpu].state != VState::Running {
                     return;
                 }
@@ -463,10 +594,11 @@ impl Machine {
                 }
                 let vm = self.vcpus[vcpu].vm;
                 let slot = self.vcpus[vcpu].slot;
-                let mut fx = Effects::default();
+                let mut fx = std::mem::take(&mut self.scratch_fx);
                 let work = self.vms[vm].kernel.work_complete(slot, self.now, &mut fx);
                 let still_running = self.install_work(vcpu, work);
-                self.apply_effects(vm, fx);
+                self.apply_effects(vm, &mut fx);
+                self.scratch_fx = fx;
                 if still_running
                     && matches!(
                         self.cfg.policy,
@@ -483,11 +615,14 @@ impl Machine {
                 }
             }
             Ev::SleepTimer { vm, thread } => {
-                let mut fx = Effects::default();
+                let (vm, thread) = (vm as usize, thread as usize);
+                let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.vms[vm].kernel.sleep_timer(thread, self.now, &mut fx);
-                self.apply_effects(vm, fx);
+                self.apply_effects(vm, &mut fx);
+                self.scratch_fx = fx;
             }
             Ev::VcrdTimer { vm, epoch } => {
+                let vm = vm as usize;
                 if self.vms[vm].vcrd_epoch != epoch {
                     return;
                 }
@@ -503,17 +638,19 @@ impl Machine {
                     );
                     return;
                 }
-                let mut fx = Effects::default();
+                let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.vms[vm].kernel.vcrd_timer(self.now, &mut fx);
-                self.apply_effects(vm, fx);
+                self.apply_effects(vm, &mut fx);
+                self.scratch_fx = fx;
             }
             Ev::Ipi { vcpu } => {
+                let vcpu = vcpu as usize;
                 if self.vcpus[vcpu].state == VState::Runnable {
                     let p = self.vcpus[vcpu].assigned;
                     self.schedule_pcpu(p);
                 }
             }
-            Ev::Wake { vcpu } => self.deliver_wake(vcpu),
+            Ev::Wake { vcpu } => self.deliver_wake(vcpu as usize),
         }
     }
 
@@ -537,23 +674,22 @@ impl Machine {
             // its siblings block soaks up the whole domain's credit — the
             // positive feedback that lets sibling duty cycles drift apart
             // under asynchronous scheduling.
-            let actives: Vec<u64> = self.vms[vm]
-                .vcpu_ids
-                .clone()
-                .iter()
-                .map(|&v| {
-                    let mut blocked = self.vcpus[v].blocked_accum;
-                    if let Some(since) = self.vcpus[v].blocked_since {
-                        blocked += self.now.saturating_sub(since);
-                        self.vcpus[v].blocked_since = Some(self.now);
-                    }
-                    self.vcpus[v].blocked_accum = Cycles::ZERO;
-                    interval.saturating_sub(blocked.min(interval)).as_u64()
-                })
-                .collect();
+            let mut actives = std::mem::take(&mut self.scratch_actives);
+            actives.clear();
+            for i in 0..self.vms[vm].vcpu_ids.len() {
+                let v = self.vms[vm].vcpu_ids[i];
+                let mut blocked = self.vcpus[v].blocked_accum;
+                if let Some(since) = self.vcpus[v].blocked_since {
+                    blocked += self.now.saturating_sub(since);
+                    self.vcpus[v].blocked_since = Some(self.now);
+                }
+                self.vcpus[v].blocked_accum = Cycles::ZERO;
+                actives.push(interval.saturating_sub(blocked.min(interval)).as_u64());
+            }
             let active_sum: u128 = actives.iter().map(|&a| a as u128).sum();
-            for (i, &v) in self.vms[vm].vcpu_ids.clone().iter().enumerate() {
-                let income = (inc.as_u64() as u128 * actives[i] as u128)
+            for (i, &active) in actives.iter().enumerate() {
+                let v = self.vms[vm].vcpu_ids[i];
+                let income = (inc.as_u64() as u128 * active as u128)
                     .checked_div(active_sum)
                     .unwrap_or(0) as i64;
                 let c = &mut self.vcpus[v].credit;
@@ -578,6 +714,7 @@ impl Machine {
                     }
                 }
             }
+            self.scratch_actives = actives;
         }
     }
 
@@ -640,7 +777,46 @@ impl Machine {
         pcpu * self.cfg.sockets.max(1) / self.cfg.pcpus
     }
 
+    /// Enqueue a runnable VCPU at the tail of `pcpu`'s runqueue,
+    /// maintaining the position index and the queued mask.
+    #[inline]
+    fn runq_push(&mut self, pcpu: usize, vcpu: usize) {
+        debug_assert_eq!(self.vcpus[vcpu].runq_pos, NOT_QUEUED);
+        self.vcpus[vcpu].runq_pos = self.pcpus[pcpu].runq.len();
+        self.pcpus[pcpu].runq.push(vcpu);
+        self.queued_mask |= 1u128 << pcpu;
+    }
+
+    /// Remove a queued VCPU from its runqueue in O(1) via the position
+    /// index (swap-remove, fixing the displaced tail entry's index).
+    #[inline]
+    fn runq_remove(&mut self, vcpu: usize) {
+        let pcpu = self.vcpus[vcpu].assigned;
+        let pos = self.vcpus[vcpu].runq_pos;
+        debug_assert_eq!(self.pcpus[pcpu].runq.get(pos), Some(&vcpu));
+        self.pcpus[pcpu].runq.swap_remove(pos);
+        self.vcpus[vcpu].runq_pos = NOT_QUEUED;
+        if let Some(&moved) = self.pcpus[pcpu].runq.get(pos) {
+            self.vcpus[moved].runq_pos = pos;
+        }
+        if self.pcpus[pcpu].runq.is_empty() {
+            self.queued_mask &= !(1u128 << pcpu);
+        }
+    }
+
+    /// The lowest-numbered idle PCPU, if any (same choice the old
+    /// linear scan made, found via the idle mask).
+    #[inline]
+    fn first_idle_pcpu(&self) -> Option<usize> {
+        if self.idle_mask == 0 {
+            None
+        } else {
+            Some(self.idle_mask.trailing_zeros() as usize)
+        }
+    }
+
     /// Priority class: BOOST > UNDER (credit > 0) > OVER.
+    #[inline]
     fn prio(&self, vcpu: usize) -> (u8, i64) {
         let v = &self.vcpus[vcpu];
         let class = if v.boost {
@@ -660,6 +836,7 @@ impl Machine {
     /// several periods. This quantization is what lets sibling VCPUs'
     /// duty cycles diverge by multiples of 30 ms under the plain Credit
     /// scheduler.
+    #[inline]
     fn eligible(&self, vcpu: usize) -> bool {
         !self.vcpus[vcpu].parked
     }
@@ -674,28 +851,35 @@ impl Machine {
         }
         loop {
             let cur = self.pcpus[pcpu].running;
-            // Best eligible local candidate.
-            let mut cand: Option<usize> = None;
+            // Best eligible local candidate. Priorities are computed once
+            // per inspected VCPU and carried alongside the candidate.
+            let mut cand: Option<(usize, (u8, i64))> = None;
             for &v in &self.pcpus[pcpu].runq {
-                if self.eligible(v) && cand.is_none_or(|c| self.prio(v) > self.prio(c)) {
-                    cand = Some(v);
+                if self.eligible(v) {
+                    let pv = self.prio(v);
+                    if cand.is_none_or(|(_, pc)| pv > pc) {
+                        cand = Some((v, pv));
+                    }
                 }
             }
             // Load balancing: steal if the local best is OVER-class or
-            // absent (Credit-scheduler idle/priority stealing).
-            let local_class = cand.map(|c| self.prio(c).0).unwrap_or(0);
+            // absent (Credit-scheduler idle/priority stealing). Only
+            // PCPUs with non-empty runqueues are visited, in index order
+            // — the same order the full scan used.
+            let local_class = cand.map(|(_, pc)| pc.0).unwrap_or(0);
             if local_class < 1 {
-                let mut best_remote: Option<usize> = None;
-                for p in 0..self.pcpus.len() {
-                    if p == pcpu {
-                        continue;
-                    }
+                let remote_mask = self.queued_mask & !(1u128 << pcpu);
+                let mut best_remote: Option<(usize, (u8, i64))> = None;
+                let mut mask = remote_mask;
+                while mask != 0 {
+                    let p = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
                     for &v in &self.pcpus[p].runq {
-                        if self.eligible(v)
-                            && self.prio(v).0 >= 1
-                            && best_remote.is_none_or(|b| self.prio(v) > self.prio(b))
-                        {
-                            best_remote = Some(v);
+                        if self.eligible(v) {
+                            let pv = self.prio(v);
+                            if pv.0 >= 1 && best_remote.is_none_or(|(_, pb)| pv > pb) {
+                                best_remote = Some((v, pv));
+                            }
                         }
                     }
                 }
@@ -703,26 +887,27 @@ impl Machine {
                 // when the PCPU would otherwise idle, any eligible remote
                 // OVER candidate is also worth stealing (work conserving).
                 if best_remote.is_none() && cand.is_none() {
-                    for p in 0..self.pcpus.len() {
-                        if p == pcpu {
-                            continue;
-                        }
+                    let mut mask = remote_mask;
+                    while mask != 0 {
+                        let p = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
                         for &v in &self.pcpus[p].runq {
-                            if self.eligible(v)
-                                && best_remote.is_none_or(|b| self.prio(v) > self.prio(b))
-                            {
-                                best_remote = Some(v);
+                            if self.eligible(v) {
+                                let pv = self.prio(v);
+                                if best_remote.is_none_or(|(_, pb)| pv > pb) {
+                                    best_remote = Some((v, pv));
+                                }
                             }
                         }
                     }
                 }
-                if let Some(r) = best_remote {
-                    if cand.is_none_or(|c| self.prio(r) > self.prio(c)) {
-                        cand = Some(r);
+                if let Some((r, pr)) = best_remote {
+                    if cand.is_none_or(|(_, pc)| pr > pc) {
+                        cand = Some((r, pr));
                     }
                 }
             }
-            let Some(next) = cand else {
+            let Some((next, next_prio)) = cand else {
                 // Nothing eligible anywhere. An ineligible incumbent (a
                 // capped VCPU whose credit ran out) must still be parked.
                 if let Some(c) = cur {
@@ -734,7 +919,7 @@ impl Machine {
             };
             let mut demoted = None;
             match cur {
-                Some(c) if self.eligible(c) && self.prio(c) >= self.prio(next) => {
+                Some(c) if self.eligible(c) && self.prio(c) >= next_prio => {
                     return; // incumbent stays
                 }
                 Some(c) => {
@@ -745,9 +930,7 @@ impl Machine {
             }
             // Dequeue `next` from wherever it is homed and run it here.
             let home = self.vcpus[next].assigned;
-            if let Some(pos) = self.pcpus[home].runq.iter().position(|&v| v == next) {
-                self.pcpus[home].runq.swap_remove(pos);
-            }
+            self.runq_remove(next);
             if home != pcpu {
                 self.vms[self.vcpus[next].vm].acct.migrations += 1;
             }
@@ -757,9 +940,7 @@ impl Machine {
                 // immediately instead of stranding until the next tick.
                 if let Some(c) = demoted {
                     if self.vcpus[c].state == VState::Runnable && self.eligible(c) {
-                        if let Some(idle) =
-                            (0..self.pcpus.len()).find(|&p| self.pcpus[p].running.is_none())
-                        {
+                        if let Some(idle) = self.first_idle_pcpu() {
                             self.schedule_pcpu(idle);
                         }
                     }
@@ -786,7 +967,8 @@ impl Machine {
         self.vcpus[vcpu].state = VState::Runnable;
         self.trace_sched(vcpu, pcpu, SchedEventKind::Preempt);
         self.pcpus[pcpu].running = None;
-        self.pcpus[pcpu].runq.push(vcpu);
+        self.idle_mask |= 1u128 << pcpu;
+        self.runq_push(pcpu, vcpu);
     }
 
     /// Give `vcpu` the PCPU. Returns `false` if the guest immediately
@@ -802,6 +984,7 @@ impl Machine {
         // it is cleared in the Tick handler, not here.
         self.vcpus[vcpu].last_charge = self.now;
         self.pcpus[pcpu].running = Some(vcpu);
+        self.idle_mask &= !(1u128 << pcpu);
         self.vms[vm].acct.dispatches[slot] += 1;
         self.note_online_change(vm, 1);
         self.trace_sched(vcpu, pcpu, SchedEventKind::Dispatch);
@@ -821,12 +1004,13 @@ impl Machine {
         } else {
             Cycles::ZERO
         };
-        let mut fx = Effects::default();
+        let mut fx = std::mem::take(&mut self.scratch_fx);
         let work = self.vms[vm]
             .kernel
             .dispatch(slot, self.now, warmup, &mut fx);
         let still_running = self.install_work(vcpu, work);
-        self.apply_effects(vm, fx);
+        self.apply_effects(vm, &mut fx);
+        self.scratch_fx = fx;
         if still_running && self.cosched_active(vm) {
             self.maybe_cosched(vm);
         }
@@ -842,7 +1026,7 @@ impl Machine {
                 self.vcpus[vcpu].spinning_since = None;
                 let epoch = self.vcpus[vcpu].epoch;
                 self.events
-                    .schedule(self.now + dur.max(Cycles(1)), Ev::WorkDone { vcpu, epoch });
+                    .schedule(self.now + dur.max(Cycles(1)), Ev::WorkDone { vcpu: vcpu as u32, epoch });
                 true
             }
             GuestWork::Spin { .. } => {
@@ -872,23 +1056,18 @@ impl Machine {
         self.vcpus[vcpu].state = VState::Blocked;
         self.vcpus[vcpu].blocked_since = Some(self.now);
         self.pcpus[pcpu].running = None;
+        self.idle_mask |= 1u128 << pcpu;
         self.trace_sched(vcpu, pcpu, SchedEventKind::Block);
     }
 
     /// Apply guest side effects: arm timers, wake VCPUs (with dispatch
     /// jitter), deliver VCRD hypercalls, and refresh online VCPUs whose
     /// work changed (lock grants, barrier releases).
-    fn apply_effects(&mut self, vm: usize, fx: Effects) {
-        let Effects {
-            wake_vcpus,
-            refresh_vcpus,
-            sleep_timers,
-            vcrd,
-        } = fx;
-        for (thread, at) in sleep_timers {
-            self.events.schedule(at, Ev::SleepTimer { vm, thread });
+    fn apply_effects(&mut self, vm: usize, fx: &mut Effects) {
+        for (thread, at) in fx.sleep_timers.drain(..) {
+            self.events.schedule(at, Ev::SleepTimer { vm: vm as u32, thread: thread as u32 });
         }
-        for slot in wake_vcpus {
+        for slot in fx.wake_vcpus.drain(..) {
             let vcpu = self.vms[vm].vcpu_ids[slot];
             let jitter = if self.cfg.wake_jitter_us > 0 {
                 self.cfg
@@ -897,20 +1076,22 @@ impl Machine {
             } else {
                 Cycles::ZERO
             };
-            self.events.schedule(self.now + jitter, Ev::Wake { vcpu });
+            self.events.schedule(self.now + jitter, Ev::Wake { vcpu: vcpu as u32 });
         }
-        if let Some(update) = vcrd {
+        if let Some(update) = fx.vcrd.take() {
             self.handle_vcrd(vm, update);
         }
-        for slot in refresh_vcpus {
+        for slot in fx.refresh_vcpus.drain(..) {
             let vcpu = self.vms[vm].vcpu_ids[slot];
             if self.vcpus[vcpu].state != VState::Running {
                 continue;
             }
+            // Refresh is rare; a fresh buffer avoids aliasing the one
+            // being drained.
             let mut fx2 = Effects::default();
             let work = self.vms[vm].kernel.dispatch_work(slot, self.now, &mut fx2);
             self.install_work(vcpu, work);
-            self.apply_effects(vm, fx2);
+            self.apply_effects(vm, &mut fx2);
         }
     }
 
@@ -934,11 +1115,11 @@ impl Machine {
         // BOOST priority it preempts whatever runs there. Idle PCPUs will
         // steal it instead if the home is running something even hotter.
         let target = self.vcpus[vcpu].assigned;
-        self.pcpus[target].runq.push(vcpu);
+        self.runq_push(target, vcpu);
         self.schedule_pcpu(target);
         // If it did not get the home PCPU, tickle one idle PCPU to steal.
         if self.vcpus[vcpu].state == VState::Runnable {
-            if let Some(idle) = (0..self.pcpus.len()).find(|&p| self.pcpus[p].running.is_none()) {
+            if let Some(idle) = self.first_idle_pcpu() {
                 self.schedule_pcpu(idle);
             }
         }
@@ -993,7 +1174,7 @@ impl Machine {
                             self.vcpus[v].skew = Cycles::ZERO;
                             self.vcpus[v].boost = true;
                             self.vms[vm].acct.cosched_bursts += 1;
-                            self.events.schedule(ipi_at, Ev::Ipi { vcpu: v });
+                            self.events.schedule(ipi_at, Ev::Ipi { vcpu: v as u32 });
                         }
                     }
                     _ => {}
@@ -1027,7 +1208,7 @@ impl Machine {
             let v = self.vms[vm].vcpu_ids[i];
             if self.vcpus[v].state == VState::Runnable {
                 self.vcpus[v].boost = true;
-                self.events.schedule(ipi_at, Ev::Ipi { vcpu: v });
+                self.events.schedule(ipi_at, Ev::Ipi { vcpu: v as u32 });
             }
         }
     }
@@ -1036,17 +1217,20 @@ impl Machine {
     /// runqueues of distinct PCPUs (none of which already hosts a sibling)
     /// so the IPI burst can bring them online simultaneously.
     fn relocate_siblings(&mut self, vm: usize) {
-        let ids = self.vms[vm].vcpu_ids.clone();
         // PCPUs already occupied by a sibling (running or queued).
-        let mut occupied = vec![false; self.pcpus.len()];
-        for &v in &ids {
+        let mut occupied = std::mem::take(&mut self.scratch_occupied);
+        occupied.clear();
+        occupied.resize(self.pcpus.len(), false);
+        for i in 0..self.vms[vm].vcpu_ids.len() {
+            let v = self.vms[vm].vcpu_ids[i];
             match self.vcpus[v].state {
                 VState::Running => occupied[self.vcpus[v].assigned] = true,
                 VState::Runnable => {}
                 VState::Blocked => {}
             }
         }
-        for &v in &ids {
+        for i in 0..self.vms[vm].vcpu_ids.len() {
+            let v = self.vms[vm].vcpu_ids[i];
             if self.vcpus[v].state != VState::Runnable {
                 continue;
             }
@@ -1083,14 +1267,13 @@ impl Machine {
             let Some(target) = target else {
                 break; // more VCPUs than PCPUs without siblings
             };
-            if let Some(pos) = self.pcpus[home].runq.iter().position(|&x| x == v) {
-                self.pcpus[home].runq.swap_remove(pos);
-            }
-            self.pcpus[target].runq.push(v);
+            self.runq_remove(v);
             self.vcpus[v].assigned = target;
+            self.runq_push(target, v);
             self.vms[vm].acct.migrations += 1;
             occupied[target] = true;
         }
+        self.scratch_occupied = occupied;
     }
 
     /// `do_vcrd_op` hypercall handler.
@@ -1124,7 +1307,7 @@ impl Machine {
         if let Some(x) = update.expire_in {
             let epoch = self.vms[vm].vcrd_epoch;
             self.events
-                .schedule(self.now + x, Ev::VcrdTimer { vm, epoch });
+                .schedule(self.now + x, Ev::VcrdTimer { vm: vm as u32, epoch });
         }
     }
 }

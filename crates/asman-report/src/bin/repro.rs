@@ -1,13 +1,16 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline]
-//!       [--class s|w|a] [--seed N] [--rounds N] [--json DIR]
+//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline|extensions|perf]
+//!       [--class s|w|a] [--seed N] [--rounds N] [--jobs N] [--json DIR]
 //! ```
 //!
 //! `timeline` renders an ASCII Gantt chart of the guest VM's VCPU duty
 //! cycles at a 22.2% online rate, under Credit and under ASMan — the
 //! visual core of the paper in two panels.
+//!
+//! `perf` benchmarks the simulation engine itself (events/sec) and
+//! writes `BENCH_engine.json`.
 //!
 //! Prints each figure's table and shape checks; `--json DIR` additionally
 //! writes the raw series as JSON artifacts.
@@ -26,6 +29,44 @@ struct Args {
     json_dir: Option<PathBuf>,
 }
 
+const KNOWN_TARGETS: [&str; 11] = [
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "timeline",
+    "extensions",
+    "perf",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [TARGET ...] [OPTIONS]\n\n\
+         Targets (default: all figures):\n  \
+         {}\n  \
+         all         every figN target\n\n\
+         Options:\n  \
+         --class s|w|a   NAS problem class (default w)\n  \
+         --seed N        base RNG seed (default 42)\n  \
+         --rounds N      measured rounds for round-based figures (default 5)\n  \
+         --jobs N        sweep worker threads; 0 = one per core (default 0).\n                  \
+         Results are bit-identical for every value.\n  \
+         --json DIR      also write raw series as JSON artifacts into DIR\n  \
+         -h, --help      show this help",
+        KNOWN_TARGETS.join(" "),
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
     let mut which = Vec::new();
     let mut params = FigureParams::default();
@@ -33,36 +74,57 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
             "--class" => {
-                params.class = match it.next().as_deref() {
+                params.class = match it.next().as_deref().map(str::to_ascii_lowercase).as_deref() {
                     Some("s") => ProblemClass::S,
                     Some("w") => ProblemClass::W,
                     Some("a") => ProblemClass::A,
-                    other => panic!("unknown class {other:?} (use s|w|a)"),
+                    Some(other) => fail(&format!("unknown class `{other}` (use s|w|a)")),
+                    None => fail("--class needs a value (s|w|a)"),
                 };
             }
             "--seed" => {
-                params.seed = it.next().expect("--seed N").parse().expect("seed number");
+                let v = it.next().unwrap_or_else(|| fail("--seed needs a value"));
+                params.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--seed `{v}` is not a number")));
             }
             "--rounds" => {
-                params.rounds = it
-                    .next()
-                    .expect("--rounds N")
+                let v = it.next().unwrap_or_else(|| fail("--rounds needs a value"));
+                params.rounds = v
                     .parse()
-                    .expect("rounds number");
+                    .unwrap_or_else(|_| fail(&format!("--rounds `{v}` is not a number")));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
+                params.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--jobs `{v}` is not a number")));
             }
             "--json" => {
-                json_dir = Some(PathBuf::from(it.next().expect("--json DIR")));
+                json_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| fail("--json needs a directory")),
+                ));
             }
-            fig => which.push(fig.to_string()),
+            flag if flag.starts_with('-') => fail(&format!("unknown option `{flag}`")),
+            "all" => which.push("all".to_string()),
+            fig if KNOWN_TARGETS.contains(&fig) => which.push(fig.to_string()),
+            other => fail(&format!("unknown target `{other}`")),
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = [
+        let mut all: Vec<String> = [
             "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
         ]
         .map(String::from)
         .to_vec();
+        // Keep explicitly named non-figure targets alongside `all`.
+        all.extend(which.into_iter().filter(|w| w != "all" && !w.starts_with("fig")));
+        which = all;
     }
     Args {
         which,
@@ -101,19 +163,117 @@ fn run_timeline(p: &FigureParams) {
     use asman_sim::Clock;
     use asman_workloads::{NasBenchmark, NasSpec};
     let clk = Clock::default();
-    for sched in [Sched::Credit, Sched::Asman] {
-        let sc = SingleVmScenario::new(sched, 32, p.seed);
-        let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
-        let mut m = sc.build(Box::new(lu));
-        m.enable_schedule_trace(500_000);
-        m.run_until(clk.secs(3));
-        let tl = Timeline::from_machine(&m);
-        println!(
-            "LU @ 22.2% under {} — guest VCPU duty cycles, 400 ms window\n(# online, + partial, . offline; rows: dom0 x8 then guest x4)",
-            sched.label()
-        );
-        println!("{}", tl.gantt(clk.secs(2), clk.secs(2) + clk.ms(400), 100));
+    // Render both panels as strings on the sweep runner, then print in
+    // the fixed Credit-then-ASMan order.
+    let panels = p
+        .runner()
+        .map(vec![Sched::Credit, Sched::Asman], |sched| {
+            let sc = SingleVmScenario::new(sched, 32, p.seed);
+            let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
+            let mut m = sc.build(Box::new(lu));
+            m.enable_schedule_trace(500_000);
+            m.run_until(clk.secs(3));
+            let tl = Timeline::from_machine(&m);
+            format!(
+                "LU @ 22.2% under {} — guest VCPU duty cycles, 400 ms window\n(# online, + partial, . offline; rows: dom0 x8 then guest x4)\n{}",
+                sched.label(),
+                tl.gantt(clk.secs(2), clk.secs(2) + clk.ms(400), 100)
+            )
+        });
+    for panel in panels {
+        println!("{panel}");
     }
+}
+
+/// Benchmark the simulation engine: run the reference LU scenario under
+/// both schedulers single-threaded and report events/sec from
+/// `Machine::perf()`. Writes `BENCH_engine.json` (into the `--json`
+/// directory, or the working directory).
+fn run_perf(args: &Args) {
+    use asman_report::{Sched, SingleVmScenario};
+    use asman_workloads::{NasBenchmark, NasSpec};
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct PerfRow {
+        sched: &'static str,
+        events: u64,
+        wall_secs: f64,
+        events_per_sec: f64,
+    }
+    #[derive(Serialize)]
+    struct Bench {
+        class: String,
+        seed: u64,
+        rows: Vec<PerfRow>,
+        total_events: u64,
+        total_wall_secs: f64,
+        events_per_sec: f64,
+    }
+
+    // Each scheduler runs REPS fresh, identical machines back to back;
+    // events and wall time accumulate across the repetitions so the
+    // sample covers ~1 s of host time rather than one noisy ~100 ms run.
+    const REPS: usize = 5;
+    let p = &args.params;
+    println!("Engine benchmark — LU @ 22.2% online rate, sequential, {REPS} reps");
+    println!(
+        "{:>8} {:>12} {:>10} {:>14}",
+        "sched", "events", "wall(s)", "events/sec"
+    );
+    let mut rows = Vec::new();
+    let (mut total_events, mut total_wall) = (0u64, 0.0f64);
+    for sched in [Sched::Credit, Sched::Asman] {
+        let (mut events, mut wall) = (0u64, 0.0f64);
+        for _ in 0..REPS {
+            let sc = SingleVmScenario::new(sched, 32, p.seed);
+            let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
+            let mut m = sc.build(Box::new(lu));
+            let clk = m.config().clock;
+            m.run_to_completion(clk.secs(sc.horizon_secs));
+            let perf = m.perf();
+            events += perf.events;
+            wall += perf.wall.as_secs_f64();
+        }
+        let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+        println!(
+            "{:>8} {:>12} {:>10.3} {:>14.0}",
+            sched.label(),
+            events,
+            wall,
+            rate
+        );
+        total_events += events;
+        total_wall += wall;
+        rows.push(PerfRow {
+            sched: sched.label(),
+            events,
+            wall_secs: wall,
+            events_per_sec: rate,
+        });
+    }
+    let combined = if total_wall > 0.0 {
+        total_events as f64 / total_wall
+    } else {
+        0.0
+    };
+    println!(
+        "{:>8} {:>12} {:>10.3} {:>14.0}",
+        "total", total_events, total_wall, combined
+    );
+    let bench = Bench {
+        class: format!("{:?}", p.class),
+        seed: p.seed,
+        rows,
+        total_events,
+        total_wall_secs: total_wall,
+        events_per_sec: combined,
+    };
+    let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    fs::create_dir_all(&dir).expect("create json dir");
+    let path = dir.join("BENCH_engine.json");
+    fs::write(&path, serde_json::to_vec_pretty(&bench).expect("serialize")).expect("write json");
+    eprintln!("wrote {}", path.display());
 }
 
 fn main() {
@@ -158,12 +318,13 @@ fn main() {
                 let f = fig12::run(p);
                 emit(&args, "fig12", f.render(), f.shape_checks(), &f);
             }
+            "perf" => run_perf(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);
                 emit(&args, "extensions", f.render(), f.shape_checks(), &f);
             }
-            other => eprintln!("unknown figure {other}"),
+            other => unreachable!("target `{other}` validated in parse_args"),
         }
         eprintln!("[{fig} took {:.1?}]", t0.elapsed());
     }

@@ -75,18 +75,17 @@ impl IntoBoxed for asman_workloads::PhasedProgram {
     }
 }
 
-/// Run the extensions panel.
+/// Run the extensions panel (one machine per policy, fanned over the
+/// sweep runner).
 pub fn run(params: &FigureParams) -> Extensions {
-    let rows = [
+    let policies = vec![
         CoschedPolicy::None,
         CoschedPolicy::Static,
         CoschedPolicy::Adaptive,
         CoschedPolicy::Relaxed,
         CoschedPolicy::OutOfVm,
-    ]
-    .into_iter()
-    .map(|p| run_policy(p, params))
-    .collect();
+    ];
+    let rows = params.runner().map(policies, |p| run_policy(p, params));
     Extensions { rows }
 }
 
@@ -166,6 +165,7 @@ mod tests {
             class: ProblemClass::S,
             seed: 42,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(ext.rows.len(), 5);
         assert!(!ext.render().is_empty());

@@ -46,26 +46,25 @@ pub fn run(params: &FigureParams) -> Fig01 {
         asman_workloads::ProblemClass::W => 10,
         asman_workloads::ProblemClass::A => 30,
     };
-    let rows = WEIGHT_RATES
-        .iter()
-        .map(|&(w, pct)| {
-            let sc = SingleVmScenario::new(Sched::Credit, w, params.seed);
-            // Run-time measurement.
-            let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
-            let out = sc.run(Box::new(lu));
-            // Windowed wait measurement on a fresh machine.
-            let lu2 = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
-            let mut m = sc.build(Box::new(lu2));
-            let win = WaitWindow::collect(&mut m, 1, clk.ms(500), clk.secs(window_secs));
-            Fig01Row {
-                rate_pct: pct,
-                run_secs: out.run_secs,
-                over_2_10: win.over_2_10,
-                over_2_20: win.over_2_20,
-                window_locks: win.locks,
-            }
-        })
-        .collect();
+    // Each rate is two independent simulations (a timed run and a
+    // windowed wait trace); fan all of them out as sweep cells.
+    let rows = params.runner().map(WEIGHT_RATES.to_vec(), |(w, pct)| {
+        let sc = SingleVmScenario::new(Sched::Credit, w, params.seed);
+        // Run-time measurement.
+        let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+        let out = sc.run(Box::new(lu));
+        // Windowed wait measurement on a fresh machine.
+        let lu2 = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+        let mut m = sc.build(Box::new(lu2));
+        let win = WaitWindow::collect(&mut m, 1, clk.ms(500), clk.secs(window_secs));
+        Fig01Row {
+            rate_pct: pct,
+            run_secs: out.run_secs,
+            over_2_10: win.over_2_10,
+            over_2_20: win.over_2_20,
+            window_locks: win.locks,
+        }
+    });
     Fig01 { rows, window_secs }
 }
 
@@ -141,6 +140,7 @@ mod tests {
             class: asman_workloads::ProblemClass::S,
             seed: 1,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(fig.rows.len(), 4);
         assert!(fig.rows.iter().all(|r| r.run_secs > 0.0));

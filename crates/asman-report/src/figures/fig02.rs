@@ -55,20 +55,17 @@ pub fn collect(sched: Sched, params: &FigureParams) -> Scatter {
         asman_workloads::ProblemClass::W => 10,
         asman_workloads::ProblemClass::A => 30,
     };
-    let panels = WEIGHT_RATES
-        .iter()
-        .map(|&(w, pct)| {
-            let sc = SingleVmScenario::new(sched, w, params.seed);
-            let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
-            let mut m = sc.build(Box::new(lu));
-            let win = WaitWindow::collect(&mut m, 1, clk.ms(500), clk.secs(window_secs));
-            ScatterPanel {
-                rate_pct: pct,
-                band_counts: bands(&win.samples),
-                waits: win.samples,
-            }
-        })
-        .collect();
+    let panels = params.runner().map(WEIGHT_RATES.to_vec(), |(w, pct)| {
+        let sc = SingleVmScenario::new(sched, w, params.seed);
+        let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+        let mut m = sc.build(Box::new(lu));
+        let win = WaitWindow::collect(&mut m, 1, clk.ms(500), clk.secs(window_secs));
+        ScatterPanel {
+            rate_pct: pct,
+            band_counts: bands(&win.samples),
+            waits: win.samples,
+        }
+    });
     Scatter {
         sched: sched.label(),
         panels,
@@ -147,6 +144,7 @@ mod tests {
             class: asman_workloads::ProblemClass::S,
             seed: 1,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(fig.panels.len(), 4);
         for p in &fig.panels {

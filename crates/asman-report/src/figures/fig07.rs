@@ -30,12 +30,22 @@ pub struct Fig07 {
 
 /// Run Figure 7.
 pub fn run(params: &FigureParams) -> Fig07 {
+    // Fan out at (rate, scheduler) granularity — 8 independent cells —
+    // then pair them back up per rate.
+    let cells: Vec<(u32, Sched)> = WEIGHT_RATES
+        .iter()
+        .flat_map(|&(w, _)| [(w, Sched::Credit), (w, Sched::Asman)])
+        .collect();
+    let outs = params.runner().map(cells, |(w, sched)| {
+        let lu = NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
+        SingleVmScenario::new(sched, w, params.seed).run(Box::new(lu))
+    });
     let rows = WEIGHT_RATES
         .iter()
-        .map(|&(w, pct)| {
-            let mk = || NasSpec::new(NasBenchmark::LU, params.class, 4).build(params.seed ^ 7);
-            let credit = SingleVmScenario::new(Sched::Credit, w, params.seed).run(Box::new(mk()));
-            let asman = SingleVmScenario::new(Sched::Asman, w, params.seed).run(Box::new(mk()));
+        .enumerate()
+        .map(|(i, &(_, pct))| {
+            let credit = &outs[2 * i];
+            let asman = &outs[2 * i + 1];
             Fig07Row {
                 rate_pct: pct,
                 credit_secs: credit.run_secs,
@@ -138,6 +148,7 @@ mod tests {
             class: asman_workloads::ProblemClass::S,
             seed: 1,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(fig.rows.len(), 4);
         // Both schedulers complete at all rates.

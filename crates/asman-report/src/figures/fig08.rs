@@ -73,6 +73,7 @@ mod tests {
             class: asman_workloads::ProblemClass::S,
             seed: 1,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(fig.asman.panels.len(), 4);
         assert_eq!(fig.credit.panels.len(), 4);

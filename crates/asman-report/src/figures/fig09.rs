@@ -36,18 +36,31 @@ const RATES: [(u32, f64); 3] = [(128, 66.7), (64, 40.0), (32, 22.2)];
 
 /// Run Figure 9.
 pub fn run(params: &FigureParams) -> Fig09 {
+    // One sweep cell per independent simulation: the Credit @ 100%
+    // baseline plus 3 rates × 2 schedulers, for each of the 7 benchmarks
+    // (49 machines). Results are reassembled in the fixed grid order, so
+    // the output is bit-identical for every worker count.
+    let mut grid: Vec<(NasBenchmark, u32, Sched)> = Vec::new();
+    for bench in NasBenchmark::ALL {
+        grid.push((bench, 256, Sched::Credit));
+        for (w, _) in RATES {
+            grid.push((bench, w, Sched::Credit));
+            grid.push((bench, w, Sched::Asman));
+        }
+    }
+    let outs = params.runner().map(grid, |(bench, w, sched)| {
+        let program = NasSpec::new(bench, params.class, 4).build(params.seed ^ 7);
+        SingleVmScenario::new(sched, w, params.seed).run(Box::new(program))
+    });
+    let per_bench = 1 + RATES.len() * 2;
     let mut baseline_secs = Vec::new();
     let mut cells = Vec::new();
-    for bench in NasBenchmark::ALL {
-        let mk = |seed: u64| NasSpec::new(bench, params.class, 4).build(seed);
-        let base = SingleVmScenario::new(Sched::Credit, 256, params.seed)
-            .run(Box::new(mk(params.seed ^ 7)));
+    for (bi, bench) in NasBenchmark::ALL.into_iter().enumerate() {
+        let base = &outs[bi * per_bench];
         baseline_secs.push((bench.name(), base.run_secs));
-        for (w, pct) in RATES {
-            let credit = SingleVmScenario::new(Sched::Credit, w, params.seed)
-                .run(Box::new(mk(params.seed ^ 7)));
-            let asman = SingleVmScenario::new(Sched::Asman, w, params.seed)
-                .run(Box::new(mk(params.seed ^ 7)));
+        for (ri, (_, pct)) in RATES.into_iter().enumerate() {
+            let credit = &outs[bi * per_bench + 1 + 2 * ri];
+            let asman = &outs[bi * per_bench + 2 + 2 * ri];
             cells.push(Fig09Cell {
                 bench: bench.name(),
                 rate_pct: pct,
@@ -190,6 +203,7 @@ mod tests {
             class: asman_workloads::ProblemClass::S,
             seed: 1,
             rounds: 2,
+            jobs: 1,
         });
         assert_eq!(fig.cells.len(), 21);
         assert_eq!(fig.baseline_secs.len(), 7);

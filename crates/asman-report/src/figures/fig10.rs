@@ -31,12 +31,29 @@ const RATES: [(u32, f64); 3] = [(128, 66.7), (64, 40.0), (32, 22.2)];
 /// Run Figure 10.
 pub fn run(params: &FigureParams) -> Fig10 {
     let max_w = 8;
+    // Flatten to (rate, scheduler, warehouse-count) cells — 48
+    // independent machines — and reassemble panels in grid order.
+    let mut grid: Vec<(u32, Sched, usize)> = Vec::new();
+    for &(w, _) in RATES.iter() {
+        for sched in [Sched::Credit, Sched::Asman] {
+            for wh in 1..=max_w {
+                grid.push((w, sched, wh));
+            }
+        }
+    }
+    let points = params.runner().map(grid, |(w, sched, wh)| {
+        JbbScenario::new(sched, w, params.seed).run(wh)
+    });
     let panels = RATES
         .iter()
-        .map(|&(w, pct)| Fig10Panel {
-            rate_pct: pct,
-            credit: JbbScenario::new(Sched::Credit, w, params.seed).sweep(max_w),
-            asman: JbbScenario::new(Sched::Asman, w, params.seed).sweep(max_w),
+        .enumerate()
+        .map(|(ri, &(_, pct))| {
+            let base = ri * 2 * max_w;
+            Fig10Panel {
+                rate_pct: pct,
+                credit: points[base..base + max_w].to_vec(),
+                asman: points[base + max_w..base + 2 * max_w].to_vec(),
+            }
         })
         .collect();
     Fig10 { panels }

@@ -24,19 +24,19 @@ pub struct Combination {
 }
 
 impl Combination {
-    /// Run one workload combination across the three schedulers.
+    /// Run one workload combination across the three schedulers (one
+    /// independent machine each, fanned over the sweep runner).
     pub fn run(label: &str, which: u8, params: &FigureParams) -> Combination {
-        let mk = |sched| {
-            let mut sc =
-                MultiVmScenario::new(sched, paper_combination(which), params.class, params.seed);
-            sc.rounds = params.rounds;
-            sc.run()
-        };
+        let mut base =
+            MultiVmScenario::new(Sched::Credit, paper_combination(which), params.class, params.seed);
+        base.rounds = params.rounds;
+        let mut rows =
+            crate::multivm::run_under_schedulers(&base, &Sched::ALL, &params.runner()).into_iter();
         Combination {
             label: label.to_string(),
-            credit: mk(Sched::Credit),
-            asman: mk(Sched::Asman),
-            con: mk(Sched::Con),
+            credit: rows.next().expect("credit rows"),
+            asman: rows.next().expect("asman rows"),
+            con: rows.next().expect("con rows"),
         }
     }
 
@@ -228,6 +228,7 @@ mod tests {
             class: ProblemClass::S,
             seed: 3,
             rounds: 2,
+            jobs: 1,
         };
         let combo = Combination::run("test", 1, &params);
         assert_eq!(combo.credit.len(), 4);

@@ -75,6 +75,7 @@ mod tests {
             class: ProblemClass::S,
             seed: 3,
             rounds: 2,
+            jobs: 1,
         };
         let combo = Combination::run("test-6", 3, &params);
         assert_eq!(combo.credit.len(), 6);

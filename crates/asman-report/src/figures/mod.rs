@@ -49,6 +49,17 @@ pub struct FigureParams {
     pub seed: u64,
     /// Rounds averaged in multi-VM experiments.
     pub rounds: usize,
+    /// Worker threads for sweep cells (`0` = available parallelism,
+    /// `1` = the historical sequential path). Cell results are
+    /// bit-identical for every value; this only changes wall-clock time.
+    pub jobs: usize,
+}
+
+impl FigureParams {
+    /// The sweep executor configured by [`FigureParams::jobs`].
+    pub fn runner(&self) -> crate::exec::SweepRunner {
+        crate::exec::SweepRunner::new(self.jobs)
+    }
 }
 
 impl Default for FigureParams {
@@ -57,6 +68,7 @@ impl Default for FigureParams {
             class: asman_workloads::ProblemClass::W,
             seed: 42,
             rounds: 10,
+            jobs: 0,
         }
     }
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod exec;
 pub mod extensions;
 pub mod figures;
 pub mod jbb;
@@ -28,6 +29,7 @@ pub mod scenario;
 pub mod timeline;
 pub mod window;
 
+pub use exec::SweepRunner;
 pub use jbb::{JbbPoint, JbbScenario};
 pub use multivm::{paper_combination, MultiVmRow, MultiVmScenario, VmWorkload};
 pub use scenario::{

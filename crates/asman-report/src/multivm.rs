@@ -160,6 +160,25 @@ impl MultiVmScenario {
     }
 }
 
+/// Run the same combination under several schedulers, fanning the
+/// independent machines over `runner`'s worker pool. Row order follows
+/// `scheds`, and every row is identical to a sequential
+/// [`MultiVmScenario::run`] — each scheduler gets its own machine built
+/// from the same seeds.
+pub fn run_under_schedulers(
+    base: &MultiVmScenario,
+    scheds: &[Sched],
+    runner: &crate::exec::SweepRunner,
+) -> Vec<Vec<MultiVmRow>> {
+    runner.map(scheds.to_vec(), |sched| {
+        MultiVmScenario {
+            sched,
+            ..base.clone()
+        }
+        .run()
+    })
+}
+
 /// The paper's four combinations (Figures 11(a), 11(b), 12(a), 12(b)).
 pub fn paper_combination(which: u8) -> Vec<VmWorkload> {
     use NasBenchmark::{LU, SP};

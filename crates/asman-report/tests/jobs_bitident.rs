@@ -1,0 +1,31 @@
+//! Regression test for the parallel sweep executor: figure output must be
+//! bit-identical regardless of the worker count. Runs the full Figure 9
+//! grid (49 independent machines at class S) sequentially and on four
+//! workers, and compares the serialized artifacts byte for byte.
+
+use asman_report::figures::{fig09, FigureParams};
+use asman_workloads::ProblemClass;
+
+fn fig09_json(jobs: usize) -> String {
+    let fig = fig09::run(&FigureParams {
+        class: ProblemClass::S,
+        seed: 1,
+        rounds: 2,
+        jobs,
+    });
+    String::from_utf8(serde_json::to_vec_pretty(&fig).expect("serialize")).expect("utf8")
+}
+
+#[test]
+fn fig09_bit_identical_between_jobs_1_and_4() {
+    let sequential = fig09_json(1);
+    let parallel = fig09_json(4);
+    assert!(
+        !sequential.is_empty(),
+        "fig09 artifact should not be empty"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "fig09 artifact differs between --jobs 1 and --jobs 4"
+    );
+}

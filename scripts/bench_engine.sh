@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fixed-seed engine throughput measurement.
+#
+# Builds the repro binary tuned for the local CPU (in its own target
+# directory, so the portable ./target build is left alone), runs the
+# `repro perf` subcommand, and writes BENCH_engine.json into OUT_DIR
+# (default: the repository root).
+#
+#   scripts/bench_engine.sh [OUT_DIR]
+#
+# No criterion, no network: the measurement is plain wall-clock around
+# the deterministic event loop (see Machine::perf()), so the only
+# requirements are the Rust toolchain and a quiet machine. The simulation
+# itself is bit-identical with and without -Ctarget-cpu=native; the flag
+# only changes how fast it runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-.}"
+
+export RUSTFLAGS="${BENCH_RUSTFLAGS:--Ctarget-cpu=native}"
+export CARGO_TARGET_DIR=target-bench
+cargo build --release -p asman-report --bin repro
+
+./target-bench/release/repro perf --json "$out_dir"

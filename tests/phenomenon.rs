@@ -10,6 +10,7 @@ fn params() -> FigureParams {
         class: ProblemClass::S,
         seed: 42,
         rounds: 2,
+        jobs: 1,
     }
 }
 

@@ -4,6 +4,15 @@
 
 use asman::prelude::*;
 
+/// Structural invariant sweep (runqueue-position index, idle/queued
+/// masks, state/queue agreement). The checks are debug-build-only here:
+/// they are O(VCPUs) per call and the stress scenarios call them often.
+fn check(m: &Machine) {
+    if cfg!(debug_assertions) {
+        m.check_invariants();
+    }
+}
+
 #[test]
 fn orphaned_barrier_hits_the_horizon_gracefully() {
     // Thread 1 finishes immediately while thread 0 waits at a barrier
@@ -17,6 +26,7 @@ fn orphaned_barrier_hits_the_horizon_gracefully() {
         .vm(VmSpec::new("broken", 2, Box::new(p)))
         .build();
     let done = m.run_to_completion(clk.ms(500));
+    check(&m);
     assert!(!done, "a deadlocked guest cannot complete");
     assert_eq!(m.now(), clk.ms(500), "simulation reaches the horizon");
     // The stuck VM burned almost nothing (spin budget then futex block).
@@ -41,6 +51,7 @@ fn zero_weight_is_rejected_or_starved_safely() {
         .vm(VmSpec::new("tiny", 1, Box::new(p)).weight(1))
         .build();
     assert!(m.run_to_completion(clk.secs(10)), "weight-1 VM must finish");
+    check(&m);
 }
 
 #[test]
@@ -58,6 +69,7 @@ fn many_threads_per_vcpu_round_robin() {
         .vm(VmSpec::new("crowd", 2, Box::new(p)))
         .build();
     assert!(m.run_to_completion(clk.secs(5)));
+    check(&m);
     let stats = m.vm_kernel(0).stats();
     assert_eq!(stats.vm_rounds_completed(), 1);
     // All eight threads recorded their round.
@@ -108,7 +120,13 @@ fn sixteen_vms_on_eight_pcpus_stay_consistent() {
         b = b.vm(spec);
     }
     let mut m = b.build();
-    m.run_until(clk.secs(2));
+    // Step the consolidated run and re-verify the scheduler's structural
+    // invariants at every boundary, not just at the end — index
+    // corruption shows up transiently, mid-churn.
+    for step in 1..=20 {
+        m.run_until(clk.ms(step * 100));
+        check(&m);
+    }
     // Conservation: the sum of all VMs' online time cannot exceed
     // pcpus × elapsed.
     let total: u64 = (0..16)

@@ -1,0 +1,330 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! offline `serde` stand-in.
+//!
+//! With no crates.io access there is no `syn`/`quote`, so this macro
+//! parses the item's token stream by hand. It supports exactly the shapes
+//! the workspace uses: structs with named fields, tuple structs, unit
+//! structs, enums with unit / tuple / struct variants, and at most simple
+//! type-parameter generics (`struct TraceBuffer<T> { .. }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names (type params only; lifetimes unsupported).
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Skip a `#[...]` attribute if the cursor is on `#`; returns true if one
+/// was consumed.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            *i += 1; // '#'
+            if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                *i += 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Count top-level comma-separated items in a token slice (0 for empty).
+fn count_top_level(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    let mut saw_item = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                n += 1;
+                saw_item = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => saw_item = true,
+        }
+    }
+    if !saw_item {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+/// Parse named fields out of a brace-group body: `attrs vis name: Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i) {}
+        skip_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        // Skip to the next top-level comma (the type may contain nested
+        // angle brackets; commas inside them are not separators).
+        let mut depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i) {}
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(&g.stream().into_iter().collect::<Vec<_>>());
+                i += 1;
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                i += 1;
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Consume the separating comma (and any discriminant, unused here).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while skip_attr(&tokens, &mut i) {}
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    // Generics: collect bare type-parameter names, ignoring bounds.
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 1i32;
+        i += 1;
+        let mut at_param = true;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' => at_param = false,
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    panic!("serde stub derive: lifetimes are not supported")
+                }
+                TokenTree::Ident(id) if at_param && depth == 1 => {
+                    generics.push(id.to_string());
+                    at_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let body = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_top_level(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Body::Unit,
+        }
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn impl_header(item: &Item, trait_path: &str, bound: bool) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = if bound {
+            item.generics
+                .iter()
+                .map(|g| format!("{g}: {trait_path}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        } else {
+            params.clone()
+        };
+        format!("impl<{bounds}> {trait_path} for {}<{params}>", item.name)
+    }
+}
+
+fn object_of(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect::<String>();
+    format!("::serde::Value::Object(vec![{entries}])")
+}
+
+/// Derive `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => object_of(fields, |f| format!("&self.{f}")),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect::<String>();
+            format!("::serde::Value::Array(vec![{elems}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let ty = &item.name;
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|k| format!("f{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let elems = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k}),"))
+                                .collect::<String>();
+                            format!(
+                                "{ty}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{elems}]))]),"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = object_of(fields, |f| f.to_string());
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let header = impl_header(&item, "::serde::Serialize", true);
+    format!(
+        "#[automatically_derived] {header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated impl must parse")
+}
+
+/// Derive `serde::Deserialize` (vendored stand-in; vacuous marker impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header(&item, "::serde::Deserialize", false);
+    format!("#[automatically_derived] {header} {{}}")
+        .parse()
+        .expect("serde stub derive: generated impl must parse")
+}

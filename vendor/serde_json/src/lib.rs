@@ -1,0 +1,152 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`] tree as JSON text. Only the entry points the workspace uses
+//! are provided (`to_vec_pretty`, `to_string_pretty`, `to_string`).
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+
+/// Serialization error (the stub serializer is infallible; this type only
+/// keeps call sites' `Result` handling compiling).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+impl std::error::Error for Error {}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            out.push_str(&format!("{x:.1}"));
+        } else {
+            out.push_str(&format!("{x}"));
+        }
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+fn write_value(v: &Value, indent: usize, pretty: bool, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => fmt_f64(*x, out),
+        Value::Str(s) => escape(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                escape(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(item, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize `value` to a pretty-printed JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, true, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, false, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty-printed JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Serialize `value` to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("s".into(), Value::Str("hi\"x".into())),
+        ]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[true,null],"s":"hi\"x"}"#);
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
