@@ -23,6 +23,7 @@
 
 use std::collections::VecDeque;
 
+use asman_sim::flight::{CatMask, FlightEv, FlightRecorder, TraceCat, PEER_FUTEX_BIT, VM_UNPATCHED};
 use asman_sim::Cycles;
 use asman_workloads::{Mark, Op, Program};
 
@@ -134,6 +135,10 @@ pub struct GuestKernel {
     workload_locks: u32,
     stats: GuestStats,
     threads_done: usize,
+    /// Guest-layer flight recorder (lock/futex/barrier categories).
+    /// Events carry VM-local indices and [`VM_UNPATCHED`]; the hypervisor
+    /// rebases them when merging cross-layer streams.
+    flight: FlightRecorder,
 }
 
 impl GuestKernel {
@@ -200,7 +205,26 @@ impl GuestKernel {
             observer,
             workload_locks,
             threads_done: 0,
+            flight: FlightRecorder::disabled(),
         }
+    }
+
+    /// Start flight-recording guest synchronization events (the lock,
+    /// futex and barrier categories of `mask`), at most `capacity`
+    /// retained events per category.
+    pub fn enable_flight(&mut self, mask: CatMask, capacity: usize) {
+        self.flight = FlightRecorder::labeled(mask, capacity, "guest");
+    }
+
+    /// The guest-layer flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable access to the flight recorder (e.g. to drain its buffers
+    /// into a merged cross-layer stream).
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
     }
 
     /// Number of VCPUs.
@@ -645,6 +669,17 @@ impl GuestKernel {
                 since: now,
                 purpose,
             };
+            if self.flight.wants(TraceCat::Lock) {
+                self.flight.record(
+                    now,
+                    FlightEv::LockContend {
+                        vm: VM_UNPATCHED,
+                        vcpu: self.threads[t].vcpu as u32,
+                        thread: t as u32,
+                        lock,
+                    },
+                );
+            }
         }
     }
 
@@ -680,13 +715,25 @@ impl GuestKernel {
         self.locks[lock as usize].holder = Some(t);
         self.threads[t].held = Some(lock);
         self.stats.record_wait(now, wait);
+        if self.flight.wants(TraceCat::Lock) {
+            self.flight.record(
+                now,
+                FlightEv::LockAcquire {
+                    vm: VM_UNPATCHED,
+                    vcpu: self.threads[t].vcpu as u32,
+                    thread: t as u32,
+                    lock,
+                    wait: wait.as_u64(),
+                },
+            );
+        }
         if let Some(update) = self.observer.on_spinlock_wait(now, wait) {
             fx.vcrd = Some(update);
         }
     }
 
     /// Set up the timed segment a thread executes once it owns its lock.
-    fn start_locked_work(&mut self, t: usize, purpose: LockPurpose, _now: Cycles) {
+    fn start_locked_work(&mut self, t: usize, purpose: LockPurpose, now: Cycles) {
         let state = match purpose {
             LockPurpose::Critical { hold } => TState::Work {
                 remaining: hold.max(Cycles(1)),
@@ -695,6 +742,20 @@ impl GuestKernel {
             LockPurpose::BarrierEnter { id } => {
                 let b = &mut self.barriers[id as usize];
                 b.arrived += 1;
+                let arrived = b.arrived;
+                if self.flight.wants(TraceCat::Barrier) {
+                    self.flight.record(
+                        now,
+                        FlightEv::BarrierArrive {
+                            vm: VM_UNPATCHED,
+                            vcpu: self.threads[t].vcpu as u32,
+                            thread: t as u32,
+                            barrier: id,
+                            arrived,
+                        },
+                    );
+                }
+                let b = &mut self.barriers[id as usize];
                 if b.arrived as usize == self.threads.len() {
                     let waiters = self.threads.len().saturating_sub(1) as u64;
                     TState::Work {
@@ -829,7 +890,7 @@ impl GuestKernel {
             }
             AfterWork::ReleaseThenWake { id } => {
                 self.threads[t].state = TState::Fetch;
-                self.complete_barrier(id, now, fx);
+                self.complete_barrier(id, t, now, fx);
                 self.release_held(t, now, fx);
             }
             AfterWork::ReleaseThenBlock { id } => {
@@ -839,6 +900,17 @@ impl GuestKernel {
                 let v = self.threads[t].vcpu;
                 if self.vcpus[v].current == Some(t) {
                     self.vcpus[v].current = None;
+                }
+                if self.flight.wants(TraceCat::Futex) {
+                    self.flight.record(
+                        now,
+                        FlightEv::FutexBlock {
+                            vm: VM_UNPATCHED,
+                            vcpu: v as u32,
+                            thread: t as u32,
+                            futex: id,
+                        },
+                    );
                 }
                 self.release_held(t, now, fx);
             }
@@ -864,6 +936,17 @@ impl GuestKernel {
                     if self.vcpus[v].current == Some(t) {
                         self.vcpus[v].current = None;
                     }
+                    if self.flight.wants(TraceCat::Futex) {
+                        self.flight.record(
+                            now,
+                            FlightEv::FutexBlock {
+                                vm: VM_UNPATCHED,
+                                vcpu: v as u32,
+                                thread: t as u32,
+                                futex: PEER_FUTEX_BIT | peer as u32,
+                            },
+                        );
+                    }
                 }
                 self.release_held(t, now, fx);
             }
@@ -871,6 +954,7 @@ impl GuestKernel {
                 self.threads[t].state = TState::Fetch;
                 let progress = self.threads[t].progress;
                 let mut i = 0;
+                let mut woken = 0u32;
                 while i < self.threads[t].blocked_waiters.len() {
                     let (w, target) = self.threads[t].blocked_waiters[i];
                     if target <= progress {
@@ -881,9 +965,22 @@ impl GuestKernel {
                             then: AfterWork::Fetch,
                         };
                         self.make_runnable(w, fx);
+                        woken += 1;
                     } else {
                         i += 1;
                     }
+                }
+                if woken > 0 && self.flight.wants(TraceCat::Futex) {
+                    self.flight.record(
+                        now,
+                        FlightEv::FutexWake {
+                            vm: VM_UNPATCHED,
+                            vcpu: self.threads[t].vcpu as u32,
+                            thread: t as u32,
+                            futex: PEER_FUTEX_BIT | t as u32,
+                            woken,
+                        },
+                    );
                 }
                 self.release_held(t, now, fx);
             }
@@ -919,6 +1016,17 @@ impl GuestKernel {
         };
         debug_assert_eq!(self.locks[lock as usize].holder, Some(t));
         self.locks[lock as usize].holder = None;
+        if self.flight.wants(TraceCat::Lock) {
+            self.flight.record(
+                now,
+                FlightEv::LockRelease {
+                    vm: VM_UNPATCHED,
+                    vcpu: self.threads[t].vcpu as u32,
+                    thread: t as u32,
+                    lock,
+                },
+            );
+        }
         // Oldest waiter whose VCPU is online (a spinner is always its
         // VCPU's current thread, so online ⇔ actively spinning).
         let grantee = self.locks[lock as usize]
@@ -938,14 +1046,42 @@ impl GuestKernel {
         // spinners re-check on their next dispatch.
     }
 
-    /// Advance the barrier generation and release every waiter.
-    fn complete_barrier(&mut self, id: u32, now: Cycles, fx: &mut Effects) {
+    /// Advance the barrier generation and release every waiter. `t` is
+    /// the last-arriving thread executing the release.
+    fn complete_barrier(&mut self, id: u32, t: usize, now: Cycles, fx: &mut Effects) {
         let b = &mut self.barriers[id as usize];
         b.generation += 1;
         b.arrived = 0;
         self.stats.barriers_completed += 1;
         let blocked = std::mem::take(&mut b.blocked);
         let spinners = std::mem::take(&mut b.spinners);
+        if self.flight.is_enabled() {
+            let vcpu = self.threads[t].vcpu as u32;
+            if !blocked.is_empty() && self.flight.wants(TraceCat::Futex) {
+                self.flight.record(
+                    now,
+                    FlightEv::FutexWake {
+                        vm: VM_UNPATCHED,
+                        vcpu,
+                        thread: t as u32,
+                        futex: id,
+                        woken: blocked.len() as u32,
+                    },
+                );
+            }
+            if self.flight.wants(TraceCat::Barrier) {
+                self.flight.record(
+                    now,
+                    FlightEv::BarrierRelease {
+                        vm: VM_UNPATCHED,
+                        vcpu,
+                        thread: t as u32,
+                        barrier: id,
+                        woken: (blocked.len() + spinners.len()) as u32,
+                    },
+                );
+            }
+        }
         for w in blocked {
             debug_assert!(matches!(
                 self.threads[w].state,

@@ -24,7 +24,9 @@
 //! the paper measures.
 
 use asman_guest::{Effects, GuestKernel, GuestWork, Vcrd, VcrdUpdate};
-use asman_sim::{Cycles, EventQueue, SimRng, TraceBuffer};
+use asman_sim::flight::{CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
+use asman_sim::registry::MetricsRegistry;
+use asman_sim::{merge_streams, Cycles, EventQueue, SimRng, TraceBuffer};
 
 use crate::config::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
 use crate::metrics::{SchedEvent, SchedEventKind, VmAccounting};
@@ -130,6 +132,10 @@ pub struct Machine {
     events_processed: u64,
     run_wall: std::time::Duration,
     sched_trace: TraceBuffer<SchedEvent>,
+    /// Hypervisor-layer flight recorder (sched/credit/cosched
+    /// categories). Disabled by default; every record site is guarded by
+    /// a one-word mask test, so the disabled cost is a load + branch.
+    flight: FlightRecorder,
     /// Bit p set ⇔ PCPU p has no running VCPU. Lets tickle sites find
     /// the first idle PCPU without scanning the PCPU table.
     idle_mask: u128,
@@ -252,6 +258,7 @@ impl Machine {
             events_processed: 0,
             run_wall: std::time::Duration::ZERO,
             sched_trace: TraceBuffer::disabled(),
+            flight: FlightRecorder::disabled(),
             idle_mask,
             queued_mask,
             scratch_actives: Vec::new(),
@@ -295,6 +302,11 @@ impl Machine {
     /// VM name.
     pub fn vm_name(&self, vm: usize) -> &str {
         &self.vms[vm].name
+    }
+
+    /// Global VCPU indices belonging to a VM, in slot order.
+    pub fn vm_vcpu_ids(&self, vm: usize) -> &[usize] {
+        &self.vms[vm].vcpu_ids
     }
 
     /// The guest kernel of a VM (measurement access).
@@ -419,6 +431,99 @@ impl Machine {
         &self.sched_trace
     }
 
+    /// Start flight-recording: the hypervisor records the sched, credit
+    /// and cosched categories of `mask`, and every VM's guest kernel
+    /// records the lock, futex and barrier categories; each category
+    /// retains at most `capacity` events per layer.
+    pub fn enable_flight(&mut self, mask: CatMask, capacity: usize) {
+        self.flight = FlightRecorder::labeled(mask, capacity, "hypervisor");
+        for vm in &mut self.vms {
+            vm.kernel.enable_flight(mask, capacity);
+        }
+    }
+
+    /// The hypervisor-layer flight recorder (per-category drop counters,
+    /// retained hypervisor events).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drain every layer's flight-recorder buffers into one time-ordered
+    /// event stream. Guest events are rebased to global VM/VCPU indices.
+    /// The merge visits layers in a fixed order (hypervisor, then VMs by
+    /// index) and sorts stably by timestamp, so the result is fully
+    /// deterministic.
+    pub fn flight_events(&mut self) -> Vec<FlightEvent> {
+        let mut streams = Vec::with_capacity(1 + self.vms.len());
+        streams.push(self.flight.drain_events());
+        for (vm_idx, vm) in self.vms.iter_mut().enumerate() {
+            let map: Vec<u32> = vm.vcpu_ids.iter().map(|&v| v as u32).collect();
+            let mut events = vm.kernel.flight_mut().drain_events();
+            for e in &mut events {
+                e.ev.rebase_guest(vm_idx as u32, &map);
+            }
+            streams.push(events);
+        }
+        merge_streams(streams)
+    }
+
+    /// Per-category flight-recorder totals summed over every layer:
+    /// `(category, seen, dropped)` for each category, hypervisor plus
+    /// all guest kernels.
+    pub fn flight_totals(&self) -> Vec<(TraceCat, u64, u64)> {
+        TraceCat::ALL
+            .iter()
+            .map(|&cat| {
+                let mut seen = self.flight.seen(cat);
+                let mut dropped = self.flight.dropped(cat);
+                for vm in &self.vms {
+                    seen += vm.kernel.flight().seen(cat);
+                    dropped += vm.kernel.flight().dropped(cat);
+                }
+                (cat, seen, dropped)
+            })
+            .collect()
+    }
+
+    /// Register this run's counters and distributions into `reg`. Names
+    /// are `hv.*` for machine-wide metrics, `vm<i>.*` for per-VM ones.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc("hv.events_processed", self.events_processed);
+        reg.gauge("hv.sim_secs", self.cfg.clock.to_secs(self.now));
+        for (cat, seen, dropped) in self.flight_totals() {
+            if seen > 0 {
+                reg.inc(&format!("hv.flight.{}.seen", cat.name()), seen);
+                reg.inc(&format!("hv.flight.{}.dropped", cat.name()), dropped);
+            }
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            let p = format!("vm{i}");
+            reg.inc(&format!("{p}.dispatches"), vm.acct.dispatches.iter().sum());
+            reg.inc(&format!("{p}.migrations"), vm.acct.migrations);
+            reg.inc(&format!("{p}.cosched_bursts"), vm.acct.cosched_bursts);
+            reg.inc(&format!("{p}.vcrd_raises"), vm.acct.vcrd_raises);
+            reg.gauge(
+                &format!("{p}.online_rate"),
+                vm.acct.online_rate(self.now.max(Cycles(1))),
+            );
+            let stats = vm.kernel.stats();
+            reg.inc(&format!("{p}.guest.lock_acquisitions"), stats.lock_acquisitions);
+            reg.inc(
+                &format!("{p}.guest.holder_preemptions"),
+                stats.holder_preemptions,
+            );
+            reg.inc(&format!("{p}.guest.barriers_completed"), stats.barriers_completed);
+            reg.inc(&format!("{p}.guest.timer_ticks"), stats.timer_ticks);
+            reg.inc(
+                &format!("{p}.guest.spin_kernel_cycles"),
+                stats.spin_kernel_cycles.as_u64(),
+            );
+            for &(_, sample) in stats.wait_trace.samples() {
+                reg.observe(&format!("{p}.guest.wait_cycles"), sample.wait.as_u64() as f64);
+            }
+        }
+    }
+
     #[inline]
     fn trace_sched(&mut self, vcpu: usize, pcpu: usize, kind: SchedEventKind) {
         if self.sched_trace.is_enabled() {
@@ -433,6 +538,31 @@ impl Machine {
                 },
             );
         }
+        if self.flight.is_enabled() {
+            self.flight_sched(vcpu, pcpu, kind);
+        }
+    }
+
+    /// Flight-recorder mirror of `trace_sched`, out of line so the
+    /// disabled path stays a single branch in the hot functions.
+    #[cold]
+    fn flight_sched(&mut self, vcpu: usize, pcpu: usize, kind: SchedEventKind) {
+        let vm = self.vcpus[vcpu].vm as u32;
+        let vcpu_id = vcpu as u32;
+        let pcpu_id = pcpu as u32;
+        let ev = match kind {
+            SchedEventKind::Dispatch => FlightEv::Dispatch { vcpu: vcpu_id, vm, pcpu: pcpu_id },
+            SchedEventKind::Preempt => FlightEv::Preempt { vcpu: vcpu_id, vm, pcpu: pcpu_id },
+            SchedEventKind::Block => FlightEv::Block { vcpu: vcpu_id, vm, pcpu: pcpu_id },
+            SchedEventKind::Wake => FlightEv::Wake {
+                vcpu: vcpu_id,
+                vm,
+                boost: self.vcpus[vcpu].boost,
+            },
+            SchedEventKind::Park => FlightEv::Park { vcpu: vcpu_id, vm },
+            SchedEventKind::Unpark => FlightEv::Unpark { vcpu: vcpu_id, vm },
+        };
+        self.flight.record(self.now, ev);
     }
 
     /// The configured weight proportion ω(V_i) of a VM — Equation (1).
@@ -694,6 +824,17 @@ impl Machine {
                     .unwrap_or(0) as i64;
                 let c = &mut self.vcpus[v].credit;
                 *c = (*c + income).min(cap);
+                if self.flight.wants(TraceCat::Credit) {
+                    self.flight.record(
+                        self.now,
+                        FlightEv::CreditAssign {
+                            vcpu: v as u32,
+                            vm: vm as u32,
+                            income,
+                            credit: self.vcpus[v].credit,
+                        },
+                    );
+                }
                 if self.vms[vm].cap == CapMode::NonWorkConserving {
                     // Park/unpark decisions happen here and only here
                     // (Xen's CSCHED_FLAG_VCPU_PARKED semantics).
@@ -933,6 +1074,17 @@ impl Machine {
             self.runq_remove(next);
             if home != pcpu {
                 self.vms[self.vcpus[next].vm].acct.migrations += 1;
+                if self.flight.wants(TraceCat::Sched) {
+                    self.flight.record(
+                        self.now,
+                        FlightEv::Steal {
+                            vcpu: next as u32,
+                            vm: self.vcpus[next].vm as u32,
+                            from: home as u32,
+                            to: pcpu as u32,
+                        },
+                    );
+                }
             }
             if self.dispatch(next, pcpu) {
                 // Xen tickles an idler when a preemption leaves a
@@ -1175,6 +1327,12 @@ impl Machine {
                             self.vcpus[v].boost = true;
                             self.vms[vm].acct.cosched_bursts += 1;
                             self.events.schedule(ipi_at, Ev::Ipi { vcpu: v as u32 });
+                            if self.flight.wants(TraceCat::Cosched) {
+                                self.flight.record(
+                                    self.now,
+                                    FlightEv::CoschedBurst { vm: vm as u32, boosted: 1 },
+                                );
+                            }
                         }
                     }
                     _ => {}
@@ -1204,12 +1362,18 @@ impl Machine {
         self.vms[vm].acct.cosched_bursts += 1;
         self.relocate_siblings(vm);
         let ipi_at = self.now + self.cfg.ipi_latency();
+        let mut boosted = 0u32;
         for i in 0..self.vms[vm].vcpu_ids.len() {
             let v = self.vms[vm].vcpu_ids[i];
             if self.vcpus[v].state == VState::Runnable {
                 self.vcpus[v].boost = true;
                 self.events.schedule(ipi_at, Ev::Ipi { vcpu: v as u32 });
+                boosted += 1;
             }
+        }
+        if self.flight.wants(TraceCat::Cosched) {
+            self.flight
+                .record(self.now, FlightEv::CoschedBurst { vm: vm as u32, boosted });
         }
     }
 
@@ -1271,6 +1435,17 @@ impl Machine {
             self.vcpus[v].assigned = target;
             self.runq_push(target, v);
             self.vms[vm].acct.migrations += 1;
+            if self.flight.wants(TraceCat::Sched) {
+                self.flight.record(
+                    self.now,
+                    FlightEv::Migrate {
+                        vcpu: v as u32,
+                        vm: vm as u32,
+                        from: home as u32,
+                        to: target as u32,
+                    },
+                );
+            }
             occupied[target] = true;
         }
         self.scratch_occupied = occupied;
@@ -1286,6 +1461,15 @@ impl Machine {
         }
         self.note_online_change(vm, 0);
         let prev = self.vms[vm].vcrd;
+        if prev != update.vcrd && self.flight.wants(TraceCat::Cosched) {
+            self.flight.record(
+                self.now,
+                FlightEv::VcrdChange {
+                    vm: vm as u32,
+                    high: update.vcrd == Vcrd::High,
+                },
+            );
+        }
         match (prev, update.vcrd) {
             (Vcrd::Low, Vcrd::High) => {
                 self.vms[vm].vcrd = Vcrd::High;
@@ -1354,6 +1538,70 @@ mod tests {
         // With idle PCPUs and 100% share it should take ~50 ms.
         let secs = clk().to_secs(fin);
         assert!(secs < 0.2, "took {secs}s for 50ms of work");
+    }
+
+    #[test]
+    fn flight_recorder_captures_rebased_cross_layer_stream() {
+        use asman_sim::flight::VM_UNPATCHED;
+        // Two contending VMs with a contended critical section so every
+        // layer produces events.
+        let cfg = MachineConfig {
+            pcpus: 2,
+            ..MachineConfig::default()
+        };
+        let section = vec![
+            Op::CriticalSection {
+                lock: 0,
+                hold: clk().us(50),
+            },
+            Op::Compute(clk().us(20)),
+        ];
+        let prog = |n: &str| {
+            Box::new(ScriptProgram::homogeneous(n, 4, section.clone()).looping())
+        };
+        let mut m = Machine::new(
+            cfg,
+            vec![VmSpec::new("a", 2, prog("a")), VmSpec::new("b", 2, prog("b"))],
+        );
+        m.enable_flight(CatMask::ALL, 100_000);
+        m.run_until(clk().ms(200));
+        m.export_metrics(&mut MetricsRegistry::new()); // must not panic
+        let events = m.flight_events();
+        assert!(!events.is_empty(), "an active run must record events");
+        assert!(
+            events.windows(2).all(|w| w[0].t <= w[1].t),
+            "merged stream must be time-ordered"
+        );
+        let mut cats = [false; asman_sim::flight::FLIGHT_CATS];
+        for e in &events {
+            cats[e.ev.cat() as usize] = true;
+            // Guest events must be rebased to global ids.
+            if let FlightEv::LockAcquire { vm, vcpu, .. } = e.ev {
+                assert_ne!(vm, VM_UNPATCHED, "guest event not rebased");
+                assert!((vcpu as usize) < 4, "vcpu {vcpu} out of range");
+                // VM 0 owns global VCPUs 0–1, VM 1 owns 2–3.
+                assert_eq!(vcpu / 2, vm, "vcpu {vcpu} not owned by vm {vm}");
+            }
+        }
+        assert!(cats[TraceCat::Sched as usize], "sched events expected");
+        assert!(cats[TraceCat::Credit as usize], "credit events expected");
+        assert!(cats[TraceCat::Lock as usize], "lock events expected");
+        // The drain empties the buffers.
+        assert!(m.flight_events().is_empty());
+    }
+
+    #[test]
+    fn disabled_flight_recorder_stays_empty() {
+        let total = clk().ms(20);
+        let p = ScriptProgram::homogeneous("job", 2, vec![Op::Compute(total)]);
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![VmSpec::new("v1", 2, Box::new(p))],
+        );
+        m.run_to_completion(clk().secs(5));
+        assert!(!m.flight().is_enabled());
+        assert!(m.flight_events().is_empty());
+        assert!(m.flight_totals().iter().all(|&(_, seen, _)| seen == 0));
     }
 
     #[test]

@@ -11,7 +11,7 @@ fn main() {
         sc.rounds = 3;
         let rows = sc.run();
         for r in &rows {
-            eprintln!(
+            asman_report::progress!(
                 "combo{} {} mean={:.1}s raises={} online={:.2}",
                 which, r.workload, r.mean_round_secs, r.vcrd_raises, r.online_rate
             );

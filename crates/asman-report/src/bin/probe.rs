@@ -43,7 +43,7 @@ fn main() {
         next = stop + step;
     }
     let acct = m.vm_accounting(1);
-    eprintln!(
+    asman_report::progress!(
         "high_all_online_frac={:.3} bursts={} raises={}",
         acct.high_all_online_frac(),
         acct.cosched_bursts,

@@ -1,16 +1,23 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline|extensions|perf]
+//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline|extensions|perf|trace]
 //!       [--class s|w|a] [--seed N] [--rounds N] [--jobs N] [--json DIR]
+//!       [--trace DIR] [--trace-cats LIST] [-q]
 //! ```
 //!
 //! `timeline` renders an ASCII Gantt chart of the guest VM's VCPU duty
 //! cycles at a 22.2% online rate, under Credit and under ASMan — the
 //! visual core of the paper in two panels.
 //!
-//! `perf` benchmarks the simulation engine itself (events/sec) and
-//! writes `BENCH_engine.json`.
+//! `perf` benchmarks the simulation engine itself (events/sec, with the
+//! flight recorder off and on) and writes `BENCH_engine.json`.
+//!
+//! `trace` flight-records the Figure 1 testbed (LU at the 22.2% online
+//! rate) under Credit and ASMan, and writes Perfetto-loadable Chrome
+//! trace JSON, LHP episode summaries and a metrics dump into the
+//! `--trace` directory. Passing `--trace DIR` alongside figure targets
+//! appends the trace bundle to the run.
 //!
 //! Prints each figure's table and shape checks; `--json DIR` additionally
 //! writes the raw series as JSON artifacts.
@@ -21,15 +28,19 @@ use std::path::PathBuf;
 use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
 };
+use asman_report::{flightrec, logger, progress};
+use asman_sim::CatMask;
 use asman_workloads::ProblemClass;
 
 struct Args {
     which: Vec<String>,
     params: FigureParams,
     json_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    trace_cats: CatMask,
 }
 
-const KNOWN_TARGETS: [&str; 11] = [
+const KNOWN_TARGETS: [&str; 12] = [
     "fig1",
     "fig2",
     "fig7",
@@ -41,6 +52,7 @@ const KNOWN_TARGETS: [&str; 11] = [
     "timeline",
     "extensions",
     "perf",
+    "trace",
 ];
 
 fn usage() -> String {
@@ -56,6 +68,11 @@ fn usage() -> String {
          --jobs N        sweep worker threads; 0 = one per core (default 0).\n                  \
          Results are bit-identical for every value.\n  \
          --json DIR      also write raw series as JSON artifacts into DIR\n  \
+         --trace DIR     write the flight-recorder bundle (Chrome trace,\n                  \
+         LHP episodes, metrics) into DIR; implies the `trace` target\n  \
+         --trace-cats L  comma-separated categories to record\n                  \
+         (sched,credit,cosched,lock,futex,barrier; default all)\n  \
+         -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
     )
@@ -71,12 +88,31 @@ fn parse_args() -> Args {
     let mut which = Vec::new();
     let mut params = FigureParams::default();
     let mut json_dir = None;
+    let mut trace_dir = None;
+    let mut trace_cats = CatMask::ALL;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "-h" | "--help" => {
                 println!("{}", usage());
                 std::process::exit(0);
+            }
+            "-q" | "--quiet" => logger::set_quiet(true),
+            "--trace" => {
+                trace_dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| fail("--trace needs a directory")),
+                ));
+            }
+            "--trace-cats" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--trace-cats needs a category list"));
+                trace_cats = CatMask::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--trace-cats `{v}` has an unknown category \
+                         (known: sched,credit,cosched,lock,futex,barrier)"
+                    ))
+                });
             }
             "--class" => {
                 params.class = match it.next().as_deref().map(str::to_ascii_lowercase).as_deref() {
@@ -126,10 +162,16 @@ fn parse_args() -> Args {
         all.extend(which.into_iter().filter(|w| w != "all" && !w.starts_with("fig")));
         which = all;
     }
+    // `--trace DIR` alongside figure targets appends the trace bundle.
+    if trace_dir.is_some() && !which.iter().any(|w| w == "trace") {
+        which.push("trace".to_string());
+    }
     Args {
         which,
         params,
         json_dir,
+        trace_dir,
+        trace_cats,
     }
 }
 
@@ -154,7 +196,27 @@ fn emit<T: serde::Serialize>(
         fs::create_dir_all(dir).expect("create json dir");
         let path = dir.join(format!("{name}.json"));
         fs::write(&path, serde_json::to_vec_pretty(value).expect("serialize")).expect("write json");
-        eprintln!("wrote {}", path.display());
+        progress!("wrote {}", path.display());
+    }
+}
+
+/// Flight-record the Figure 1 testbed under both schedulers and write
+/// the bundle (Chrome trace, LHP episodes, metrics, text summary) into
+/// the `--trace` directory (falling back to `--json`, then `.`).
+fn run_trace(args: &Args) {
+    let dir = args
+        .trace_dir
+        .clone()
+        .or_else(|| args.json_dir.clone())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let bundles =
+        flightrec::capture_bundles(&args.params, args.trace_cats, flightrec::TRACE_CAPACITY);
+    for b in &bundles {
+        println!("{}", b.summary);
+    }
+    let paths = flightrec::write_bundles(&dir, &bundles).expect("write trace bundle");
+    for p in paths {
+        progress!("wrote {}", p.display());
     }
 }
 
@@ -200,6 +262,8 @@ fn run_perf(args: &Args) {
         events: u64,
         wall_secs: f64,
         events_per_sec: f64,
+        traced_events_per_sec: f64,
+        tracing_overhead_pct: f64,
     }
     #[derive(Serialize)]
     struct Bench {
@@ -209,47 +273,76 @@ fn run_perf(args: &Args) {
         total_events: u64,
         total_wall_secs: f64,
         events_per_sec: f64,
+        traced_events_per_sec: f64,
     }
 
     // Each scheduler runs REPS fresh, identical machines back to back;
     // events and wall time accumulate across the repetitions so the
     // sample covers ~1 s of host time rather than one noisy ~100 ms run.
+    // The sweep then repeats with the flight recorder fully enabled, so
+    // the artifact records tracing-off vs tracing-on throughput.
     const REPS: usize = 5;
+    const TRACED_CAPACITY: usize = 250_000;
     let p = &args.params;
-    println!("Engine benchmark — LU @ 22.2% online rate, sequential, {REPS} reps");
-    println!(
-        "{:>8} {:>12} {:>10} {:>14}",
-        "sched", "events", "wall(s)", "events/sec"
-    );
-    let mut rows = Vec::new();
-    let (mut total_events, mut total_wall) = (0u64, 0.0f64);
-    for sched in [Sched::Credit, Sched::Asman] {
+    let measure = |sched: Sched, traced: bool| -> (u64, f64) {
         let (mut events, mut wall) = (0u64, 0.0f64);
         for _ in 0..REPS {
             let sc = SingleVmScenario::new(sched, 32, p.seed);
             let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
             let mut m = sc.build(Box::new(lu));
+            if traced {
+                m.enable_flight(asman_sim::CatMask::ALL, TRACED_CAPACITY);
+            }
             let clk = m.config().clock;
             m.run_to_completion(clk.secs(sc.horizon_secs));
             let perf = m.perf();
             events += perf.events;
             wall += perf.wall.as_secs_f64();
         }
+        (events, wall)
+    };
+    println!("Engine benchmark — LU @ 22.2% online rate, sequential, {REPS} reps");
+    println!(
+        "{:>8} {:>12} {:>10} {:>14} {:>14} {:>9}",
+        "sched", "events", "wall(s)", "events/sec", "traced ev/s", "trace%"
+    );
+    let mut rows = Vec::new();
+    let (mut total_events, mut total_wall, mut total_tr_events, mut total_tr_wall) =
+        (0u64, 0.0f64, 0u64, 0.0f64);
+    for sched in [Sched::Credit, Sched::Asman] {
+        let (events, wall) = measure(sched, false);
+        let (tr_events, tr_wall) = measure(sched, true);
         let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+        let tr_rate = if tr_wall > 0.0 {
+            tr_events as f64 / tr_wall
+        } else {
+            0.0
+        };
+        let overhead = if rate > 0.0 {
+            (rate - tr_rate) / rate * 100.0
+        } else {
+            0.0
+        };
         println!(
-            "{:>8} {:>12} {:>10.3} {:>14.0}",
+            "{:>8} {:>12} {:>10.3} {:>14.0} {:>14.0} {:>8.1}%",
             sched.label(),
             events,
             wall,
-            rate
+            rate,
+            tr_rate,
+            overhead
         );
         total_events += events;
         total_wall += wall;
+        total_tr_events += tr_events;
+        total_tr_wall += tr_wall;
         rows.push(PerfRow {
             sched: sched.label(),
             events,
             wall_secs: wall,
             events_per_sec: rate,
+            traced_events_per_sec: tr_rate,
+            tracing_overhead_pct: overhead,
         });
     }
     let combined = if total_wall > 0.0 {
@@ -257,9 +350,14 @@ fn run_perf(args: &Args) {
     } else {
         0.0
     };
+    let tr_combined = if total_tr_wall > 0.0 {
+        total_tr_events as f64 / total_tr_wall
+    } else {
+        0.0
+    };
     println!(
-        "{:>8} {:>12} {:>10.3} {:>14.0}",
-        "total", total_events, total_wall, combined
+        "{:>8} {:>12} {:>10.3} {:>14.0} {:>14.0}",
+        "total", total_events, total_wall, combined, tr_combined
     );
     let bench = Bench {
         class: format!("{:?}", p.class),
@@ -268,20 +366,24 @@ fn run_perf(args: &Args) {
         total_events,
         total_wall_secs: total_wall,
         events_per_sec: combined,
+        traced_events_per_sec: tr_combined,
     };
     let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
     fs::create_dir_all(&dir).expect("create json dir");
     let path = dir.join("BENCH_engine.json");
     fs::write(&path, serde_json::to_vec_pretty(&bench).expect("serialize")).expect("write json");
-    eprintln!("wrote {}", path.display());
+    progress!("wrote {}", path.display());
 }
 
 fn main() {
     let args = parse_args();
     let p = &args.params;
-    eprintln!(
+    progress!(
         "class={:?} seed={} rounds={} figures={:?}",
-        p.class, p.seed, p.rounds, args.which
+        p.class,
+        p.seed,
+        p.rounds,
+        args.which
     );
     for fig in args.which.clone() {
         let t0 = std::time::Instant::now();
@@ -319,6 +421,7 @@ fn main() {
                 emit(&args, "fig12", f.render(), f.shape_checks(), &f);
             }
             "perf" => run_perf(&args),
+            "trace" => run_trace(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);
@@ -326,6 +429,6 @@ fn main() {
             }
             other => unreachable!("target `{other}` validated in parse_args"),
         }
-        eprintln!("[{fig} took {:.1?}]", t0.elapsed());
+        progress!("[{fig} took {:.1?}]", t0.elapsed());
     }
 }

@@ -1,0 +1,691 @@
+//! Flight-recorder exporters and the `repro trace` driver.
+//!
+//! Takes the merged cross-layer event stream of a traced
+//! [`Machine`](asman_hypervisor::Machine) and turns it into run
+//! artifacts:
+//!
+//! * **Chrome trace-event JSON** (`trace_<sched>.json`) — loadable in
+//!   [Perfetto](https://ui.perfetto.dev). One track per PCPU (what ran
+//!   on it, as complete spans), one VMM-side track per VCPU (wake,
+//!   steal, migrate, park and credit instants), one track per guest
+//!   thread (spin and hold spans, futex/barrier instants), and one
+//!   track per lock showing detected lock-holder-preemption episodes.
+//! * **LHP episodes** (`lhp_<sched>.json`) — the
+//!   [`LhpSummary`] of [`detect_lhp`] over the merged stream.
+//! * **Metrics** (`metrics_<sched>.json`) — the run's
+//!   [`MetricsRegistry`] dump.
+//! * **Text summary** (`summary_<sched>.txt`, also printed) — per
+//!   category seen/retained/dropped counts and the worst LHP episodes.
+//!
+//! Everything here is deterministic: the event stream is merged with a
+//! stable sort inside the machine, spans are emitted in stream order and
+//! leftover open spans are closed in sorted key order, so the artifacts
+//! are byte-identical for any `--jobs` value.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use asman_hypervisor::Machine;
+use asman_sim::flight::{CatMask, FlightEv, FlightEvent, PEER_FUTEX_BIT};
+use asman_sim::lhp::{detect_lhp, LhpEpisode, LhpSummary};
+use asman_sim::registry::MetricsRegistry;
+use asman_sim::{Clock, Cycles};
+use asman_workloads::{NasBenchmark, NasSpec};
+use serde::Value;
+
+use crate::figures::FigureParams;
+use crate::scenario::{Sched, SingleVmScenario};
+
+/// Simulated window traced by [`capture_bundles`] (seconds).
+pub const TRACE_WINDOW_SECS: u64 = 3;
+
+/// Default per-category, per-layer event capacity for `repro trace`.
+pub const TRACE_CAPACITY: usize = 200_000;
+
+/// How many worst LHP episodes the summary retains.
+const LHP_KEEP: usize = 20;
+
+// ---------------------------------------------------------------- topology
+
+/// Machine topology snapshot used to name exporter tracks.
+struct Topo {
+    vm_names: Vec<String>,
+    /// First global VCPU index of each VM (VCPU ids are contiguous per VM).
+    vm_first_vcpu: Vec<u32>,
+    vm_vcpus: Vec<u32>,
+    pcpus: u32,
+    clock: Clock,
+}
+
+impl Topo {
+    fn from_machine(m: &Machine) -> Topo {
+        let n = m.vm_count();
+        let mut vm_names = Vec::with_capacity(n);
+        let mut vm_first_vcpu = Vec::with_capacity(n);
+        let mut vm_vcpus = Vec::with_capacity(n);
+        for vm in 0..n {
+            let ids = m.vm_vcpu_ids(vm);
+            vm_names.push(m.vm_name(vm).to_string());
+            vm_first_vcpu.push(ids.first().map(|&v| v as u32).unwrap_or(0));
+            vm_vcpus.push(ids.len() as u32);
+        }
+        Topo {
+            vm_names,
+            vm_first_vcpu,
+            vm_vcpus,
+            pcpus: m.config().pcpus as u32,
+            clock: m.config().clock,
+        }
+    }
+
+    /// Map a global VCPU index to `(vm, slot)`.
+    fn locate(&self, vcpu: u32) -> (u32, u32) {
+        for (vm, (&first, &count)) in self
+            .vm_first_vcpu
+            .iter()
+            .zip(self.vm_vcpus.iter())
+            .enumerate()
+        {
+            if vcpu >= first && vcpu < first + count {
+                return (vm as u32, vcpu - first);
+            }
+        }
+        (u32::MAX, vcpu)
+    }
+
+    fn us(&self, t: Cycles) -> f64 {
+        self.clock.to_secs(t) * 1e6
+    }
+}
+
+// ------------------------------------------------- chrome trace-event JSON
+
+// Track ids within a VM's process: guest threads use their own small
+// indices, the VMM-side per-VCPU rows and the per-VM VMM row sit above
+// them, and LHP episode rows live in their own per-VM process.
+const TID_VMM_VCPU_BASE: u64 = 5_000;
+const TID_VMM_ROW: u64 = 4_999;
+const PID_LHP_BASE: u64 = 1_000;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn span(name: String, pid: u64, tid: u64, ts: f64, dur: f64, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::Str("X".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("ts", Value::F64(ts)),
+        ("dur", Value::F64(dur)),
+        ("args", args),
+    ])
+}
+
+fn instant(name: String, pid: u64, tid: u64, ts: f64, args: Value) -> Value {
+    obj(vec![
+        ("name", Value::Str(name)),
+        ("ph", Value::Str("i".to_string())),
+        ("s", Value::Str("t".to_string())),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+        ("ts", Value::F64(ts)),
+        ("args", args),
+    ])
+}
+
+fn meta_name(kind: &str, pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut fields = vec![
+        ("name", Value::Str(kind.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::U64(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Value::U64(tid)));
+    }
+    fields.push((
+        "args",
+        obj(vec![("name", Value::Str(name.to_string()))]),
+    ));
+    obj(fields)
+}
+
+fn futex_name(futex: u32) -> String {
+    if futex & PEER_FUTEX_BIT != 0 {
+        format!("peer t{}", futex & !PEER_FUTEX_BIT)
+    } else {
+        format!("f{futex}")
+    }
+}
+
+/// Build the Chrome trace-event document for a merged event stream.
+///
+/// `end` closes spans still open when the recording window ended.
+fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, end: Cycles) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+
+    // Metadata: process and thread names, fixed order.
+    out.push(meta_name("process_name", 0, None, "PCPUs"));
+    for p in 0..topo.pcpus {
+        out.push(meta_name("thread_name", 0, Some(p as u64), &format!("pcpu{p}")));
+    }
+    for (vm, name) in topo.vm_names.iter().enumerate() {
+        let pid = vm as u64 + 1;
+        out.push(meta_name("process_name", pid, None, name));
+        out.push(meta_name("thread_name", pid, Some(TID_VMM_ROW), "vmm"));
+        for slot in 0..topo.vm_vcpus[vm] {
+            out.push(meta_name(
+                "thread_name",
+                pid,
+                Some(TID_VMM_VCPU_BASE + slot as u64),
+                &format!("v{slot} (vmm)"),
+            ));
+        }
+    }
+
+    // Guest thread rows discovered from the stream; named below once the
+    // per-VM thread population is known.
+    let mut guest_threads: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    for e in events {
+        match e.ev {
+            FlightEv::LockContend { vm, thread, .. }
+            | FlightEv::LockAcquire { vm, thread, .. }
+            | FlightEv::LockRelease { vm, thread, .. }
+            | FlightEv::FutexBlock { vm, thread, .. }
+            | FlightEv::FutexWake { vm, thread, .. }
+            | FlightEv::BarrierArrive { vm, thread, .. }
+            | FlightEv::BarrierRelease { vm, thread, .. } => {
+                guest_threads.insert((vm, thread));
+            }
+            _ => {}
+        }
+    }
+    for &(vm, thread) in &guest_threads {
+        out.push(meta_name(
+            "thread_name",
+            vm as u64 + 1,
+            Some(thread as u64),
+            &format!("t{thread}"),
+        ));
+    }
+
+    // Open-span state. Keys are small integers; leftovers are flushed in
+    // sorted key order so output stays deterministic.
+    let mut running: HashMap<u32, (Cycles, u32)> = HashMap::new(); // vcpu -> (t0, pcpu)
+    let mut spinning: HashMap<(u32, u32), (Cycles, u32)> = HashMap::new(); // (vm,thread) -> (t0, lock)
+    let mut holding: HashMap<(u32, u32, u32), Cycles> = HashMap::new(); // (vm,thread,lock) -> t0
+
+    let vcpu_label = |vcpu: u32| {
+        let (vm, slot) = topo.locate(vcpu);
+        match topo.vm_names.get(vm as usize) {
+            Some(name) => format!("{name}/v{slot}"),
+            None => format!("v{vcpu}"),
+        }
+    };
+    let close_run = |out: &mut Vec<Value>, vcpu: u32, t0: Cycles, pcpu: u32, t1: Cycles| {
+        out.push(span(
+            vcpu_label(vcpu),
+            0,
+            pcpu as u64,
+            topo.us(t0),
+            topo.us(t1.saturating_sub(t0)),
+            obj(vec![("vcpu", Value::U64(vcpu as u64))]),
+        ));
+    };
+
+    for e in events {
+        let t = e.t;
+        match e.ev {
+            FlightEv::Dispatch { vcpu, pcpu, .. } => {
+                running.insert(vcpu, (t, pcpu));
+            }
+            FlightEv::Preempt { vcpu, .. } | FlightEv::Block { vcpu, .. } => {
+                if let Some((t0, pcpu)) = running.remove(&vcpu) {
+                    close_run(&mut out, vcpu, t0, pcpu, t);
+                }
+            }
+            FlightEv::Wake { vcpu, vm, boost } => {
+                let (_, slot) = topo.locate(vcpu);
+                out.push(instant(
+                    if boost { "wake+boost".to_string() } else { "wake".to_string() },
+                    vm as u64 + 1,
+                    TID_VMM_VCPU_BASE + slot as u64,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::Steal { vcpu, vm, from, to } | FlightEv::Migrate { vcpu, vm, from, to } => {
+                let (_, slot) = topo.locate(vcpu);
+                out.push(instant(
+                    format!("{} {from}->{to}", e.ev.kind()),
+                    vm as u64 + 1,
+                    TID_VMM_VCPU_BASE + slot as u64,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::CreditAssign { vcpu, vm, income, credit } => {
+                let (_, slot) = topo.locate(vcpu);
+                out.push(instant(
+                    "credit".to_string(),
+                    vm as u64 + 1,
+                    TID_VMM_VCPU_BASE + slot as u64,
+                    topo.us(t),
+                    obj(vec![
+                        ("income", Value::I64(income)),
+                        ("credit", Value::I64(credit)),
+                    ]),
+                ));
+            }
+            FlightEv::Park { vcpu, vm } | FlightEv::Unpark { vcpu, vm } => {
+                let (_, slot) = topo.locate(vcpu);
+                out.push(instant(
+                    e.ev.kind().to_string(),
+                    vm as u64 + 1,
+                    TID_VMM_VCPU_BASE + slot as u64,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::CoschedBurst { vm, boosted } => {
+                out.push(instant(
+                    "cosched burst".to_string(),
+                    vm as u64 + 1,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    obj(vec![("boosted", Value::U64(boosted as u64))]),
+                ));
+            }
+            FlightEv::VcrdChange { vm, high } => {
+                out.push(instant(
+                    if high { "VCRD high".to_string() } else { "VCRD low".to_string() },
+                    vm as u64 + 1,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::LockContend { vm, thread, lock, .. } => {
+                spinning.insert((vm, thread), (t, lock));
+            }
+            FlightEv::LockAcquire { vm, thread, lock, .. } => {
+                if let Some((t0, l)) = spinning.remove(&(vm, thread)) {
+                    if l == lock {
+                        out.push(span(
+                            format!("spin L{lock}"),
+                            vm as u64 + 1,
+                            thread as u64,
+                            topo.us(t0),
+                            topo.us(t.saturating_sub(t0)),
+                            Value::Null,
+                        ));
+                    }
+                }
+                holding.insert((vm, thread, lock), t);
+            }
+            FlightEv::LockRelease { vm, thread, lock, .. } => {
+                if let Some(t0) = holding.remove(&(vm, thread, lock)) {
+                    out.push(span(
+                        format!("hold L{lock}"),
+                        vm as u64 + 1,
+                        thread as u64,
+                        topo.us(t0),
+                        topo.us(t.saturating_sub(t0)),
+                        Value::Null,
+                    ));
+                }
+            }
+            FlightEv::FutexBlock { vm, thread, futex, .. } => {
+                out.push(instant(
+                    format!("futex block {}", futex_name(futex)),
+                    vm as u64 + 1,
+                    thread as u64,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::FutexWake { vm, thread, futex, woken, .. } => {
+                out.push(instant(
+                    format!("futex wake {}", futex_name(futex)),
+                    vm as u64 + 1,
+                    thread as u64,
+                    topo.us(t),
+                    obj(vec![("woken", Value::U64(woken as u64))]),
+                ));
+            }
+            FlightEv::BarrierArrive { vm, thread, barrier, arrived, .. } => {
+                out.push(instant(
+                    format!("arrive b{barrier}"),
+                    vm as u64 + 1,
+                    thread as u64,
+                    topo.us(t),
+                    obj(vec![("arrived", Value::U64(arrived as u64))]),
+                ));
+            }
+            FlightEv::BarrierRelease { vm, thread, barrier, woken, .. } => {
+                out.push(instant(
+                    format!("release b{barrier}"),
+                    vm as u64 + 1,
+                    thread as u64,
+                    topo.us(t),
+                    obj(vec![("woken", Value::U64(woken as u64))]),
+                ));
+            }
+        }
+    }
+
+    // Close whatever the recording window cut off, in sorted key order.
+    let mut open_runs: Vec<_> = running.into_iter().collect();
+    open_runs.sort_by_key(|&(vcpu, _)| vcpu);
+    for (vcpu, (t0, pcpu)) in open_runs {
+        close_run(&mut out, vcpu, t0, pcpu, end);
+    }
+    let mut open_holds: Vec<_> = holding.into_iter().collect();
+    open_holds.sort_by_key(|&(key, _)| key);
+    for ((vm, thread, lock), t0) in open_holds {
+        out.push(span(
+            format!("hold L{lock} (open)"),
+            vm as u64 + 1,
+            thread as u64,
+            topo.us(t0),
+            topo.us(end.saturating_sub(t0)),
+            Value::Null,
+        ));
+    }
+
+    // LHP episode tracks: one process per VM with episodes, one row per
+    // lock. Episodes arrive sorted from the detector.
+    let mut lhp_vms: Vec<u32> = episodes.iter().map(|e| e.vm).collect();
+    lhp_vms.sort_unstable();
+    lhp_vms.dedup();
+    for &vm in &lhp_vms {
+        let name = topo
+            .vm_names
+            .get(vm as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        out.push(meta_name(
+            "process_name",
+            PID_LHP_BASE + vm as u64,
+            None,
+            &format!("{name} LHP episodes"),
+        ));
+    }
+    for ep in episodes {
+        out.push(span(
+            format!("LHP L{} holder t{}", ep.lock, ep.holder_thread),
+            PID_LHP_BASE + ep.vm as u64,
+            ep.lock as u64,
+            topo.us(ep.start),
+            topo.us(ep.end.saturating_sub(ep.start)),
+            obj(vec![
+                ("holder_vcpu", Value::U64(ep.holder_vcpu as u64)),
+                ("preempted_for_us", Value::F64(topo.us(ep.preempted_for))),
+                ("wasted_spin_us", Value::F64(topo.us(ep.wasted_spin))),
+                ("waiters", Value::U64(ep.waiters as u64)),
+            ]),
+        ));
+    }
+
+    obj(vec![
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+        ("traceEvents", Value::Array(out)),
+    ])
+}
+
+// ------------------------------------------------------------ the bundle
+
+/// Serialized artifacts of one traced run.
+pub struct TraceArtifacts {
+    /// Scheduler label (`"Credit"`, `"ASMan"`).
+    pub sched: &'static str,
+    /// Chrome trace-event JSON (Perfetto-loadable).
+    pub chrome_json: Vec<u8>,
+    /// LHP episode summary JSON.
+    pub lhp_json: Vec<u8>,
+    /// Metrics registry JSON.
+    pub metrics_json: Vec<u8>,
+    /// Human-readable run summary.
+    pub summary: String,
+}
+
+/// Capture a traced machine's artifacts: drains the flight recorders,
+/// detects LHP episodes, exports the metrics registry and renders the
+/// Chrome trace plus text summary.
+pub fn capture(m: &mut Machine, sched: &'static str) -> TraceArtifacts {
+    let topo = Topo::from_machine(m);
+    let totals = m.flight_totals();
+    let end = m.now();
+    let events = m.flight_events();
+    let episodes = detect_lhp(&events);
+    let lhp = LhpSummary::from_episodes(&episodes, LHP_KEEP);
+
+    let mut reg = MetricsRegistry::new();
+    m.export_metrics(&mut reg);
+    reg.inc("lhp.episodes", lhp.episodes);
+    reg.inc("lhp.preempted_cycles", lhp.total_preempted.as_u64());
+    reg.inc("lhp.wasted_spin_cycles", lhp.total_wasted_spin.as_u64());
+
+    let mut summary = format!("flight recorder — {sched}, {} events retained\n", events.len());
+    summary.push_str(&format!(
+        "  {:>8} {:>12} {:>12} {:>12}\n",
+        "category", "seen", "retained", "dropped"
+    ));
+    let mut total_dropped = 0;
+    for &(cat, seen, dropped) in &totals {
+        total_dropped += dropped;
+        summary.push_str(&format!(
+            "  {:>8} {:>12} {:>12} {:>12}\n",
+            cat.name(),
+            seen,
+            seen - dropped,
+            dropped
+        ));
+    }
+    if total_dropped > 0 {
+        summary.push_str(&format!(
+            "  warning: {total_dropped} events dropped at capacity; raise the buffer \
+             capacity or narrow --trace-cats for a complete trace\n"
+        ));
+    }
+    let ms = |c: Cycles| topo.clock.to_ms(c);
+    summary.push_str(&format!(
+        "LHP: {} episodes, holder off-CPU {:.2} ms, wasted waiter spin {:.2} ms\n",
+        lhp.episodes,
+        ms(lhp.total_preempted),
+        ms(lhp.total_wasted_spin)
+    ));
+    for ep in lhp.worst.iter().take(5) {
+        summary.push_str(&format!(
+            "  worst: vm{} L{} holder t{} at {:.1} ms: off-CPU {:.2} ms, wasted {:.2} ms, {} waiter(s)\n",
+            ep.vm,
+            ep.lock,
+            ep.holder_thread,
+            ms(ep.start),
+            ms(ep.preempted_for),
+            ms(ep.wasted_spin),
+            ep.waiters
+        ));
+    }
+
+    let chrome = chrome_trace(&events, &episodes, &topo, end);
+    TraceArtifacts {
+        sched,
+        chrome_json: serde_json::to_vec_pretty(&chrome).expect("serialize chrome trace"),
+        lhp_json: serde_json::to_vec_pretty(&lhp).expect("serialize lhp summary"),
+        metrics_json: serde_json::to_vec_pretty(&reg).expect("serialize metrics"),
+        summary,
+    }
+}
+
+/// Run the `repro trace` scenario — the paper's most scheduler-sensitive
+/// single-VM cell (LU at the 22.2 % online rate, Figure 1's testbed) —
+/// under Credit and ASMan with flight recording on, and capture both
+/// bundles. The two runs go through the sweep runner, so `--jobs`
+/// parallelism applies; artifacts are bit-identical for every job count.
+pub fn capture_bundles(p: &FigureParams, cats: CatMask, capacity: usize) -> Vec<TraceArtifacts> {
+    p.runner().map(vec![Sched::Credit, Sched::Asman], |sched| {
+        let sc = SingleVmScenario::new(sched, 32, p.seed);
+        let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
+        let mut m = sc.build(Box::new(lu));
+        m.enable_flight(cats, capacity);
+        let clk = m.config().clock;
+        m.run_until(clk.secs(TRACE_WINDOW_SECS));
+        capture(&mut m, sched.label())
+    })
+}
+
+/// Write a bundle's artifacts into `dir` (created if missing); returns
+/// the paths written.
+pub fn write_bundles(dir: &Path, bundles: &[TraceArtifacts]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for b in bundles {
+        let tag = b.sched.to_ascii_lowercase();
+        for (name, bytes) in [
+            (format!("trace_{tag}.json"), &b.chrome_json),
+            (format!("lhp_{tag}.json"), &b.lhp_json),
+            (format!("metrics_{tag}.json"), &b.metrics_json),
+            (format!("summary_{tag}.txt"), &b.summary.clone().into_bytes()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, bytes)?;
+            paths.push(path);
+        }
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asman_sim::flight::VM_UNPATCHED;
+
+    fn topo2() -> Topo {
+        Topo {
+            vm_names: vec!["V0".to_string(), "V1".to_string()],
+            vm_first_vcpu: vec![0, 2],
+            vm_vcpus: vec![2, 2],
+            pcpus: 2,
+            clock: Clock::default(),
+        }
+    }
+
+    fn events_of(doc: &Value) -> &Vec<Value> {
+        let Value::Object(top) = doc else { panic!("not an object") };
+        let Some((_, Value::Array(evs))) = top.iter().find(|(k, _)| k == "traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        evs
+    }
+
+    fn field<'a>(ev: &'a Value, name: &str) -> &'a Value {
+        let Value::Object(fields) = ev else { panic!("event not an object") };
+        &fields.iter().find(|(k, _)| k == name).expect(name).1
+    }
+
+    #[test]
+    fn locate_maps_global_vcpus_to_vm_slots() {
+        let t = topo2();
+        assert_eq!(t.locate(0), (0, 0));
+        assert_eq!(t.locate(3), (1, 1));
+        assert_eq!(t.locate(9).0, u32::MAX);
+    }
+
+    #[test]
+    fn chrome_trace_builds_pcpu_spans_and_lock_spans() {
+        let clk = Clock::default();
+        let t = |ms: u64| clk.ms(ms);
+        let evs = vec![
+            FlightEvent { t: t(1), ev: FlightEv::Dispatch { vcpu: 2, vm: 1, pcpu: 0 } },
+            FlightEvent {
+                t: t(2),
+                ev: FlightEv::LockContend { vm: 1, vcpu: 2, thread: 0, lock: 3 },
+            },
+            FlightEvent {
+                t: t(3),
+                ev: FlightEv::LockAcquire { vm: 1, vcpu: 2, thread: 0, lock: 3, wait: 100 },
+            },
+            FlightEvent {
+                t: t(4),
+                ev: FlightEv::LockRelease { vm: 1, vcpu: 2, thread: 0, lock: 3 },
+            },
+            FlightEvent { t: t(5), ev: FlightEv::Preempt { vcpu: 2, vm: 1, pcpu: 0 } },
+            // Still running at end-of-window: closed at `end`.
+            FlightEvent { t: t(6), ev: FlightEv::Dispatch { vcpu: 0, vm: 0, pcpu: 1 } },
+        ];
+        let doc = chrome_trace(&evs, &[], &topo2(), t(10));
+        let events = events_of(&doc);
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| *field(e, "ph") == Value::Str("X".to_string()))
+            .collect();
+        // spin L3, hold L3, V1/v0 on pcpu0, V0/v0 closed at end.
+        assert_eq!(spans.len(), 4);
+        assert!(spans
+            .iter()
+            .any(|s| *field(s, "name") == Value::Str("V1/v0".to_string())));
+        assert!(spans
+            .iter()
+            .any(|s| *field(s, "name") == Value::Str("spin L3".to_string())));
+        assert!(spans
+            .iter()
+            .any(|s| *field(s, "name") == Value::Str("hold L3".to_string())));
+        // Metadata names every PCPU row.
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| *field(e, "ph") == Value::Str("M".to_string()))
+            .collect();
+        assert!(metas.len() >= 2 + 2);
+        // The open dispatch on pcpu1 runs 6 ms..10 ms.
+        let open = spans
+            .iter()
+            .find(|s| *field(s, "name") == Value::Str("V0/v0".to_string()))
+            .unwrap();
+        let Value::F64(dur) = field(open, "dur") else { panic!("dur not f64") };
+        assert!((dur - 4_000.0).abs() < 1.0, "4 ms = 4000 us, got {dur}");
+    }
+
+    #[test]
+    fn lhp_episodes_get_their_own_process() {
+        let clk = Clock::default();
+        let ep = LhpEpisode {
+            vm: 1,
+            lock: 7,
+            holder_vcpu: 3,
+            holder_thread: 1,
+            start: clk.ms(1),
+            end: clk.ms(2),
+            preempted_for: clk.us(500),
+            wasted_spin: clk.us(300),
+            waiters: 2,
+        };
+        let doc = chrome_trace(&[], &[ep], &topo2(), clk.ms(3));
+        let events = events_of(&doc);
+        let lhp_span = events
+            .iter()
+            .find(|e| *field(e, "ph") == Value::Str("X".to_string()))
+            .expect("episode span");
+        assert_eq!(*field(lhp_span, "pid"), Value::U64(PID_LHP_BASE + 1));
+        assert_eq!(*field(lhp_span, "tid"), Value::U64(7));
+        assert!(events.iter().any(|e| {
+            *field(e, "ph") == Value::Str("M".to_string())
+                && format!("{:?}", field(e, "args")).contains("LHP")
+        }));
+    }
+
+    #[test]
+    fn futex_names_distinguish_peer_flags() {
+        assert_eq!(futex_name(4), "f4");
+        assert_eq!(futex_name(PEER_FUTEX_BIT | 2), "peer t2");
+        // Exercise the unpatched sentinel to keep the import honest.
+        assert_eq!(VM_UNPATCHED, u32::MAX);
+    }
+}

@@ -23,7 +23,9 @@ pub mod csv;
 pub mod exec;
 pub mod extensions;
 pub mod figures;
+pub mod flightrec;
 pub mod jbb;
+pub mod logger;
 pub mod multivm;
 pub mod scenario;
 pub mod timeline;

@@ -20,18 +20,30 @@
 //! * [`quantile`] — streaming percentile estimation (P² algorithm).
 //! * [`trace`] — bounded trace recorder for per-event series such as the
 //!   spinlock wait scatter plots of Figures 2 and 8.
+//! * [`flight`] — the cross-layer flight recorder: typed scheduler/guest
+//!   events in per-category bounded buffers with drop accounting.
+//! * [`lhp`] — lock-holder-preemption episode detection over merged
+//!   flight-recorder streams.
+//! * [`registry`] — a unified registry of named counters, gauges and
+//!   quantile histograms serialized into per-run artifacts.
 
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
+pub mod lhp;
 pub mod quantile;
+pub mod registry;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, ScheduledAt};
+pub use flight::{merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
+pub use lhp::{detect_lhp, LhpEpisode, LhpSummary};
 pub use quantile::P2Quantile;
+pub use registry::{MetricsRegistry, QuantileHist};
 pub use rng::SimRng;
 pub use stats::{Log2Histogram, OnlineStats};
 pub use time::{Clock, Cycles};

@@ -1,0 +1,250 @@
+//! A unified metrics registry shared by every layer of the stack.
+//!
+//! The hypervisor, the guest kernels and the reporting layer each keep
+//! their own ad-hoc counters; [`MetricsRegistry`] gives them one place to
+//! register named counters, gauges and quantile histograms so a run can
+//! be serialized into a single `metrics.json` artifact. Names are kept in
+//! sorted order (`BTreeMap`), so serialization is deterministic.
+//!
+//! Histograms reuse the P² streaming estimator from [`crate::quantile`]:
+//! constant memory per histogram, no sample retention.
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, Value};
+
+use crate::quantile::P2Quantile;
+
+/// A streaming histogram: count/min/max/mean plus P² estimates of the
+/// 50th, 90th and 99th percentiles.
+#[derive(Clone, Debug)]
+pub struct QuantileHist {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for QuantileHist {
+    fn default() -> Self {
+        QuantileHist {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            p50: P2Quantile::new(0.50),
+            p90: P2Quantile::new(0.90),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+impl QuantileHist {
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+        self.p50.observe(x);
+        self.p90.observe(x);
+        self.p99.observe(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimated quantile: `q` must be one of 0.5, 0.9, 0.99.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if q == 0.50 {
+            self.p50.estimate()
+        } else if q == 0.90 {
+            self.p90.estimate()
+        } else if q == 0.99 {
+            self.p99.estimate()
+        } else {
+            None
+        }
+    }
+}
+
+impl Serialize for QuantileHist {
+    fn to_value(&self) -> Value {
+        let opt = |v: Option<f64>| v.map(Value::F64).unwrap_or(Value::Null);
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            (
+                "min".to_string(),
+                if self.count > 0 { Value::F64(self.min) } else { Value::Null },
+            ),
+            (
+                "max".to_string(),
+                if self.count > 0 { Value::F64(self.max) } else { Value::Null },
+            ),
+            ("mean".to_string(), opt(self.mean())),
+            ("p50".to_string(), opt(self.p50.estimate())),
+            ("p90".to_string(), opt(self.p90.estimate())),
+            ("p99".to_string(), opt(self.p99.estimate())),
+        ])
+    }
+}
+
+/// Named counters, gauges and quantile histograms for one run.
+///
+/// Metric names are dotted paths by convention
+/// (`"hv.sched.dispatches"`, `"vm1.guest.lock_acquisitions"`); every
+/// map is a `BTreeMap`, so iteration — and therefore the serialized
+/// artifact — is in sorted name order, independent of registration
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, QuantileHist>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to the counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.hists.entry(name.to_string()).or_default().observe(x);
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name, if registered.
+    pub fn hist(&self, name: &str) -> Option<&QuantileHist> {
+        self.hists.get(name)
+    }
+
+    /// Number of registered metrics across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::F64(*v)))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a.b", 2);
+        r.inc("a.b", 3);
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        assert_eq!(r.counter("a.b"), Some(5));
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_quantiles() {
+        let mut r = MetricsRegistry::new();
+        for i in 1..=1000 {
+            r.observe("h", i as f64);
+        }
+        let h = r.hist("h").unwrap();
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.mean(), Some(500.5));
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((p50 - 500.0).abs() < 25.0, "p50 ≈ 500, got {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 990.0).abs() < 25.0, "p99 ≈ 990, got {p99}");
+        assert_eq!(h.quantile(0.42), None);
+    }
+
+    #[test]
+    fn serialization_is_sorted_and_complete() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z.last", 1);
+        r.inc("a.first", 2);
+        r.observe("h", 3.0);
+        let Value::Object(top) = r.to_value() else {
+            panic!("registry must serialize to an object");
+        };
+        assert_eq!(top[0].0, "counters");
+        let Value::Object(counters) = &top[0].1 else {
+            panic!("counters must be an object");
+        };
+        let names: Vec<&str> = counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"], "sorted regardless of insertion");
+        let Value::Object(hists) = &top[2].1 else {
+            panic!("histograms must be an object");
+        };
+        assert_eq!(hists.len(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_nulls() {
+        let h = QuantileHist::default();
+        let Value::Object(fields) = h.to_value() else {
+            panic!("hist must serialize to an object");
+        };
+        assert!(fields.iter().any(|(k, v)| k == "min" && *v == Value::Null));
+    }
+}

@@ -5,21 +5,46 @@
 //! timestamped samples up to a configurable cap (so pathological runs
 //! cannot exhaust memory) while still counting everything it saw.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::Cycles;
+
+/// Global gate for buffer-overflow warnings. Defaults to on; quiet modes
+/// (e.g. `repro -q`) and tests that overflow buffers on purpose turn it
+/// off.
+static WARN_ON_OVERFLOW: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the once-per-buffer overflow warnings emitted by
+/// [`TraceBuffer`] and the flight recorder.
+pub fn set_overflow_warnings(on: bool) {
+    WARN_ON_OVERFLOW.store(on, Ordering::Relaxed);
+}
+
+/// Emit a buffer-overflow warning to stderr, unless warnings are
+/// suppressed via [`set_overflow_warnings`]. Callers are responsible for
+/// the once-per-buffer latch.
+pub fn overflow_warning(msg: &str) {
+    if WARN_ON_OVERFLOW.load(Ordering::Relaxed) {
+        eprintln!("warning: {msg}");
+    }
+}
 
 /// A timestamped sample stream with a hard capacity limit.
 ///
 /// Once `capacity` samples have been stored, further samples are counted
 /// (`total_seen` keeps increasing) but not retained; `dropped()` reports how
-/// many were discarded so analyses can detect truncation.
+/// many were discarded so analyses can detect truncation, and the first
+/// drop emits a warning (gated by [`set_overflow_warnings`]) so truncation
+/// is never silent.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TraceBuffer<T> {
     samples: Vec<(Cycles, T)>,
     capacity: usize,
     total_seen: u64,
     enabled: bool,
+    warned: bool,
 }
 
 impl<T> TraceBuffer<T> {
@@ -30,6 +55,7 @@ impl<T> TraceBuffer<T> {
             capacity,
             total_seen: 0,
             enabled: true,
+            warned: false,
         }
     }
 
@@ -41,6 +67,7 @@ impl<T> TraceBuffer<T> {
             capacity: 0,
             total_seen: 0,
             enabled: false,
+            warned: false,
         }
     }
 
@@ -63,6 +90,13 @@ impl<T> TraceBuffer<T> {
         self.total_seen += 1;
         if self.samples.len() < self.capacity {
             self.samples.push((t, sample));
+        } else if !self.warned {
+            self.warned = true;
+            overflow_warning(&format!(
+                "trace buffer reached its capacity of {} samples; \
+                 further samples are counted but not retained",
+                self.capacity
+            ));
         }
     }
 
@@ -81,11 +115,17 @@ impl<T> TraceBuffer<T> {
         self.total_seen - self.samples.len() as u64
     }
 
+    /// Whether the buffer has overflowed (dropped at least one sample).
+    pub fn overflowed(&self) -> bool {
+        self.dropped() > 0
+    }
+
     /// Discard retained samples and reset counters (capacity and enablement
     /// are preserved).
     pub fn clear(&mut self) {
         self.samples.clear();
         self.total_seen = 0;
+        self.warned = false;
     }
 }
 
@@ -95,14 +135,18 @@ mod tests {
 
     #[test]
     fn records_until_capacity_then_counts() {
+        set_overflow_warnings(false);
         let mut t = TraceBuffer::new(3);
+        assert!(!t.overflowed());
         for i in 0..5u64 {
             t.record(Cycles(i), i * 10);
         }
         assert_eq!(t.samples().len(), 3);
         assert_eq!(t.total_seen(), 5);
         assert_eq!(t.dropped(), 2);
+        assert!(t.overflowed());
         assert_eq!(t.samples()[2], (Cycles(2), 20));
+        set_overflow_warnings(true);
     }
 
     #[test]
@@ -127,12 +171,15 @@ mod tests {
 
     #[test]
     fn clear_resets_but_keeps_capacity() {
+        set_overflow_warnings(false);
         let mut t = TraceBuffer::new(1);
         t.record(Cycles(1), ());
         t.record(Cycles(2), ());
         t.clear();
         assert_eq!(t.total_seen(), 0);
+        assert!(!t.overflowed());
         t.record(Cycles(3), ());
         assert_eq!(t.samples().len(), 1);
+        set_overflow_warnings(true);
     }
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate flight-recorder Chrome trace JSON (stdlib only).
+
+    scripts/check_trace.py TRACE.json [TRACE.json ...]
+
+Checks the structural contract the Perfetto/Chrome trace-event viewer
+relies on, so CI catches exporter regressions without a browser:
+
+* top level is an object with a non-empty ``traceEvents`` list and a
+  ``displayTimeUnit``;
+* every event has a string ``name``, a known phase (``X`` complete span,
+  ``i`` instant, ``M`` metadata) and integer ``pid``/``tid``;
+* spans carry non-negative ``ts`` and ``dur``; instants carry ``ts``;
+* metadata events are ``process_name``/``thread_name`` with a string
+  ``args.name``;
+* at least one metadata event and one span are present, and every
+  (pid, tid) used by a span or instant has a thread/process name.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+PHASES = {"X", "i", "M"}
+META_NAMES = {"process_name", "thread_name"}
+
+
+def fail(path, i, msg):
+    sys.exit(f"{path}: traceEvents[{i}]: {msg}")
+
+
+def check(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        sys.exit(f"{path}: traceEvents must be a non-empty list")
+    if not isinstance(doc.get("displayTimeUnit"), str):
+        sys.exit(f"{path}: displayTimeUnit must be a string")
+
+    named = set()  # (pid, tid) rows with a thread_name, pids with process_name
+    spans = metas = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(path, i, "event must be an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(path, i, "missing event name")
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            fail(path, i, f"unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int) or ev["pid"] < 0:
+            fail(path, i, "pid must be a non-negative integer")
+        if ph != "M" or "tid" in ev:
+            if not isinstance(ev.get("tid", 0), int) or ev.get("tid", 0) < 0:
+                fail(path, i, "tid must be a non-negative integer")
+        if ph == "M":
+            metas += 1
+            if ev["name"] not in META_NAMES:
+                fail(path, i, f"unknown metadata record {ev['name']!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                fail(path, i, "metadata args.name must be a string")
+            if ev["name"] == "process_name":
+                named.add(ev["pid"])
+            else:
+                named.add((ev["pid"], ev["tid"]))
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(path, i, "ts must be a non-negative number")
+        if ph == "X":
+            spans += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, i, "dur must be a non-negative number")
+        row = (ev["pid"], ev["tid"])
+        if row not in named and ev["pid"] not in named:
+            fail(path, i, f"row pid={ev['pid']} tid={ev['tid']} has no name metadata")
+    if metas == 0:
+        sys.exit(f"{path}: no metadata events")
+    if spans == 0:
+        sys.exit(f"{path}: no complete spans")
+    print(f"ok: {path}: {len(events)} events ({spans} spans, {metas} metadata)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    for path in argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
