@@ -60,10 +60,14 @@ pub struct AsmanConfig {
     pub learning: LearningConfig,
 }
 
-/// Build a machine running the ASMan Adaptive Scheduler, attaching a
-/// Monitoring Module to every VM (each with an independent deterministic
-/// seed derived from the machine seed).
-pub fn asman_machine(cfg: AsmanConfig, specs: Vec<VmSpec>) -> Machine {
+/// Resolve an [`AsmanConfig`] into the machine configuration and
+/// observer-decorated VM specs an ASMan deployment needs: the policy is
+/// forced to [`CoschedPolicy::Adaptive`] and every VM gets a Monitoring
+/// Module with an independent deterministic seed derived from the
+/// machine seed. Split out from [`asman_machine`] so the differential
+/// audit harness can build an oracle machine from the exact same
+/// inputs.
+pub fn asman_setup(cfg: AsmanConfig, specs: Vec<VmSpec>) -> (MachineConfig, Vec<VmSpec>) {
     let mcfg = MachineConfig {
         policy: CoschedPolicy::Adaptive,
         ..cfg.machine
@@ -83,6 +87,14 @@ pub fn asman_machine(cfg: AsmanConfig, specs: Vec<VmSpec>) -> Machine {
             )))
         })
         .collect();
+    (mcfg, specs)
+}
+
+/// Build a machine running the ASMan Adaptive Scheduler, attaching a
+/// Monitoring Module to every VM (each with an independent deterministic
+/// seed derived from the machine seed).
+pub fn asman_machine(cfg: AsmanConfig, specs: Vec<VmSpec>) -> Machine {
+    let (mcfg, specs) = asman_setup(cfg, specs);
     Machine::new(mcfg, specs)
 }
 

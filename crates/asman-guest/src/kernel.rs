@@ -1034,6 +1034,25 @@ impl GuestKernel {
             .iter()
             .copied()
             .find(|&w| self.vcpus[self.threads[w].vcpu].online);
+        // Auditor recheck of the FIFO grant rule: every waiter queued
+        // ahead of the grantee must be offline, otherwise an older
+        // active spinner was skipped. Trivially true of the `find`
+        // above — unless the waiter queue or online bookkeeping it
+        // reads has been corrupted elsewhere, which is the drift this
+        // guards against.
+        #[cfg(feature = "audit")]
+        if let Some(w) = grantee {
+            for &earlier in &self.locks[lock as usize].waiters {
+                if earlier == w {
+                    break;
+                }
+                assert!(
+                    !self.vcpus[self.threads[earlier].vcpu].online,
+                    "audit: lock {lock} grant to thread {w} skipped older \
+                     online waiter {earlier}"
+                );
+            }
+        }
         if let Some(w) = grantee {
             let wv = self.threads[w].vcpu;
             debug_assert_eq!(self.vcpus[wv].current, Some(w));

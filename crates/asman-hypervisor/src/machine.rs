@@ -24,6 +24,7 @@
 //! the paper measures.
 
 use asman_guest::{Effects, GuestKernel, GuestWork, Vcrd, VcrdUpdate};
+use asman_sim::audit::{OracleQueue, SimQueue};
 use asman_sim::flight::{CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
 use asman_sim::registry::MetricsRegistry;
 use asman_sim::{merge_streams, Cycles, EventQueue, SimRng, TraceBuffer};
@@ -104,26 +105,72 @@ struct Vm {
 }
 
 #[derive(Clone, Copy, Debug)]
-/// Event payload. Entity indices are `u32` so the whole enum packs into
-/// 16 bytes — the event queue moves these on every sift, and the
-/// simulation never has 4 billion VCPUs.
-enum Ev {
-    Tick { pcpu: u32 },
+/// Event payload of the machine's calendar queue. Entity indices are
+/// `u32` so the whole enum packs into 16 bytes — the event queue moves
+/// these on every sift, and the simulation never has 4 billion VCPUs.
+///
+/// Public so the machine can be instantiated over any
+/// [`SimQueue`]`<Ev>` implementation (see [`OracleMachine`]); the
+/// variants themselves are an implementation detail and carry no
+/// stability promise.
+pub enum Ev {
+    /// Per-PCPU accounting tick (every scheduling slot, staggered).
+    Tick {
+        /// The PCPU whose tick fires.
+        pcpu: u32,
+    },
+    /// Global 30 ms credit assignment.
     Assign,
-    Reschedule { pcpu: u32 },
-    WorkDone { vcpu: u32, epoch: u64 },
-    SleepTimer { vm: u32, thread: u32 },
-    VcrdTimer { vm: u32, epoch: u64 },
-    Ipi { vcpu: u32 },
-    Wake { vcpu: u32 },
+    /// Run the scheduler on one PCPU.
+    Reschedule {
+        /// The PCPU to reschedule.
+        pcpu: u32,
+    },
+    /// A VCPU's installed guest work segment completed.
+    WorkDone {
+        /// The VCPU whose work finished.
+        vcpu: u32,
+        /// Invalidates the event if the VCPU was rescheduled meanwhile.
+        epoch: u64,
+    },
+    /// A sleeping guest thread's timer expired.
+    SleepTimer {
+        /// VM index.
+        vm: u32,
+        /// VM-local thread index.
+        thread: u32,
+    },
+    /// Expiry of a VCRD HIGH period raised with a deadline.
+    VcrdTimer {
+        /// VM index.
+        vm: u32,
+        /// Invalidates the event if the VCRD was re-raised meanwhile.
+        epoch: u64,
+    },
+    /// Coscheduling IPI delivery.
+    Ipi {
+        /// Target VCPU.
+        vcpu: u32,
+    },
+    /// Delayed wake-up delivery (interrupt latency jitter).
+    Wake {
+        /// Target VCPU.
+        vcpu: u32,
+    },
 }
 
 /// The simulated physical machine: PCPUs, the VMM scheduler, and the VMs
 /// with their guest kernels.
-pub struct Machine {
+///
+/// Generic over the event-queue implementation `Q`. The default is the
+/// optimized [`EventQueue`]; [`OracleMachine`] instantiates the same
+/// scheduler logic over the naive [`OracleQueue`], with every cached
+/// lookup (runqueue position index, idle/queued masks, scratch buffers)
+/// replaced by a from-scratch scan wherever `Q::NAIVE` is set.
+pub struct Machine<Q: SimQueue<Ev> = EventQueue<Ev>> {
     cfg: MachineConfig,
     now: Cycles,
-    events: EventQueue<Ev>,
+    events: Q,
     pcpus: Vec<Pcpu>,
     vcpus: Vec<Vcpu>,
     vms: Vec<Vm>,
@@ -150,6 +197,30 @@ pub struct Machine {
     /// Scratch for `relocate_siblings` (avoids an allocation per IPI
     /// burst).
     scratch_occupied: Vec<bool>,
+    /// Invariant-auditor state (shadow ledgers, injected mutations).
+    /// Costs nothing unless the `audit` feature is compiled in.
+    #[cfg(feature = "audit")]
+    audit: AuditState,
+}
+
+/// State of the compiled-in invariant auditor (`audit` feature): a
+/// shadow credit ledger per VM, the injected mutation knobs, and the
+/// last checkpoint time for monotonicity checks.
+#[cfg(feature = "audit")]
+#[derive(Clone, Debug, Default)]
+struct AuditState {
+    /// Expected per-VM sum of VCPU credits. Updated in lockstep with
+    /// every credit assignment and charge; any divergence between this
+    /// and the actual sum means a burn or assignment was lost,
+    /// duplicated, or mis-sized.
+    ledger: Vec<i64>,
+    /// Simulated time of the previous checkpoint (monotonicity check).
+    last_checkpoint: Cycles,
+    /// Number of checkpoints executed (so tests can assert coverage).
+    checkpoints: u64,
+    /// Injected off-by-`skew` error added to every credit burn but not
+    /// to the shadow ledger — the mutation the auditor must catch.
+    skew: i64,
 }
 
 /// Engine throughput snapshot: how many events the machine has popped,
@@ -167,9 +238,24 @@ pub struct PerfSnapshot {
 }
 
 impl Machine {
-    /// Build a machine with the given VMs. VCPUs are spread round-robin
-    /// over the PCPU runqueues and everything starts runnable at t = 0.
+    /// Build a machine with the given VMs over the optimized event
+    /// queue. VCPUs are spread round-robin over the PCPU runqueues and
+    /// everything starts runnable at t = 0.
     pub fn new(cfg: MachineConfig, specs: Vec<VmSpec>) -> Self {
+        Self::build(cfg, specs)
+    }
+}
+
+/// A [`Machine`] over the naive [`OracleQueue`]: same scheduler
+/// semantics, dumbest-possible data structures. Built with
+/// [`Machine::build`]; the differential audit harness runs one of these
+/// in lockstep with the optimized machine and diffs every observable.
+pub type OracleMachine = Machine<OracleQueue<Ev>>;
+
+impl<Q: SimQueue<Ev>> Machine<Q> {
+    /// Build a machine with the given VMs over any event-queue
+    /// implementation (see [`Machine::new`] for the optimized default).
+    pub fn build(cfg: MachineConfig, specs: Vec<VmSpec>) -> Self {
         assert!(cfg.pcpus > 0, "need at least one PCPU");
         assert!(cfg.pcpus <= 128, "the idle/queued masks hold 128 PCPUs");
         assert!(!specs.is_empty(), "need at least one VM");
@@ -249,8 +335,13 @@ impl Machine {
             .fold(0u128, |m, (i, _)| m | (1u128 << i));
         let mut m = Machine {
             rng: SimRng::new(cfg.seed),
-            events: EventQueue::with_capacity(1024),
+            events: Q::fresh(1024),
             now: Cycles::ZERO,
+            #[cfg(feature = "audit")]
+            audit: AuditState {
+                ledger: vec![0; vms.len()],
+                ..AuditState::default()
+            },
             pcpus,
             vcpus,
             vms,
@@ -420,6 +511,55 @@ impl Machine {
         }
     }
 
+    /// Number of auditor checkpoints executed so far (`audit` feature),
+    /// so tests can assert the auditor actually ran.
+    #[cfg(feature = "audit")]
+    pub fn audit_checkpoints(&self) -> u64 {
+        self.audit.checkpoints
+    }
+
+    /// Arm the credit-burn mutation: every subsequent charge burns
+    /// `skew` extra credit without telling the shadow ledger. Exists
+    /// purely so the mutation test can prove the invariant auditor
+    /// catches a hot-path off-by-one; never armed in normal runs.
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_credit_skew(&mut self, skew: i64) {
+        self.audit.skew = skew;
+    }
+
+    /// The invariant auditor's checkpoint, run at every accounting
+    /// event (per-PCPU ticks and the global credit assignment):
+    ///
+    /// * simulated time never moves backwards between checkpoints;
+    /// * per-VM credit conservation — the actual sum of VCPU credits
+    ///   equals the shadow ledger maintained in lockstep with every
+    ///   assignment and burn;
+    /// * the structural invariants of [`Machine::check_invariants`]
+    ///   (runqueue position index, idle/queued masks, state agreement);
+    /// * the event queue's own internal invariants (heap property,
+    ///   lifetime counters).
+    #[cfg(feature = "audit")]
+    fn audit_checkpoint(&mut self) {
+        assert!(
+            self.now >= self.audit.last_checkpoint,
+            "audit: time went backwards ({} -> {})",
+            self.audit.last_checkpoint.as_u64(),
+            self.now.as_u64()
+        );
+        self.audit.last_checkpoint = self.now;
+        self.audit.checkpoints += 1;
+        for vm in 0..self.vms.len() {
+            let sum: i64 = self.vms[vm].vcpu_ids.iter().map(|&v| self.vcpus[v].credit).sum();
+            assert_eq!(
+                sum, self.audit.ledger[vm],
+                "audit: credit not conserved for vm {vm} ({}): actual {sum} vs ledger {} at t={}",
+                self.vms[vm].name, self.audit.ledger[vm], self.now.as_u64()
+            );
+        }
+        self.check_invariants();
+        self.events.audit_check();
+    }
+
     /// Start recording scheduling transitions (up to `capacity` events)
     /// for timeline reconstruction.
     pub fn enable_schedule_trace(&mut self, capacity: usize) {
@@ -582,7 +722,7 @@ impl Machine {
 
     /// Process events until `deadline`, a stop predicate fires, or the
     /// event queue drains. Returns `true` if the predicate fired.
-    pub fn run_while<F: FnMut(&Machine) -> bool>(
+    pub fn run_while<F: FnMut(&Self) -> bool>(
         &mut self,
         deadline: Cycles,
         mut keep_going: F,
@@ -661,6 +801,8 @@ impl Machine {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Tick { pcpu } => {
+                #[cfg(feature = "audit")]
+                self.audit_checkpoint();
                 let pcpu = pcpu as usize;
                 if let Some(v) = self.pcpus[pcpu].running {
                     // BOOST lasts until the first accounting tick the
@@ -699,6 +841,8 @@ impl Machine {
                     .schedule(self.now + self.cfg.slot(), Ev::Tick { pcpu: pcpu as u32 });
             }
             Ev::Assign => {
+                #[cfg(feature = "audit")]
+                self.audit_checkpoint();
                 self.assign_credit();
                 // Parked NWC VCPUs that regained credit are *not* tickled
                 // here: as in Xen, they are picked up lazily at each
@@ -804,7 +948,13 @@ impl Machine {
             // its siblings block soaks up the whole domain's credit — the
             // positive feedback that lets sibling duty cycles drift apart
             // under asynchronous scheduling.
-            let mut actives = std::mem::take(&mut self.scratch_actives);
+            // The oracle allocates a fresh buffer every interval rather
+            // than reusing scratch — deliberately cache-free.
+            let mut actives = if Q::NAIVE {
+                Vec::new()
+            } else {
+                std::mem::take(&mut self.scratch_actives)
+            };
             actives.clear();
             for i in 0..self.vms[vm].vcpu_ids.len() {
                 let v = self.vms[vm].vcpu_ids[i];
@@ -823,7 +973,16 @@ impl Machine {
                     .checked_div(active_sum)
                     .unwrap_or(0) as i64;
                 let c = &mut self.vcpus[v].credit;
+                #[cfg(feature = "audit")]
+                let credit_before = *c;
                 *c = (*c + income).min(cap);
+                #[cfg(feature = "audit")]
+                {
+                    // Record the *clipped* delta: the cap is part of the
+                    // semantics, not an error.
+                    let delta = self.vcpus[v].credit - credit_before;
+                    self.audit.ledger[vm] += delta;
+                }
                 if self.flight.wants(TraceCat::Credit) {
                     self.flight.record(
                         self.now,
@@ -855,7 +1014,9 @@ impl Machine {
                     }
                 }
             }
-            self.scratch_actives = actives;
+            if !Q::NAIVE {
+                self.scratch_actives = actives;
+            }
         }
     }
 
@@ -903,8 +1064,21 @@ impl Machine {
         if el.is_zero() {
             return;
         }
-        self.vcpus[vcpu].credit -= el.as_u64() as i64;
         let vm = self.vcpus[vcpu].vm;
+        #[cfg(feature = "audit")]
+        {
+            // The shadow ledger records the burn the semantics demand;
+            // the actual burn below additionally applies the injected
+            // skew (zero unless a mutation test armed it), so any
+            // off-by-N in the hot path shows up as ledger drift at the
+            // next checkpoint.
+            self.audit.ledger[vm] -= el.as_u64() as i64;
+        }
+        #[cfg(feature = "audit")]
+        let burn = el.as_u64() as i64 + self.audit.skew;
+        #[cfg(not(feature = "audit"))]
+        let burn = el.as_u64() as i64;
+        self.vcpus[vcpu].credit -= burn;
         let slot = self.vcpus[vcpu].slot;
         self.vms[vm].acct.vcpu_online[slot] += el;
     }
@@ -930,10 +1104,22 @@ impl Machine {
 
     /// Remove a queued VCPU from its runqueue in O(1) via the position
     /// index (swap-remove, fixing the displaced tail entry's index).
+    /// The oracle ignores the index and finds the entry by scanning the
+    /// queue; the removal itself stays a swap-remove in both modes
+    /// because the resulting queue order is observable (it feeds the
+    /// candidate scans) and therefore part of the semantics under test.
     #[inline]
     fn runq_remove(&mut self, vcpu: usize) {
         let pcpu = self.vcpus[vcpu].assigned;
-        let pos = self.vcpus[vcpu].runq_pos;
+        let pos = if Q::NAIVE {
+            self.pcpus[pcpu]
+                .runq
+                .iter()
+                .position(|&q| q == vcpu)
+                .expect("runnable vcpu missing from its runqueue")
+        } else {
+            self.vcpus[vcpu].runq_pos
+        };
         debug_assert_eq!(self.pcpus[pcpu].runq.get(pos), Some(&vcpu));
         self.pcpus[pcpu].runq.swap_remove(pos);
         self.vcpus[vcpu].runq_pos = NOT_QUEUED;
@@ -946,9 +1132,13 @@ impl Machine {
     }
 
     /// The lowest-numbered idle PCPU, if any (same choice the old
-    /// linear scan made, found via the idle mask).
+    /// linear scan made, found via the idle mask — or, in the oracle,
+    /// by actually performing that linear scan over the PCPU table).
     #[inline]
     fn first_idle_pcpu(&self) -> Option<usize> {
+        if Q::NAIVE {
+            return self.pcpus.iter().position(|p| p.running.is_none());
+        }
         if self.idle_mask == 0 {
             None
         } else {
@@ -1006,10 +1196,21 @@ impl Machine {
             // Load balancing: steal if the local best is OVER-class or
             // absent (Credit-scheduler idle/priority stealing). Only
             // PCPUs with non-empty runqueues are visited, in index order
-            // — the same order the full scan used.
+            // — the same order the full scan used. The oracle ignores
+            // the cached queued mask and recomputes the set of
+            // non-empty runqueues from the PCPU table.
             let local_class = cand.map(|(_, pc)| pc.0).unwrap_or(0);
             if local_class < 1 {
-                let remote_mask = self.queued_mask & !(1u128 << pcpu);
+                let remote_mask = if Q::NAIVE {
+                    self.pcpus
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| !p.runq.is_empty())
+                        .fold(0u128, |m, (i, _)| m | (1u128 << i))
+                        & !(1u128 << pcpu)
+                } else {
+                    self.queued_mask & !(1u128 << pcpu)
+                };
                 let mut best_remote: Option<(usize, (u8, i64))> = None;
                 let mut mask = remote_mask;
                 while mask != 0 {
@@ -1381,8 +1582,13 @@ impl Machine {
     /// runqueues of distinct PCPUs (none of which already hosts a sibling)
     /// so the IPI burst can bring them online simultaneously.
     fn relocate_siblings(&mut self, vm: usize) {
-        // PCPUs already occupied by a sibling (running or queued).
-        let mut occupied = std::mem::take(&mut self.scratch_occupied);
+        // PCPUs already occupied by a sibling (running or queued). The
+        // oracle allocates afresh per burst instead of reusing scratch.
+        let mut occupied = if Q::NAIVE {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.scratch_occupied)
+        };
         occupied.clear();
         occupied.resize(self.pcpus.len(), false);
         for i in 0..self.vms[vm].vcpu_ids.len() {
@@ -1448,7 +1654,9 @@ impl Machine {
             }
             occupied[target] = true;
         }
-        self.scratch_occupied = occupied;
+        if !Q::NAIVE {
+            self.scratch_occupied = occupied;
+        }
     }
 
     /// `do_vcrd_op` hypercall handler.
@@ -1880,5 +2088,87 @@ mod tests {
             )
         });
         assert!(r.is_err());
+    }
+
+    /// A lock-heavy overcommitted two-VM machine over the given queue —
+    /// enough churn to exercise stealing, preemption and credit flow.
+    fn contended<Q: asman_sim::SimQueue<Ev>>() -> Machine<Q> {
+        let section = vec![
+            Op::CriticalSection {
+                lock: 0,
+                hold: clk().us(150),
+            },
+            Op::Compute(clk().us(80)),
+        ];
+        let prog = |n: &str| Box::new(ScriptProgram::homogeneous(n, 2, section.clone()).looping());
+        Machine::build(
+            MachineConfig {
+                pcpus: 2,
+                ..MachineConfig::default()
+            },
+            vec![VmSpec::new("a", 2, prog("a")), VmSpec::new("b", 2, prog("b"))],
+        )
+    }
+
+    /// The oracle machine must pop the exact event sequence the
+    /// optimized machine pops. Both run with full tracing, so the diff
+    /// covers the scheduler's externally visible behaviour, not just
+    /// its final counters.
+    #[test]
+    fn oracle_machine_matches_optimized_event_stream() {
+        let mut fast: Machine = contended();
+        let mut slow: OracleMachine = contended();
+        fast.enable_flight(CatMask::ALL, 200_000);
+        slow.enable_flight(CatMask::ALL, 200_000);
+        fast.run_until(clk().ms(50));
+        slow.run_until(clk().ms(50));
+        assert_eq!(fast.events_processed(), slow.events_processed());
+        assert_eq!(fast.now(), slow.now());
+        let fe = fast.flight_events();
+        let se = slow.flight_events();
+        assert_eq!(fe.len(), se.len(), "event stream lengths diverge");
+        for (i, (a, b)) in fe.iter().zip(&se).enumerate() {
+            assert_eq!((a.t, &a.ev), (b.t, &b.ev), "first divergence at event {i}");
+        }
+        fast.check_invariants();
+        slow.check_invariants();
+    }
+
+    /// A clean run under the auditor: checkpoints fire and none trips.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn auditor_passes_on_clean_run() {
+        let mut m: Machine = contended();
+        m.run_until(clk().ms(100));
+        assert!(
+            m.audit_checkpoints() > 10,
+            "auditor never ran: {} checkpoints",
+            m.audit_checkpoints()
+        );
+    }
+
+    /// The mutation test the tentpole demands: inject a one-cycle
+    /// off-by-one into every credit burn and assert the auditor
+    /// *detects* it (a green run here would mean the auditor has no
+    /// teeth). `panic = "abort"` applies only to release binaries, not
+    /// the test profile, so `catch_unwind` observes the panic.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn auditor_catches_injected_credit_burn_off_by_one() {
+        let mut m: Machine = contended();
+        m.audit_inject_credit_skew(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run_until(clk().ms(100));
+        }));
+        let payload = r.expect_err("auditor failed to detect the injected skew");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("credit not conserved"),
+            "unexpected panic message: {msg}"
+        );
     }
 }

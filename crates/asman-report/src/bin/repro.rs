@@ -1,17 +1,24 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline|extensions|perf|trace]
+//! repro [fig1|fig2|fig7|fig8|fig9|fig10|fig11|fig12|all|timeline|extensions|perf|trace|audit]
 //!       [--class s|w|a] [--seed N] [--rounds N] [--jobs N] [--json DIR]
-//!       [--trace DIR] [--trace-cats LIST] [-q]
+//!       [--trace DIR] [--trace-cats LIST] [--cells N] [-q]
 //! ```
 //!
 //! `timeline` renders an ASCII Gantt chart of the guest VM's VCPU duty
 //! cycles at a 22.2% online rate, under Credit and under ASMan — the
 //! visual core of the paper in two panels.
 //!
-//! `perf` benchmarks the simulation engine itself (events/sec, with the
-//! flight recorder off and on) and writes `BENCH_engine.json`.
+//! `perf` benchmarks the simulation engine itself (events/sec with the
+//! flight recorder disabled, gated — armed but recording nothing — and
+//! fully capturing) and writes `BENCH_engine.json`.
+//!
+//! `audit` runs the differential oracle harness: `--cells N` randomized
+//! scenario cells (default 200), each executed on both the optimized
+//! engine and the naive oracle, comparing digests and full flight-event
+//! streams; exits non-zero on any divergence. Build with
+//! `--features audit` to also run the in-engine invariant auditor.
 //!
 //! `trace` flight-records the Figure 1 testbed (LU at the 22.2% online
 //! rate) under Credit and ASMan, and writes Perfetto-loadable Chrome
@@ -38,9 +45,10 @@ struct Args {
     json_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
     trace_cats: CatMask,
+    audit_cells: usize,
 }
 
-const KNOWN_TARGETS: [&str; 12] = [
+const KNOWN_TARGETS: [&str; 13] = [
     "fig1",
     "fig2",
     "fig7",
@@ -53,6 +61,7 @@ const KNOWN_TARGETS: [&str; 12] = [
     "extensions",
     "perf",
     "trace",
+    "audit",
 ];
 
 fn usage() -> String {
@@ -72,6 +81,7 @@ fn usage() -> String {
          LHP episodes, metrics) into DIR; implies the `trace` target\n  \
          --trace-cats L  comma-separated categories to record\n                  \
          (sched,credit,cosched,lock,futex,barrier; default all)\n  \
+         --cells N       audit grid size for the `audit` target (default 200)\n  \
          -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
@@ -90,6 +100,7 @@ fn parse_args() -> Args {
     let mut json_dir = None;
     let mut trace_dir = None;
     let mut trace_cats = CatMask::ALL;
+    let mut audit_cells = 200usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,6 +157,12 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| fail("--json needs a directory")),
                 ));
             }
+            "--cells" => {
+                let v = it.next().unwrap_or_else(|| fail("--cells needs a value"));
+                audit_cells = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--cells `{v}` is not a number")));
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown option `{flag}`")),
             "all" => which.push("all".to_string()),
             fig if KNOWN_TARGETS.contains(&fig) => which.push(fig.to_string()),
@@ -172,6 +189,7 @@ fn parse_args() -> Args {
         json_dir,
         trace_dir,
         trace_cats,
+        audit_cells,
     }
 }
 
@@ -262,6 +280,8 @@ fn run_perf(args: &Args) {
         events: u64,
         wall_secs: f64,
         events_per_sec: f64,
+        gated_events_per_sec: f64,
+        gated_overhead_pct: f64,
         traced_events_per_sec: f64,
         tracing_overhead_pct: f64,
     }
@@ -273,25 +293,41 @@ fn run_perf(args: &Args) {
         total_events: u64,
         total_wall_secs: f64,
         events_per_sec: f64,
+        gated_events_per_sec: f64,
         traced_events_per_sec: f64,
+    }
+
+    /// Flight-recorder state during a measurement run.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Rec {
+        /// Recorder fully disabled: record sites are a single branch.
+        Off,
+        /// Recorder armed with an empty category mask: record sites
+        /// build their payloads and are rejected per category — the
+        /// worst case of "tracing compiled in but not recording".
+        Gated,
+        /// Full capture of every category.
+        Traced,
     }
 
     // Each scheduler runs REPS fresh, identical machines back to back;
     // events and wall time accumulate across the repetitions so the
     // sample covers ~1 s of host time rather than one noisy ~100 ms run.
-    // The sweep then repeats with the flight recorder fully enabled, so
-    // the artifact records tracing-off vs tracing-on throughput.
+    // The sweep repeats for each recorder state, so the artifact records
+    // disabled vs gated vs fully-traced throughput.
     const REPS: usize = 5;
     const TRACED_CAPACITY: usize = 250_000;
     let p = &args.params;
-    let measure = |sched: Sched, traced: bool| -> (u64, f64) {
+    let measure = |sched: Sched, rec: Rec| -> (u64, f64) {
         let (mut events, mut wall) = (0u64, 0.0f64);
         for _ in 0..REPS {
             let sc = SingleVmScenario::new(sched, 32, p.seed);
             let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
             let mut m = sc.build(Box::new(lu));
-            if traced {
-                m.enable_flight(asman_sim::CatMask::ALL, TRACED_CAPACITY);
+            match rec {
+                Rec::Off => {}
+                Rec::Gated => m.enable_flight(asman_sim::CatMask(0), 0),
+                Rec::Traced => m.enable_flight(asman_sim::CatMask::ALL, TRACED_CAPACITY),
             }
             let clk = m.config().clock;
             m.run_to_completion(clk.secs(sc.horizon_secs));
@@ -301,39 +337,45 @@ fn run_perf(args: &Args) {
         }
         (events, wall)
     };
+    let rate_of = |events: u64, wall: f64| if wall > 0.0 { events as f64 / wall } else { 0.0 };
+    let overhead_vs = |base: f64, rate: f64| {
+        if base > 0.0 {
+            (base - rate) / base * 100.0
+        } else {
+            0.0
+        }
+    };
     println!("Engine benchmark — LU @ 22.2% online rate, sequential, {REPS} reps");
     println!(
-        "{:>8} {:>12} {:>10} {:>14} {:>14} {:>9}",
-        "sched", "events", "wall(s)", "events/sec", "traced ev/s", "trace%"
+        "{:>8} {:>12} {:>10} {:>14} {:>13} {:>7} {:>13} {:>7}",
+        "sched", "events", "wall(s)", "events/sec", "gated ev/s", "gate%", "traced ev/s", "trace%"
     );
     let mut rows = Vec::new();
-    let (mut total_events, mut total_wall, mut total_tr_events, mut total_tr_wall) =
-        (0u64, 0.0f64, 0u64, 0.0f64);
+    let (mut total_events, mut total_wall) = (0u64, 0.0f64);
+    let (mut total_gt_events, mut total_gt_wall) = (0u64, 0.0f64);
+    let (mut total_tr_events, mut total_tr_wall) = (0u64, 0.0f64);
     for sched in [Sched::Credit, Sched::Asman] {
-        let (events, wall) = measure(sched, false);
-        let (tr_events, tr_wall) = measure(sched, true);
-        let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
-        let tr_rate = if tr_wall > 0.0 {
-            tr_events as f64 / tr_wall
-        } else {
-            0.0
-        };
-        let overhead = if rate > 0.0 {
-            (rate - tr_rate) / rate * 100.0
-        } else {
-            0.0
-        };
+        let (events, wall) = measure(sched, Rec::Off);
+        let (gt_events, gt_wall) = measure(sched, Rec::Gated);
+        let (tr_events, tr_wall) = measure(sched, Rec::Traced);
+        let rate = rate_of(events, wall);
+        let gt_rate = rate_of(gt_events, gt_wall);
+        let tr_rate = rate_of(tr_events, tr_wall);
         println!(
-            "{:>8} {:>12} {:>10.3} {:>14.0} {:>14.0} {:>8.1}%",
+            "{:>8} {:>12} {:>10.3} {:>14.0} {:>13.0} {:>6.1}% {:>13.0} {:>6.1}%",
             sched.label(),
             events,
             wall,
             rate,
+            gt_rate,
+            overhead_vs(rate, gt_rate),
             tr_rate,
-            overhead
+            overhead_vs(rate, tr_rate),
         );
         total_events += events;
         total_wall += wall;
+        total_gt_events += gt_events;
+        total_gt_wall += gt_wall;
         total_tr_events += tr_events;
         total_tr_wall += tr_wall;
         rows.push(PerfRow {
@@ -341,23 +383,18 @@ fn run_perf(args: &Args) {
             events,
             wall_secs: wall,
             events_per_sec: rate,
+            gated_events_per_sec: gt_rate,
+            gated_overhead_pct: overhead_vs(rate, gt_rate),
             traced_events_per_sec: tr_rate,
-            tracing_overhead_pct: overhead,
+            tracing_overhead_pct: overhead_vs(rate, tr_rate),
         });
     }
-    let combined = if total_wall > 0.0 {
-        total_events as f64 / total_wall
-    } else {
-        0.0
-    };
-    let tr_combined = if total_tr_wall > 0.0 {
-        total_tr_events as f64 / total_tr_wall
-    } else {
-        0.0
-    };
+    let combined = rate_of(total_events, total_wall);
+    let gt_combined = rate_of(total_gt_events, total_gt_wall);
+    let tr_combined = rate_of(total_tr_events, total_tr_wall);
     println!(
-        "{:>8} {:>12} {:>10.3} {:>14.0} {:>14.0}",
-        "total", total_events, total_wall, combined, tr_combined
+        "{:>8} {:>12} {:>10.3} {:>14.0} {:>13.0} {:>7} {:>13.0}",
+        "total", total_events, total_wall, combined, gt_combined, "", tr_combined
     );
     let bench = Bench {
         class: format!("{:?}", p.class),
@@ -366,6 +403,7 @@ fn run_perf(args: &Args) {
         total_events,
         total_wall_secs: total_wall,
         events_per_sec: combined,
+        gated_events_per_sec: gt_combined,
         traced_events_per_sec: tr_combined,
     };
     let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
@@ -373,6 +411,41 @@ fn run_perf(args: &Args) {
     let path = dir.join("BENCH_engine.json");
     fs::write(&path, serde_json::to_vec_pretty(&bench).expect("serialize")).expect("write json");
     progress!("wrote {}", path.display());
+}
+
+/// Differential oracle audit: run the optimized engine and the naive
+/// oracle over a randomized scenario grid and demand bit-identical
+/// behavior, then cross-check that the sweep digests are independent
+/// of the worker count. Exits non-zero on any divergence, printing the
+/// first mismatching event of each divergent cell with context.
+fn run_audit(args: &Args) {
+    use asman_report::audit;
+    let report = audit::run_grid(args.audit_cells, args.params.seed, args.params.jobs);
+    println!("{}", report.render());
+    // jobs cross-check: the same leading cells under 1 and 4 workers
+    // must produce identical digests.
+    let sub = args.audit_cells.min(18);
+    let seq = audit::run_grid(sub, args.params.seed, 1);
+    let par = audit::run_grid(sub, args.params.seed, 4);
+    let jobs_ok = seq.digests == par.digests;
+    println!(
+        "jobs cross-check over {sub} cells: {}",
+        if jobs_ok {
+            "1 and 4 workers bit-identical"
+        } else {
+            "FAILED — digests depend on worker count"
+        }
+    );
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join("AUDIT_diff.json");
+        fs::write(&path, serde_json::to_vec_pretty(&report).expect("serialize"))
+            .expect("write json");
+        progress!("wrote {}", path.display());
+    }
+    if !report.ok() || !jobs_ok {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -422,6 +495,7 @@ fn main() {
             }
             "perf" => run_perf(&args),
             "trace" => run_trace(&args),
+            "audit" => run_audit(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);

@@ -12,8 +12,19 @@
 //! sequential behavior; any other job count produces bit-identical output
 //! by construction (slot `i` always holds cell `i`'s result).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Best-effort text of a panic payload (`panic!` with a string covers
+/// every cell in practice; anything else degrades to a placeholder).
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
 
 /// Executes a sweep's cells across a bounded pool of scoped threads,
 /// returning results in deterministic cell order.
@@ -53,6 +64,13 @@ impl SweepRunner {
     /// an atomic cursor — claim order is racy, but each result lands in
     /// its own cell's slot, so the returned `Vec` is independent of
     /// thread scheduling.
+    ///
+    /// A panicking cell no longer unwinds through the scoped pool
+    /// (which used to leave sibling slots half-initialized and poison
+    /// the result mutexes): every cell runs under `catch_unwind`, all
+    /// workers are joined normally, and then the panic of the
+    /// *lowest-indexed* failing cell is re-raised with the cell index
+    /// in its message.
     pub fn run<T, F>(&self, cells: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -60,11 +78,19 @@ impl SweepRunner {
     {
         let n = cells.len();
         if self.jobs <= 1 || n <= 1 {
-            return cells.into_iter().map(|cell| cell()).collect();
+            return cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, cell)| match catch_unwind(AssertUnwindSafe(cell)) {
+                    Ok(out) => out,
+                    Err(p) => panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref())),
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<F>>> =
             cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
         let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.jobs.min(n) {
@@ -78,11 +104,23 @@ impl SweepRunner {
                         .expect("cell slot poisoned")
                         .take()
                         .expect("cell claimed twice");
-                    let out = cell();
-                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                    match catch_unwind(AssertUnwindSafe(cell)) {
+                        Ok(out) => {
+                            *results[i].lock().expect("result slot poisoned") = Some(out);
+                        }
+                        Err(p) => {
+                            let mut first = panicked.lock().expect("panic slot poisoned");
+                            if first.as_ref().is_none_or(|&(j, _)| i < j) {
+                                *first = Some((i, p));
+                            }
+                        }
+                    }
                 });
             }
         });
+        if let Some((i, p)) = panicked.into_inner().expect("panic slot poisoned") {
+            panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref()));
+        }
         results
             .into_iter()
             .map(|slot| {
@@ -156,5 +194,33 @@ mod tests {
         let empty: Vec<fn() -> u8> = Vec::new();
         assert!(SweepRunner::new(4).run(empty).is_empty());
         assert_eq!(SweepRunner::new(4).run(vec![|| 9u8]), vec![9]);
+    }
+
+    /// Regression: a panicking cell used to unwind straight through the
+    /// scoped pool, poisoning sibling mutexes and surfacing as a
+    /// misleading "result slot poisoned". Now every worker joins
+    /// normally and the first failing cell's panic is re-raised with
+    /// its index.
+    #[test]
+    fn cell_panic_reports_lowest_failing_index() {
+        for jobs in [1usize, 4] {
+            let cells: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 3 || i == 7 {
+                            panic!("boom in {i}");
+                        }
+                        i
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let err = catch_unwind(AssertUnwindSafe(|| SweepRunner::new(jobs).run(cells)))
+                .expect_err("sweep must propagate the cell panic");
+            let msg = payload_msg(err.as_ref()).to_string();
+            assert!(
+                msg.contains("sweep cell 3 panicked") && msg.contains("boom in 3"),
+                "jobs={jobs}: unexpected message: {msg}"
+            );
+        }
     }
 }

@@ -681,6 +681,115 @@ mod tests {
         }));
     }
 
+    /// A contended two-VM overcommit with tiny per-category buffers:
+    /// several categories must overflow, and the drop accounting has to
+    /// survive end to end — per-category dropped counts in the text
+    /// summary, the warn-once latch on the overflowing layer, and a
+    /// merged stream that stays time-ordered past capacity.
+    #[test]
+    fn capture_reports_drops_and_merge_stays_ordered_past_capacity() {
+        use asman_hypervisor::{MachineConfig, VmSpec};
+        use asman_workloads::{Op, ScriptProgram};
+
+        asman_sim::trace::set_overflow_warnings(false);
+        let clk = Clock::default();
+        let mk = || {
+            Box::new(
+                ScriptProgram::homogeneous(
+                    "locky",
+                    2,
+                    vec![
+                        Op::CriticalSection { lock: 0, hold: clk.us(150) },
+                        Op::Compute(clk.us(80)),
+                    ],
+                )
+                .looping(),
+            )
+        };
+        let mut m = crate::machine_for(
+            crate::Sched::Credit,
+            MachineConfig { pcpus: 2, ..MachineConfig::default() },
+            vec![VmSpec::new("a", 2, mk()), VmSpec::new("b", 2, mk())],
+        );
+        m.enable_flight(CatMask::ALL, 64);
+        m.run_until(clk.ms(50));
+
+        let totals = m.flight_totals();
+        let overflowed: Vec<_> = totals
+            .iter()
+            .filter(|&&(_, _, dropped)| dropped > 0)
+            .collect();
+        assert!(
+            !overflowed.is_empty(),
+            "the 64-event buffers must overflow in 50 ms of contention"
+        );
+        let warned_somewhere = overflowed.iter().any(|&&(cat, _, _)| {
+            m.flight().warned(cat)
+                || (0..m.vm_count()).any(|vm| m.vm_kernel(vm).flight().warned(cat))
+        });
+        assert!(warned_somewhere, "an overflowing layer must latch its warning");
+
+        let art = capture(&mut m, "Credit");
+        for &&(cat, seen, dropped) in &overflowed {
+            let row = format!(
+                "  {:>8} {:>12} {:>12} {:>12}\n",
+                cat.name(),
+                seen,
+                seen - dropped,
+                dropped
+            );
+            assert!(
+                art.summary.contains(&row),
+                "summary must carry the `{}` drop row:\n{}",
+                cat.name(),
+                art.summary
+            );
+        }
+        assert!(
+            art.summary.contains("warning:") && art.summary.contains("dropped at capacity"),
+            "summary must warn about drops:\n{}",
+            art.summary
+        );
+        asman_sim::trace::set_overflow_warnings(true);
+    }
+
+    #[test]
+    fn merged_stream_stays_ordered_past_capacity() {
+        use asman_hypervisor::{MachineConfig, VmSpec};
+        use asman_workloads::{Op, ScriptProgram};
+
+        asman_sim::trace::set_overflow_warnings(false);
+        let clk = Clock::default();
+        let mk = || {
+            Box::new(
+                ScriptProgram::homogeneous(
+                    "locky",
+                    2,
+                    vec![
+                        Op::CriticalSection { lock: 0, hold: clk.us(150) },
+                        Op::Compute(clk.us(80)),
+                    ],
+                )
+                .looping(),
+            )
+        };
+        let mut m = crate::machine_for(
+            crate::Sched::Credit,
+            MachineConfig { pcpus: 2, ..MachineConfig::default() },
+            vec![VmSpec::new("a", 2, mk()), VmSpec::new("b", 2, mk())],
+        );
+        m.enable_flight(CatMask::ALL, 64);
+        m.run_until(clk.ms(50));
+        assert!(m.flight_totals().iter().any(|&(_, _, d)| d > 0));
+        let events = m.flight_events();
+        assert!(!events.is_empty());
+        assert!(
+            events.windows(2).all(|w| w[0].t <= w[1].t),
+            "merged stream must stay time-ordered past capacity"
+        );
+        asman_sim::trace::set_overflow_warnings(true);
+    }
+
     #[test]
     fn futex_names_distinguish_peer_flags() {
         assert_eq!(futex_name(4), "f4");

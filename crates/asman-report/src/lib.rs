@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod csv;
 pub mod exec;
 pub mod extensions;

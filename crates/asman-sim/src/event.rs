@@ -28,7 +28,7 @@ pub struct ScheduledAt {
 }
 
 #[inline(always)]
-fn pack(time: Cycles, seq: u64) -> u128 {
+pub(crate) fn pack(time: Cycles, seq: u64) -> u128 {
     ((time.as_u64() as u128) << 64) | seq as u128
 }
 
@@ -224,6 +224,30 @@ impl<T> EventQueue<T> {
     /// Total number of events popped over the queue's lifetime.
     pub fn popped_total(&self) -> u64 {
         self.popped
+    }
+
+    /// Panic unless the internal heap invariants hold: every parent key
+    /// is strictly below its children (keys are unique), the key and
+    /// payload arrays stay parallel, and the lifetime counters conserve
+    /// events (`scheduled == popped + pending`).
+    pub fn audit_check(&self) {
+        assert_eq!(
+            self.keys.len(),
+            self.vals.len(),
+            "event queue: key/payload arrays diverged"
+        );
+        for i in 1..self.keys.len() {
+            let parent = (i - 1) / ARITY;
+            assert!(
+                self.keys[parent] < self.keys[i],
+                "event queue: heap property violated at node {i} (parent {parent})"
+            );
+        }
+        assert_eq!(
+            self.next_seq,
+            self.popped + self.len() as u64,
+            "event queue: scheduled != popped + pending"
+        );
     }
 }
 

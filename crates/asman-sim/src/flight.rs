@@ -409,13 +409,23 @@ struct CatBuf {
 /// Per-category bounded event recorder. See the module docs.
 #[derive(Clone, Debug)]
 pub struct FlightRecorder {
-    /// Enabled-category bits (the single word every record site tests).
+    /// Enabled-category bits (the single word every record site tests),
+    /// plus the [`ARMED`] marker bit.
     mask: u32,
     capacity: usize,
     bufs: Vec<CatBuf>,
     /// Label used in the overflow warning (which layer overflowed).
     label: &'static str,
 }
+
+/// High bit of `FlightRecorder::mask` marking a recorder as armed.
+/// An armed recorder with zero category bits passes the cheap
+/// [`FlightRecorder::is_enabled`] guard but fails every per-category
+/// [`FlightRecorder::wants`] test — the configuration `repro perf` uses
+/// to measure the cost of the tracing machinery itself without
+/// capturing anything. Category bits occupy the low [`FLIGHT_CATS`]
+/// bits, so the marker can never collide with one.
+const ARMED: u32 = 1 << 31;
 
 impl FlightRecorder {
     /// A disabled recorder: records nothing, costs one load + branch per
@@ -430,10 +440,12 @@ impl FlightRecorder {
     }
 
     /// A recorder capturing the categories in `mask`, at most
-    /// `capacity` events per category.
+    /// `capacity` events per category. The recorder is *armed* even if
+    /// `mask` is empty: record sites engage and reject every event,
+    /// which is what distinguishes it from [`FlightRecorder::disabled`].
     pub fn new(mask: CatMask, capacity: usize) -> Self {
         FlightRecorder {
-            mask: mask.0,
+            mask: mask.0 | ARMED,
             capacity,
             bufs: vec![CatBuf::default(); FLIGHT_CATS],
             label: "flight",
@@ -448,7 +460,9 @@ impl FlightRecorder {
         }
     }
 
-    /// Whether any category is enabled (cheapest possible guard).
+    /// Whether the recorder is armed (cheapest possible guard). True
+    /// even when every category is masked off — per-category rejection
+    /// happens in [`FlightRecorder::wants`].
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.mask != 0
@@ -461,9 +475,16 @@ impl FlightRecorder {
         self.mask & (1 << cat as u32) != 0
     }
 
-    /// The enabled-category mask.
+    /// The enabled-category mask (without the internal armed marker).
     pub fn mask(&self) -> CatMask {
-        CatMask(self.mask)
+        CatMask(self.mask & CatMask::ALL.0)
+    }
+
+    /// Whether the overflow warning for `cat` has fired. The warning is
+    /// emitted at most once per category per drain cycle, however many
+    /// events are dropped.
+    pub fn warned(&self, cat: TraceCat) -> bool {
+        self.bufs.get(cat as usize).is_some_and(|b| b.warned)
     }
 
     /// Record `ev` at time `t` into its category's buffer. A disabled
@@ -641,6 +662,40 @@ mod tests {
         r.record(Cycles(3), dispatch(1));
         assert_eq!(r.events(TraceCat::Sched).len(), 1);
         crate::trace::set_overflow_warnings(true);
+    }
+
+    #[test]
+    fn overflow_warns_once_per_category_until_cleared() {
+        crate::trace::set_overflow_warnings(false);
+        let mut r = FlightRecorder::new(CatMask::ALL, 1);
+        assert!(!r.warned(TraceCat::Sched));
+        r.record(Cycles(1), dispatch(0));
+        assert!(!r.warned(TraceCat::Sched), "no drop yet");
+        r.record(Cycles(2), dispatch(0));
+        assert!(r.warned(TraceCat::Sched), "first drop latches the warning");
+        r.record(Cycles(3), dispatch(0));
+        assert_eq!(r.dropped(TraceCat::Sched), 2);
+        assert!(r.warned(TraceCat::Sched));
+        assert!(!r.warned(TraceCat::Lock), "other categories stay unwarned");
+        r.clear();
+        assert!(!r.warned(TraceCat::Sched), "clear re-arms the warning");
+        assert_eq!(r.total_dropped(), 0);
+        crate::trace::set_overflow_warnings(true);
+    }
+
+    #[test]
+    fn armed_empty_recorder_gates_but_records_nothing() {
+        let mut r = FlightRecorder::new(CatMask(0), 0);
+        assert!(r.is_enabled(), "armed recorder engages record sites");
+        assert!(r.mask().is_empty(), "public mask strips the armed marker");
+        for cat in TraceCat::ALL {
+            assert!(!r.wants(cat));
+        }
+        r.record(Cycles(1), dispatch(0));
+        r.record(Cycles(2), acquire(0, 3));
+        assert_eq!(r.total_retained(), 0);
+        assert_eq!(r.total_dropped(), 0);
+        assert!(!r.warned(TraceCat::Sched));
     }
 
     #[test]

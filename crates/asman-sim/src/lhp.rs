@@ -207,7 +207,43 @@ pub fn detect_lhp(events: &[FlightEvent]) -> Vec<LhpEpisode> {
     for ((vm, lock), ep) in open {
         out.push(finish(vm, lock, ep, last_t));
     }
+    #[cfg(feature = "audit")]
+    check_episode_invariants(&out);
     out
+}
+
+/// Panic unless every episode satisfies the detector's bookkeeping
+/// bounds: episodes span forward in time, the holder cannot be off-CPU
+/// longer than the episode lasted, and `wasted_spin` — time integrated
+/// over concurrently spinning waiters — can never exceed the maximum
+/// waiter count times the episode's duration. Run automatically at the
+/// end of [`detect_lhp`] under the `audit` feature; the differential
+/// harness also calls it explicitly.
+pub fn check_episode_invariants(episodes: &[LhpEpisode]) {
+    for (i, ep) in episodes.iter().enumerate() {
+        assert!(
+            ep.start <= ep.end,
+            "lhp episode {i}: start {} after end {}",
+            ep.start.as_u64(),
+            ep.end.as_u64()
+        );
+        let span = ep.end - ep.start;
+        assert!(
+            ep.preempted_for <= span,
+            "lhp episode {i}: preempted_for {} exceeds span {}",
+            ep.preempted_for.as_u64(),
+            span.as_u64()
+        );
+        let bound = span * ep.waiters as u64;
+        assert!(
+            ep.wasted_spin <= bound,
+            "lhp episode {i}: wasted_spin {} exceeds waiters({}) x span({}) = {}",
+            ep.wasted_spin.as_u64(),
+            ep.waiters,
+            span.as_u64(),
+            bound.as_u64()
+        );
+    }
 }
 
 fn finish(vm: u32, lock: u32, ep: Episode, end: Cycles) -> LhpEpisode {

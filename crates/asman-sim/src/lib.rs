@@ -26,9 +26,12 @@
 //!   flight-recorder streams.
 //! * [`registry`] — a unified registry of named counters, gauges and
 //!   quantile histograms serialized into per-run artifacts.
+//! * [`audit`] — the [`SimQueue`] trait shared by the optimized queue
+//!   and the naive [`OracleQueue`] used for differential auditing.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod event;
 pub mod flight;
 pub mod lhp;
@@ -39,9 +42,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use audit::{OracleQueue, SimQueue};
 pub use event::{EventQueue, ScheduledAt};
 pub use flight::{merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
-pub use lhp::{detect_lhp, LhpEpisode, LhpSummary};
+pub use lhp::{check_episode_invariants, detect_lhp, LhpEpisode, LhpSummary};
 pub use quantile::P2Quantile;
 pub use registry::{MetricsRegistry, QuantileHist};
 pub use rng::SimRng;

@@ -41,13 +41,18 @@ impl P2Quantile {
         self.count
     }
 
-    /// Feed one observation.
+    /// Feed one observation. Non-finite samples (NaN, ±∞) are ignored:
+    /// they carry no rank information, and letting one through would
+    /// poison every later comparison against the marker heights.
     pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 5 {
             self.q[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -76,11 +81,17 @@ impl P2Quantile {
             {
                 let d = d.signum();
                 let qp = self.parabolic(i, d);
-                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                let new_q = if self.q[i - 1] < qp && qp < self.q[i + 1] {
                     qp
                 } else {
                     self.linear(i, d)
                 };
+                // The linear fallback can still overshoot a neighbour on
+                // heavily duplicated streams (adjacent markers at equal
+                // heights make the interpolation degenerate). Clamp to
+                // keep the marker heights monotone — a P² invariant the
+                // estimate and later updates rely on.
+                self.q[i] = new_q.clamp(self.q[i - 1], self.q[i + 1]);
                 self.n[i] += d;
             }
         }
@@ -105,7 +116,7 @@ impl P2Quantile {
             c if c < 5 => {
                 // Exact small-sample quantile.
                 let mut v = self.q[..c].to_vec();
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(f64::total_cmp);
                 let idx = ((c as f64 - 1.0) * self.p).round() as usize;
                 Some(v[idx])
             }
@@ -170,5 +181,57 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn rejects_invalid_p() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    /// Regression: an all-equal stream degenerates every marker gap to
+    /// zero; the estimator must neither panic nor drift off the value.
+    #[test]
+    fn all_equal_stream_stays_exact() {
+        for p in [0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            for _ in 0..10_000 {
+                est.observe(5.0);
+            }
+            assert_eq!(est.estimate(), Some(5.0), "p={p}");
+            assert_eq!(est.count(), 10_000);
+        }
+    }
+
+    /// Regression: NaN (and ±∞) used to reach `partial_cmp().unwrap()`
+    /// and panic. They are now ignored without disturbing the estimate.
+    #[test]
+    fn nan_and_inf_samples_are_ignored() {
+        let mut est = P2Quantile::new(0.5);
+        est.observe(f64::NAN); // before the init sort
+        let mut rng = SimRng::new(11);
+        for i in 0..50_000 {
+            est.observe(rng.f64());
+            if i % 97 == 0 {
+                est.observe(f64::NAN);
+                est.observe(f64::INFINITY);
+                est.observe(f64::NEG_INFINITY);
+            }
+        }
+        assert_eq!(est.count(), 50_000);
+        let m = est.estimate().unwrap();
+        assert!(m.is_finite());
+        assert!((m - 0.5).abs() < 0.02, "median estimate {m}");
+    }
+
+    /// Regression: a two-value stream (heavy duplication) could push the
+    /// interior marker heights out of monotone order via the linear
+    /// fallback. The estimate must stay inside the observed range.
+    #[test]
+    fn two_value_stream_stays_in_range() {
+        for p in [0.25, 0.5, 0.9] {
+            let mut est = P2Quantile::new(p);
+            let mut rng = SimRng::new(12);
+            for _ in 0..20_000 {
+                let x = if rng.f64() < 0.5 { 1.0 } else { 2.0 };
+                est.observe(x);
+            }
+            let q = est.estimate().unwrap();
+            assert!((1.0..=2.0).contains(&q), "p={p} estimate {q}");
+        }
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Differential oracle audit sweep.
+#
+# Runs the optimized engine against the naive oracle over a randomized
+# scenario grid (schedulers x workloads x PCPU counts x cap modes x
+# tracing on/off) and fails on the first bit-level divergence, quoting
+# the first mismatching event with context. Builds with the `audit`
+# feature, so the in-engine invariant auditor (shadow credit ledger,
+# heap/runqueue/mask checkpoints, FIFO lock-grant recheck) also runs at
+# every accounting slot of every cell, and the engine test suite's
+# injected credit-burn mutation test proves the auditor actually bites.
+#
+#   scripts/audit_sweep.sh [CELLS] [JOBS] [OUT_DIR]
+#
+# CELLS defaults to 200 (the acceptance grid), JOBS to all cores, and
+# OUT_DIR (for AUDIT_diff.json) to ./audit-out.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cells="${1:-200}"
+jobs="${2:-0}"
+out_dir="${3:-audit-out}"
+
+cargo test -q -p asman-hypervisor --features audit
+cargo run --release -p asman-report --features audit --bin repro -- \
+    audit --cells "$cells" --jobs "$jobs" --json "$out_dir"

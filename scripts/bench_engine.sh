@@ -4,10 +4,13 @@
 # Builds the repro binary tuned for the local CPU (in its own target
 # directory, so the portable ./target build is left alone), runs the
 # `repro perf` subcommand, and writes BENCH_engine.json into OUT_DIR
-# (default: the repository root). Each scheduler row records both
-# events_per_sec (flight recorder disabled — the tier-1 number) and
-# traced_events_per_sec / tracing_overhead_pct (all categories enabled),
-# so tracing-cost regressions show up in the artifact.
+# (default: the repository root). Each scheduler row records
+# events_per_sec (flight recorder disabled — the tier-1 number),
+# gated_events_per_sec / gated_overhead_pct (recorder armed with an
+# empty mask: the cost of tracing compiled in but recording nothing,
+# held under 5%), and traced_events_per_sec / tracing_overhead_pct
+# (all categories enabled), so tracing-cost regressions show up in the
+# artifact.
 #
 #   scripts/bench_engine.sh [OUT_DIR]
 #
