@@ -1,0 +1,298 @@
+//! Global placement policies.
+//!
+//! The balancer runs at every epoch boundary over a [`Snapshot`] of
+//! per-host and per-VM telemetry and proposes at most **one** migration
+//! per epoch — a deliberate serialization that, together with the
+//! per-VM cooldown, is the anti-thrash hysteresis: a placement change
+//! must prove itself for a few epochs before the next one is allowed.
+//!
+//! All arithmetic is integer and all tie-breaks are by lowest index, so
+//! a decision is a pure deterministic function of the snapshot.
+
+use serde::Serialize;
+
+/// Placement policy of the cluster balancer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Policy {
+    /// Never migrate: VMs stay where they were placed.
+    Static,
+    /// Classic VCPU-count balancing, blind to what the VCPUs do: move a
+    /// VM from the most- to the least-overcommitted host when that
+    /// strictly narrows the spread.
+    LeastLoaded,
+    /// ASMan's cluster-level generalization: use the per-VM VCRD/spin
+    /// telemetry to identify *concurrent* VMs (gangs) and separate them
+    /// onto hosts where each gang can be coscheduled without fighting
+    /// another gang for PCPUs.
+    VcrdAware,
+}
+
+impl Policy {
+    /// Stable CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::LeastLoaded => "least-loaded",
+            Policy::VcrdAware => "vcrd-aware",
+        }
+    }
+
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "static" => Some(Policy::Static),
+            "least-loaded" => Some(Policy::LeastLoaded),
+            "vcrd-aware" => Some(Policy::VcrdAware),
+            _ => None,
+        }
+    }
+
+    /// Every policy, in CLI order.
+    pub const ALL: [Policy; 3] = [Policy::Static, Policy::LeastLoaded, Policy::VcrdAware];
+}
+
+/// Per-host facts the balancer sees.
+#[derive(Clone, Debug)]
+pub struct HostView {
+    /// Physical CPUs.
+    pub pcpus: usize,
+}
+
+/// Per-VM facts the balancer sees (deltas are over the last epoch).
+#[derive(Clone, Debug)]
+pub struct VmView {
+    /// Host the VM currently resides on.
+    pub host: usize,
+    /// VCPU count.
+    pub vcpus: usize,
+    /// Cycles burned busy-waiting in the guest kernel last epoch.
+    pub spin_delta: u64,
+    /// Cycles the VMM saw the VM's VCRD held HIGH last epoch.
+    pub vcrd_high_delta: u64,
+    /// Still inside the post-migration cooldown window.
+    pub cooling: bool,
+}
+
+/// One epoch's telemetry: everything a policy may consult.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Hosts by index.
+    pub hosts: Vec<HostView>,
+    /// VMs by cluster-wide id.
+    pub vms: Vec<VmView>,
+    /// Epoch length in cycles (normalizes the delta thresholds).
+    pub epoch_cycles: u64,
+}
+
+/// A proposed migration: move cluster VM `vm` to host `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Move {
+    /// Cluster-wide VM id.
+    pub vm: usize,
+    /// Destination host.
+    pub to: usize,
+}
+
+impl Snapshot {
+    /// Total resident VCPUs on a host.
+    fn load(&self, host: usize) -> u64 {
+        self.vms
+            .iter()
+            .filter(|v| v.host == host)
+            .map(|v| v.vcpus as u64)
+            .sum()
+    }
+
+    /// Overcommit ratio in milli-VCPUs-per-PCPU.
+    fn overcommit(&self, host: usize) -> u64 {
+        self.load(host) * 1000 / self.hosts[host].pcpus as u64
+    }
+
+    /// Whether a VM behaved as a concurrent gang last epoch: its VCRD
+    /// was HIGH for a meaningful share of the epoch, or it burned a
+    /// meaningful share busy-waiting in the kernel.
+    fn concurrent(&self, vm: usize) -> bool {
+        let v = &self.vms[vm];
+        v.vcrd_high_delta >= self.epoch_cycles / 16 || v.spin_delta >= self.epoch_cycles / 32
+    }
+
+    /// Total VCPUs of concurrent VMs resident on a host — the PCPU
+    /// demand of its gangs. While this exceeds `pcpus`, the gangs
+    /// cannot all be coscheduled cleanly.
+    fn gang_pressure(&self, host: usize) -> u64 {
+        self.vms
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| v.host == host && self.concurrent(*i))
+            .map(|(_, v)| v.vcpus as u64)
+            .sum()
+    }
+}
+
+/// The balancer decision for one epoch boundary: at most one move.
+pub fn decide(policy: Policy, snap: &Snapshot) -> Option<Move> {
+    match policy {
+        Policy::Static => None,
+        Policy::LeastLoaded => decide_least_loaded(snap),
+        Policy::VcrdAware => decide_vcrd_aware(snap),
+    }
+}
+
+fn decide_least_loaded(snap: &Snapshot) -> Option<Move> {
+    let n = snap.hosts.len();
+    let hmax = (0..n).max_by_key(|&h| (snap.overcommit(h), std::cmp::Reverse(h)))?;
+    let hmin = (0..n).min_by_key(|&h| (snap.overcommit(h), h))?;
+    if hmax == hmin {
+        return None;
+    }
+    let spread = snap.overcommit(hmax) - snap.overcommit(hmin);
+    // Largest movable VM on the hottest host (ties: lowest id).
+    let vm = snap
+        .vms
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| {
+            v.host == hmax && !v.cooling && v.vcpus <= snap.hosts[hmin].pcpus
+        })
+        .max_by_key(|(i, v)| (v.vcpus, std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)?;
+    // Strict improvement only: simulate the move and demand the spread
+    // narrows. Without this the balancer ping-pongs a VM between two
+    // equally loaded hosts forever.
+    let moved = snap.vms[vm].vcpus as u64 * 1000;
+    let max_after = snap.overcommit(hmax) - moved / snap.hosts[hmax].pcpus as u64;
+    let min_after = snap.overcommit(hmin) + moved / snap.hosts[hmin].pcpus as u64;
+    let spread_after = max_after.abs_diff(min_after);
+    if spread_after < spread {
+        Some(Move { vm, to: hmin })
+    } else {
+        None
+    }
+}
+
+fn decide_vcrd_aware(snap: &Snapshot) -> Option<Move> {
+    let n = snap.hosts.len();
+    // Hottest gang host: gangs demand more PCPUs than exist, so they
+    // cannot co-run without lock-holder preemption.
+    let src = (0..n)
+        .filter(|&h| snap.gang_pressure(h) > snap.hosts[h].pcpus as u64)
+        .max_by_key(|&h| (snap.gang_pressure(h), std::cmp::Reverse(h)))?;
+    // The most spin-burdened concurrent VM there (ties: lowest id).
+    let vm = snap
+        .vms
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| v.host == src && !v.cooling && snap.concurrent(*i))
+        .max_by_key(|(i, v)| {
+            (
+                v.spin_delta,
+                v.vcrd_high_delta,
+                std::cmp::Reverse(*i),
+            )
+        })
+        .map(|(i, _)| i)?;
+    let need = snap.vms[vm].vcpus as u64;
+    // Best destination: lowest gang pressure (then overcommit, then
+    // index) among hosts where this gang still fits cleanly after the
+    // move — its VCPUs must not push gang demand past the PCPUs.
+    let dst = (0..n)
+        .filter(|&h| {
+            h != src
+                && need as usize <= snap.hosts[h].pcpus
+                && snap.gang_pressure(h) + need <= snap.hosts[h].pcpus as u64
+        })
+        .min_by_key(|&h| (snap.gang_pressure(h), snap.overcommit(h), h))?;
+    // Hysteresis margin: the move must genuinely relieve the source —
+    // the destination's pressure (after the move) must stay below what
+    // the source suffers now.
+    if snap.gang_pressure(dst) + need < snap.gang_pressure(src) {
+        Some(Move { vm, to: dst })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(hosts: Vec<usize>, vms: Vec<(usize, usize, u64, u64)>) -> Snapshot {
+        Snapshot {
+            hosts: hosts.into_iter().map(|pcpus| HostView { pcpus }).collect(),
+            vms: vms
+                .into_iter()
+                .map(|(host, vcpus, spin, high)| VmView {
+                    host,
+                    vcpus,
+                    spin_delta: spin,
+                    vcrd_high_delta: high,
+                    cooling: false,
+                })
+                .collect(),
+            epoch_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let s = snap(vec![4, 4], vec![(0, 4, 999_999, 999_999), (0, 4, 0, 0)]);
+        assert_eq!(decide(Policy::Static, &s), None);
+    }
+
+    #[test]
+    fn least_loaded_balances_vcpu_counts_blindly() {
+        // Host 0: 8 VCPUs, host 1: 2 — move the biggest VM over.
+        let s = snap(
+            vec![4, 4],
+            vec![(0, 4, 0, 0), (0, 2, 0, 0), (0, 2, 0, 0), (1, 2, 0, 0)],
+        );
+        let mv = decide(Policy::LeastLoaded, &s).expect("should balance");
+        assert_eq!(mv, Move { vm: 0, to: 1 });
+    }
+
+    #[test]
+    fn least_loaded_holds_when_balanced() {
+        let s = snap(vec![4, 4], vec![(0, 4, 0, 0), (1, 4, 0, 0)]);
+        assert_eq!(decide(Policy::LeastLoaded, &s), None);
+    }
+
+    #[test]
+    fn vcrd_aware_separates_fighting_gangs() {
+        // Two spinning 3-VCPU gangs on a 4-PCPU host; a quiet big VM on
+        // host 1. Least-loaded would move the big VM; vcrd-aware must
+        // move the spinnier gang to the gang-free host.
+        let s = snap(
+            vec![4, 4],
+            vec![
+                (0, 3, 900_000, 0),
+                (0, 3, 400_000, 0),
+                (1, 4, 0, 0),
+            ],
+        );
+        let mv = decide(Policy::VcrdAware, &s).expect("should separate gangs");
+        assert_eq!(mv, Move { vm: 0, to: 1 });
+        // Least-loaded sees only VCPU counts: moving a 3-VCPU VM from
+        // the 6-VCPU host to the 4-VCPU host would *widen* the spread,
+        // so it refuses — and the spin persists.
+        assert_eq!(decide(Policy::LeastLoaded, &s), None);
+    }
+
+    #[test]
+    fn vcrd_aware_leaves_a_lone_gang_alone() {
+        let s = snap(vec![4, 4], vec![(0, 3, 900_000, 0), (1, 4, 0, 0)]);
+        assert_eq!(decide(Policy::VcrdAware, &s), None);
+    }
+
+    #[test]
+    fn cooldown_vetoes_a_repeat_move() {
+        let mut s = snap(
+            vec![4, 4],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0), (1, 4, 0, 0)],
+        );
+        s.vms[0].cooling = true;
+        let mv = decide(Policy::VcrdAware, &s).expect("second gang still movable");
+        assert_eq!(mv.vm, 1, "cooling VM must be skipped");
+        s.vms[1].cooling = true;
+        assert_eq!(decide(Policy::VcrdAware, &s), None);
+    }
+}

@@ -1,0 +1,466 @@
+//! Cluster layer: N simulated hosts advanced in lock-step epochs with a
+//! global balancer and cost-modeled live migration.
+//!
+//! The single-machine model reproduces ASMan's *intra-host* adaptive
+//! coscheduling; this crate asks the paper's natural follow-on question:
+//! when the VCRD/spin telemetry is exported off-host, can a *cluster*
+//! scheduler use it to fix placements that no per-host scheduler can?
+//! A host whose resident gangs demand more PCPUs than exist will thrash
+//! on lock-holder preemption no matter how cleverly it coschedules —
+//! the only cure is moving a gang elsewhere.
+//!
+//! The driver is deterministic: hosts are advanced sequentially to each
+//! epoch boundary (each host is itself a deterministic event-driven
+//! simulation with its own seed), telemetry deltas are collected, one
+//! balancer decision is taken ([`balancer::decide`]), and at most one
+//! stop-and-copy migration executes with its pause charged through the
+//! [`MigrationModel`]. An always-on auditor re-derives every invariant
+//! it can (VM conservation, registry/host agreement, migration-cost
+//! conservation) each epoch.
+
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod migration;
+pub mod scenario;
+
+pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
+pub use migration::{MigrationModel, MigrationRecord};
+
+use asman_hypervisor::Machine;
+use asman_sim::{CatMask, Cycles, FlightEvent};
+use serde::Serialize;
+
+/// Cluster driver parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Lock-step epoch length in milliseconds (the balancer's cadence).
+    pub epoch_ms: u64,
+    /// Number of epochs to run.
+    pub epochs: u64,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Migration cost model.
+    pub model: MigrationModel,
+    /// A migrated VM may not move again for this many epochs.
+    pub cooldown_epochs: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            epoch_ms: 60,
+            epochs: 10,
+            policy: Policy::Static,
+            model: MigrationModel::default(),
+            cooldown_epochs: 3,
+        }
+    }
+}
+
+/// Cluster-side registry entry for one VM. The cluster id is stable for
+/// the whole run; `host`/`local` track where the VM currently lives.
+#[derive(Clone, Debug)]
+struct VmEntry {
+    name: String,
+    host: usize,
+    local: usize,
+    vcpus: usize,
+    last_migration: Option<u64>,
+    migrations: u64,
+    prev_spin: u64,
+    prev_vcrd_high: u64,
+    prev_online: u64,
+    spin_delta: u64,
+    vcrd_high_delta: u64,
+    online_delta: u64,
+}
+
+/// Per-VM row of the final report.
+#[derive(Clone, Debug, Serialize)]
+pub struct VmRow {
+    /// VM name.
+    pub name: String,
+    /// Host the VM ended the run on.
+    pub host: usize,
+    /// VCPU count.
+    pub vcpus: usize,
+    /// Times the VM was live-migrated.
+    pub migrations: u64,
+    /// Total cycles burned spinning (kernel locks, barriers, pipeline
+    /// flags) — the wasted-CPU metric the balancer tries to recover.
+    pub spin_cycles: u64,
+    /// Total cycles of useful guest work.
+    pub useful_cycles: u64,
+    /// Total cycles the VMM saw the VM's VCRD HIGH.
+    pub vcrd_high_cycles: u64,
+    /// Total VCPU-online cycles.
+    pub online_cycles: u64,
+}
+
+/// Per-host row of the final report.
+#[derive(Clone, Debug, Serialize)]
+pub struct HostRow {
+    /// Host index.
+    pub host: usize,
+    /// Physical CPUs.
+    pub pcpus: usize,
+    /// Names of the VMs resident at the end of the run.
+    pub vms: Vec<String>,
+    /// Total resident VCPUs at the end of the run.
+    pub resident_vcpus: usize,
+    /// Simulation events the host processed.
+    pub events_processed: u64,
+}
+
+/// Serializable result of one cluster run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterReport {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Host count.
+    pub hosts: usize,
+    /// Epochs run.
+    pub epochs: u64,
+    /// Epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Final per-host placement.
+    pub host_rows: Vec<HostRow>,
+    /// Per-VM outcome (cluster id order).
+    pub vm_rows: Vec<VmRow>,
+    /// Every migration executed, in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Cluster-wide wasted spin cycles (sum over VMs).
+    pub total_spin_cycles: u64,
+    /// Cluster-wide useful cycles (sum over VMs).
+    pub total_useful_cycles: u64,
+    /// Total guest-visible migration dead time in cycles.
+    pub total_pause_cycles: u64,
+}
+
+/// N machines in lock-step plus the global balancer state.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    hosts: Vec<Machine>,
+    vms: Vec<VmEntry>,
+    records: Vec<MigrationRecord>,
+    epochs_run: u64,
+    #[cfg(feature = "audit")]
+    fault_dirty_undercount: bool,
+}
+
+impl Cluster {
+    /// Assemble a cluster from pre-built hosts. Every VM currently
+    /// resident on any host is registered with a cluster-wide id
+    /// (host-major order).
+    pub fn new(cfg: ClusterConfig, hosts: Vec<Machine>) -> Self {
+        assert!(!hosts.is_empty(), "cluster needs at least one host");
+        let mut vms = Vec::new();
+        for (h, m) in hosts.iter().enumerate() {
+            for local in 0..m.vm_count() {
+                assert!(!m.vm_evacuated(local), "seed hosts must have no tombstones");
+                vms.push(VmEntry {
+                    name: m.vm_name(local).to_string(),
+                    host: h,
+                    local,
+                    vcpus: m.vm_kernel(local).vcpu_count(),
+                    last_migration: None,
+                    migrations: 0,
+                    prev_spin: 0,
+                    prev_vcrd_high: 0,
+                    prev_online: 0,
+                    spin_delta: 0,
+                    vcrd_high_delta: 0,
+                    online_delta: 0,
+                });
+            }
+        }
+        Cluster {
+            cfg,
+            hosts,
+            vms,
+            records: Vec::new(),
+            epochs_run: 0,
+            #[cfg(feature = "audit")]
+            fault_dirty_undercount: false,
+        }
+    }
+
+    /// Epoch length in cycles (all hosts share host 0's clock).
+    pub fn epoch_cycles(&self) -> Cycles {
+        self.hosts[0].config().clock.ms(self.cfg.epoch_ms)
+    }
+
+    /// The hosts, for inspection.
+    pub fn hosts(&self) -> &[Machine] {
+        &self.hosts
+    }
+
+    /// Current host of cluster VM `vm`.
+    pub fn vm_host(&self, vm: usize) -> usize {
+        self.vms[vm].host
+    }
+
+    /// Registered VM count (conserved across migrations).
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Migrations executed so far.
+    pub fn records(&self) -> &[MigrationRecord] {
+        &self.records
+    }
+
+    /// Arm the dirty-page undercount fault: executed migrations copy
+    /// only half the modeled dirty pages, so their records no longer
+    /// satisfy the cost model. The cluster auditor must catch this at
+    /// the next epoch boundary.
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_dirty_undercount(&mut self) {
+        self.fault_dirty_undercount = true;
+    }
+
+    /// Enable flight recording on every host (host streams are kept
+    /// per-host; see [`Cluster::drain_flight`]).
+    pub fn enable_flight(&mut self, mask: CatMask, capacity: usize) {
+        for m in &mut self.hosts {
+            m.enable_flight(mask, capacity);
+        }
+    }
+
+    /// Drain each host's merged flight stream, tagged with its host id.
+    pub fn drain_flight(&mut self) -> Vec<(usize, Vec<FlightEvent>)> {
+        self.hosts
+            .iter_mut()
+            .enumerate()
+            .map(|(h, m)| (h, m.flight_events()))
+            .collect()
+    }
+
+    /// Run the configured number of epochs and produce the report.
+    pub fn run(&mut self) -> ClusterReport {
+        for _ in 0..self.cfg.epochs {
+            self.run_epoch();
+        }
+        self.audit_check();
+        self.report()
+    }
+
+    /// Advance every host to the next epoch boundary, then balance.
+    pub fn run_epoch(&mut self) {
+        let epoch = self.epochs_run;
+        let end = self.epoch_cycles() * (epoch + 1);
+        for m in &mut self.hosts {
+            m.run_until(end);
+        }
+        self.collect_deltas();
+        self.audit_check();
+        if let Some(mv) = decide(self.cfg.policy, &self.snapshot(epoch)) {
+            self.execute_migration(epoch, mv, end);
+        }
+        self.epochs_run = epoch + 1;
+    }
+
+    /// Pull cumulative per-VM counters from the hosts and form epoch
+    /// deltas. The counters travel with the VM (kernel stats move with
+    /// the kernel, accounting moves with the image), so the deltas stay
+    /// monotone across migrations.
+    fn collect_deltas(&mut self) {
+        for e in &mut self.vms {
+            let m = &self.hosts[e.host];
+            let st = m.vm_kernel(e.local).stats();
+            let spin = (st.spin_kernel_cycles + st.spin_barrier_cycles + st.spin_pipeline_cycles)
+                .as_u64();
+            let acct = m.vm_accounting(e.local);
+            let high = acct.vcrd_high_cycles.as_u64();
+            let online = acct.total_online().as_u64();
+            e.spin_delta = spin.saturating_sub(e.prev_spin);
+            e.vcrd_high_delta = high.saturating_sub(e.prev_vcrd_high);
+            e.online_delta = online.saturating_sub(e.prev_online);
+            e.prev_spin = spin;
+            e.prev_vcrd_high = high;
+            e.prev_online = online;
+        }
+    }
+
+    /// Build the balancer's view of this epoch.
+    fn snapshot(&self, epoch: u64) -> Snapshot {
+        Snapshot {
+            hosts: self
+                .hosts
+                .iter()
+                .map(|m| HostView {
+                    pcpus: m.config().pcpus,
+                })
+                .collect(),
+            vms: self
+                .vms
+                .iter()
+                .map(|e| VmView {
+                    host: e.host,
+                    vcpus: e.vcpus,
+                    spin_delta: e.spin_delta,
+                    vcrd_high_delta: e.vcrd_high_delta,
+                    cooling: e
+                        .last_migration
+                        .is_some_and(|m| epoch.saturating_sub(m) < self.cfg.cooldown_epochs),
+                })
+                .collect(),
+            epoch_cycles: self.epoch_cycles().as_u64(),
+        }
+    }
+
+    /// Stop-and-copy `mv.vm` onto `mv.to`: extract at the epoch
+    /// boundary, charge the dirty-rate-proportional pause, resume on
+    /// the destination after the pause.
+    fn execute_migration(&mut self, epoch: u64, mv: Move, now: Cycles) {
+        let (from, local, online_delta, name) = {
+            let e = &self.vms[mv.vm];
+            (e.host, e.local, e.online_delta, e.name.clone())
+        };
+        assert_ne!(from, mv.to, "balancer proposed a no-op move");
+        let image = self.hosts[from].extract_vm(local);
+        #[allow(unused_mut)]
+        let mut dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
+        #[cfg(feature = "audit")]
+        if self.fault_dirty_undercount {
+            dirty /= 2;
+        }
+        let pause = self.cfg.model.pause(dirty);
+        let new_local = self.hosts[mv.to].inject_vm(image, now + pause);
+        self.records.push(MigrationRecord {
+            epoch,
+            vm: mv.vm,
+            name,
+            from,
+            to: mv.to,
+            online_delta,
+            dirty_pages: dirty,
+            pause: pause.as_u64(),
+        });
+        let e = &mut self.vms[mv.vm];
+        e.host = mv.to;
+        e.local = new_local;
+        e.last_migration = Some(epoch);
+        e.migrations += 1;
+    }
+
+    /// Cluster invariant auditor (always on — it is cheap relative to
+    /// an epoch of simulation):
+    ///
+    /// * **VM conservation** — live VMs across hosts equal the registry;
+    /// * **registry/host agreement** — every entry points at a live VM
+    ///   with the right name and VCPU count;
+    /// * **migration-cost conservation** — every record's `dirty_pages`
+    ///   and `pause` re-derive from its `online_delta` through the
+    ///   model (catches any path that charges less than the model
+    ///   demands, e.g. the injected undercount fault).
+    pub fn audit_check(&self) {
+        let live: usize = self.hosts.iter().map(|m| m.active_vm_count()).sum();
+        assert_eq!(
+            live,
+            self.vms.len(),
+            "cluster audit: VM count not conserved ({} live vs {} registered)",
+            live,
+            self.vms.len()
+        );
+        for (id, e) in self.vms.iter().enumerate() {
+            let m = &self.hosts[e.host];
+            assert!(
+                !m.vm_evacuated(e.local),
+                "cluster audit: registry vm {} points at a tombstone",
+                id
+            );
+            assert_eq!(
+                m.vm_name(e.local),
+                e.name,
+                "cluster audit: registry vm {} name mismatch",
+                id
+            );
+            assert_eq!(
+                m.vm_kernel(e.local).vcpu_count(),
+                e.vcpus,
+                "cluster audit: registry vm {} vcpu count mismatch",
+                id
+            );
+        }
+        for r in &self.records {
+            let dirty = self.cfg.model.dirty_pages(Cycles(r.online_delta));
+            assert_eq!(
+                dirty, r.dirty_pages,
+                "cluster audit: migration dirty pages not conserved (vm {} epoch {})",
+                r.vm, r.epoch
+            );
+            assert_eq!(
+                self.cfg.model.pause(r.dirty_pages).as_u64(),
+                r.pause,
+                "cluster audit: migration pause not conserved (vm {} epoch {})",
+                r.vm, r.epoch
+            );
+        }
+        #[cfg(feature = "audit")]
+        for m in &self.hosts {
+            m.check_invariants();
+        }
+    }
+
+    /// Final report from the registry and host state.
+    pub fn report(&self) -> ClusterReport {
+        let vm_rows: Vec<VmRow> = self
+            .vms
+            .iter()
+            .map(|e| {
+                let m = &self.hosts[e.host];
+                let st = m.vm_kernel(e.local).stats();
+                let acct = m.vm_accounting(e.local);
+                VmRow {
+                    name: e.name.clone(),
+                    host: e.host,
+                    vcpus: e.vcpus,
+                    migrations: e.migrations,
+                    spin_cycles: (st.spin_kernel_cycles
+                        + st.spin_barrier_cycles
+                        + st.spin_pipeline_cycles)
+                        .as_u64(),
+                    useful_cycles: st.useful_cycles.as_u64(),
+                    vcrd_high_cycles: acct.vcrd_high_cycles.as_u64(),
+                    online_cycles: acct.total_online().as_u64(),
+                }
+            })
+            .collect();
+        let host_rows = self
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(h, m)| HostRow {
+                host: h,
+                pcpus: m.config().pcpus,
+                vms: self
+                    .vms
+                    .iter()
+                    .filter(|e| e.host == h)
+                    .map(|e| e.name.clone())
+                    .collect(),
+                resident_vcpus: self
+                    .vms
+                    .iter()
+                    .filter(|e| e.host == h)
+                    .map(|e| e.vcpus)
+                    .sum(),
+                events_processed: m.events_processed(),
+            })
+            .collect();
+        ClusterReport {
+            policy: self.cfg.policy.label(),
+            hosts: self.hosts.len(),
+            epochs: self.epochs_run,
+            epoch_ms: self.cfg.epoch_ms,
+            host_rows,
+            total_spin_cycles: vm_rows.iter().map(|r| r.spin_cycles).sum(),
+            total_useful_cycles: vm_rows.iter().map(|r| r.useful_cycles).sum(),
+            total_pause_cycles: self.records.iter().map(|r| r.pause).sum(),
+            vm_rows,
+            migrations: self.records.clone(),
+        }
+    }
+}

@@ -273,6 +273,21 @@ impl GuestKernel {
         self.program.name()
     }
 
+    /// Threads currently in a timed sleep, as `(thread, absolute
+    /// deadline)` pairs in thread order. A hypervisor resuming this
+    /// kernel after a live migration re-arms one timer per entry — the
+    /// source host's in-flight `SleepTimer` events do not travel.
+    pub fn sleeping_threads(&self) -> Vec<(usize, Cycles)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, th)| match th.state {
+                TState::Sleep { until } => Some((t, until)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Whether VCPU `v` has anything runnable (used by the hypervisor to
     /// decide whether a blocked VCPU should wake).
     pub fn vcpu_runnable(&self, v: usize) -> bool {

@@ -102,6 +102,38 @@ struct Vm {
     /// VCPUs currently online (concurrency histogram bookkeeping).
     online_count: usize,
     co_last: Cycles,
+    /// The VM was live-migrated away: its slot stays as a tombstone (so
+    /// VM/VCPU indices remain stable) but it holds a zero-thread stub
+    /// kernel, carries no weight, and never schedules again.
+    evacuated: bool,
+}
+
+/// A VM lifted off its host for live migration: everything needed to
+/// resume it bit-exactly on another [`Machine`] via
+/// [`Machine::inject_vm`]. Produced by [`Machine::extract_vm`].
+pub struct VmImage {
+    /// VM name (stable across hosts).
+    pub name: String,
+    /// Credit-scheduler weight.
+    pub weight: u32,
+    /// Cap mode.
+    pub cap: CapMode,
+    /// Static concurrent-workload hint (for `CoschedPolicy::Static`).
+    pub concurrent_hint: bool,
+    /// Whether the program is finite (run-to-completion semantics).
+    pub finite: bool,
+    /// The guest kernel, moved by value: threads, locks, barriers,
+    /// semaphores, stats — the entire guest state travels.
+    pub kernel: GuestKernel,
+    /// VMM-side accounting, accumulated across hosts.
+    pub acct: VmAccounting,
+}
+
+impl VmImage {
+    /// Number of VCPUs the destination host must provide.
+    pub fn vcpus(&self) -> usize {
+        self.kernel.vcpu_count()
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -197,6 +229,11 @@ pub struct Machine<Q: SimQueue<Ev> = EventQueue<Ev>> {
     /// Scratch for `relocate_siblings` (avoids an allocation per IPI
     /// burst).
     scratch_occupied: Vec<bool>,
+    /// Flight-recorder streams drained from guests extracted by live
+    /// migration, already rebased to this host's global indices. Merged
+    /// into [`Machine::flight_events`] so an evacuated VM's history is
+    /// not lost with its kernel.
+    adopted_streams: Vec<Vec<FlightEvent>>,
     /// Invariant-auditor state (shadow ledgers, injected mutations).
     /// Costs nothing unless the `audit` feature is compiled in.
     #[cfg(feature = "audit")]
@@ -221,6 +258,10 @@ struct AuditState {
     /// Injected off-by-`skew` error added to every credit burn but not
     /// to the shadow ledger — the mutation the auditor must catch.
     skew: i64,
+    /// Injected fault: priority computation ignores BOOST, silently
+    /// demoting freshly woken VCPUs. The differential harness must flag
+    /// the resulting schedule divergence against the oracle.
+    boost_skip: bool,
 }
 
 /// Engine throughput snapshot: how many events the machine has popped,
@@ -319,6 +360,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 acct: VmAccounting::new(spec.vcpus),
                 online_count: 0,
                 co_last: Cycles::ZERO,
+                evacuated: false,
             });
         }
         // All PCPUs start idle; the initial runqueues are all non-empty
@@ -355,6 +397,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             scratch_actives: Vec::new(),
             scratch_fx: Effects::default(),
             scratch_occupied: Vec::new(),
+            adopted_streams: Vec::new(),
             cfg,
         };
         // Initial credit: one assignment interval's worth, so the first
@@ -527,6 +570,17 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         self.audit.skew = skew;
     }
 
+    /// Arm the BOOST-skip mutation: priority computation ignores the
+    /// BOOST class from now on, so freshly woken VCPUs no longer preempt
+    /// running ones. Exists purely so the differential mutation test can
+    /// prove the oracle harness flags a scheduling-policy fault (the
+    /// shadow credit ledger alone would stay green — no credit is
+    /// miscounted); never armed in normal runs.
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_boost_skip(&mut self) {
+        self.audit.boost_skip = true;
+    }
+
     /// The invariant auditor's checkpoint, run at every accounting
     /// event (per-PCPU ticks and the global credit assignment):
     ///
@@ -594,8 +648,11 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// index) and sorts stably by timestamp, so the result is fully
     /// deterministic.
     pub fn flight_events(&mut self) -> Vec<FlightEvent> {
-        let mut streams = Vec::with_capacity(1 + self.vms.len());
+        let mut streams = Vec::with_capacity(1 + self.adopted_streams.len() + self.vms.len());
         streams.push(self.flight.drain_events());
+        // Streams adopted from guests extracted by live migration, in
+        // extraction order (already rebased at extraction time).
+        streams.append(&mut self.adopted_streams);
         for (vm_idx, vm) in self.vms.iter_mut().enumerate() {
             let map: Vec<u32> = vm.vcpu_ids.iter().map(|&v| v as u32).collect();
             let mut events = vm.kernel.flight_mut().drain_events();
@@ -714,6 +771,221 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// `|P| · ω(V_i) / |C(V_i)|`.
     pub fn configured_online_rate(&self, vm: usize) -> f64 {
         self.cfg.pcpus as f64 * self.weight_proportion(vm) / self.vms[vm].vcpu_ids.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Live migration (cluster layer)
+    // ------------------------------------------------------------------
+
+    /// Whether a VM slot is a tombstone left behind by live migration.
+    pub fn vm_evacuated(&self, vm: usize) -> bool {
+        self.vms[vm].evacuated
+    }
+
+    /// Credit-scheduler weight of a VM.
+    pub fn vm_weight(&self, vm: usize) -> u32 {
+        self.vms[vm].weight
+    }
+
+    /// VMs currently resident on this host (tombstones excluded).
+    pub fn active_vm_count(&self) -> usize {
+        self.vms.iter().filter(|v| !v.evacuated).count()
+    }
+
+    /// Lift a VM off this host for live migration (the "stop" half of
+    /// stop-and-copy). Must be called between run drivers — i.e. at a
+    /// cluster epoch boundary, never from inside an event handler.
+    ///
+    /// Every VCPU is charged, descheduled and frozen as `Blocked`; the
+    /// VM's slot stays behind as an evacuated tombstone (holding a
+    /// zero-thread stub kernel) so VM/VCPU indices remain stable and
+    /// stale in-flight events are dropped harmlessly. The guest kernel,
+    /// accounting and identity move into the returned [`VmImage`].
+    /// Credits do not travel: the destination's next credit assignment
+    /// funds the VM afresh, which keeps both hosts' ledgers exact.
+    pub fn extract_vm(&mut self, vm: usize) -> VmImage {
+        assert!(!self.vms[vm].evacuated, "vm {vm} already extracted");
+        for i in 0..self.vms[vm].vcpu_ids.len() {
+            let v = self.vms[vm].vcpu_ids[i];
+            match self.vcpus[v].state {
+                VState::Running => {
+                    self.charge(v);
+                    let pcpu = self.vcpus[v].assigned;
+                    let slot = self.vcpus[v].slot;
+                    self.vms[vm].kernel.preempt(slot, self.now);
+                    self.note_online_change(vm, -1);
+                    self.pcpus[pcpu].running = None;
+                    self.idle_mask |= 1u128 << pcpu;
+                    self.trace_sched(v, pcpu, SchedEventKind::Block);
+                }
+                VState::Runnable => self.runq_remove(v),
+                VState::Blocked => {}
+            }
+            let vc = &mut self.vcpus[v];
+            vc.state = VState::Blocked;
+            vc.blocked_since = Some(self.now);
+            vc.blocked_accum = Cycles::ZERO;
+            // Invalidate in-flight WorkDone events for this VCPU.
+            vc.epoch += 1;
+            vc.credit = 0;
+            vc.boost = false;
+            vc.parked = false;
+            vc.spinning_since = None;
+            vc.skew = Cycles::ZERO;
+            debug_assert_eq!(vc.runq_pos, NOT_QUEUED);
+        }
+        // Close the concurrency histogram and the VCRD-high span at the
+        // departure time, then force the VMM view back to LOW (the
+        // destination host starts from a LOW view; the guest's
+        // Monitoring Module will re-raise if still warranted).
+        self.note_online_change(vm, 0);
+        if self.vms[vm].vcrd == Vcrd::High {
+            let since = self.vms[vm].vcrd_high_since;
+            self.vms[vm].acct.vcrd_high_cycles += self.now - since;
+            self.vms[vm].vcrd = Vcrd::Low;
+        }
+        // Invalidate in-flight VcrdTimer events.
+        self.vms[vm].vcrd_epoch += 1;
+        self.vms[vm].last_cosched = None;
+        self.total_weight -= self.vms[vm].weight as u64;
+        #[cfg(feature = "audit")]
+        {
+            // Credits were zeroed above; the shadow ledger follows.
+            self.audit.ledger[vm] = 0;
+        }
+        // The guest's flight history must survive the kernel swap:
+        // rebase it to this host's global indices now and merge it into
+        // flight_events() later.
+        if self.vms[vm].kernel.flight().is_enabled() {
+            let map: Vec<u32> = self.vms[vm].vcpu_ids.iter().map(|&v| v as u32).collect();
+            let mut events = self.vms[vm].kernel.flight_mut().drain_events();
+            for e in &mut events {
+                e.ev.rebase_guest(vm as u32, &map);
+            }
+            if !events.is_empty() {
+                self.adopted_streams.push(events);
+            }
+        }
+        let vcpu_count = self.vms[vm].vcpu_ids.len();
+        // The tombstone's kernel: zero threads, so every VCPU reports
+        // not-runnable forever and stale wakes are dropped.
+        struct EvacuatedProgram;
+        impl asman_workloads::Program for EvacuatedProgram {
+            fn name(&self) -> &str {
+                "evacuated"
+            }
+            fn thread_count(&self) -> usize {
+                0
+            }
+            fn next_op(&mut self, _tid: usize) -> asman_workloads::Op {
+                asman_workloads::Op::Done
+            }
+        }
+        let stub = GuestKernel::new(
+            Box::new(EvacuatedProgram),
+            vcpu_count,
+            asman_guest::GuestCosts::default(),
+            Box::new(asman_guest::NullObserver),
+        );
+        let kernel = std::mem::replace(&mut self.vms[vm].kernel, stub);
+        let acct = std::mem::replace(&mut self.vms[vm].acct, VmAccounting::new(vcpu_count));
+        let image = VmImage {
+            name: self.vms[vm].name.clone(),
+            weight: self.vms[vm].weight,
+            cap: self.vms[vm].cap,
+            concurrent_hint: self.vms[vm].concurrent_hint,
+            finite: self.vms[vm].finite,
+            kernel,
+            acct,
+        };
+        let v = &mut self.vms[vm];
+        v.evacuated = true;
+        v.concurrent_hint = false;
+        // A tombstone must not hold run_to_completion hostage.
+        v.finite = false;
+        image
+    }
+
+    /// Resume a migrated VM on this host (the "copy done" half of
+    /// stop-and-copy). `resume_at` is when the guest becomes visible
+    /// again — the stop-and-copy pause between extraction and
+    /// `resume_at` is guest-visible dead time: runnable VCPUs only wake
+    /// then, and sleep deadlines that expired during the pause fire
+    /// late. Must be called between run drivers, with
+    /// `resume_at >= now`. Returns the VM's index on this host.
+    pub fn inject_vm(&mut self, image: VmImage, resume_at: Cycles) -> usize {
+        let vcpu_count = image.vcpus();
+        assert!(
+            vcpu_count <= self.cfg.pcpus,
+            "a VM cannot have more VCPUs than the destination has PCPUs"
+        );
+        assert!(vcpu_count > 0, "cannot inject a VM with no VCPUs");
+        let vm_idx = self.vms.len();
+        let resume = resume_at.max(self.now);
+        let mut vcpu_ids = Vec::with_capacity(vcpu_count);
+        for slot in 0..vcpu_count {
+            let id = self.vcpus.len();
+            vcpu_ids.push(id);
+            self.vcpus.push(Vcpu {
+                vm: vm_idx,
+                slot,
+                state: VState::Blocked,
+                assigned: slot % self.cfg.pcpus,
+                credit: 0,
+                boost: false,
+                epoch: 0,
+                last_charge: self.now,
+                parked: false,
+                // First dispatch on the new host pays the warm-up
+                // penalty: the working set did not travel.
+                cold: true,
+                last_ran: None,
+                spinning_since: None,
+                skew: Cycles::ZERO,
+                blocked_since: Some(self.now),
+                blocked_accum: Cycles::ZERO,
+                runq_pos: NOT_QUEUED,
+            });
+        }
+        self.total_weight += image.weight as u64;
+        #[cfg(feature = "audit")]
+        self.audit.ledger.push(0);
+        // Re-arm what the source host's event queue held in flight:
+        // wakes for currently runnable VCPUs (delivered when the pause
+        // ends) and one timer per sleeping thread (late if the deadline
+        // fell inside the pause — migration dead time is guest-visible).
+        for (slot, &vcpu) in vcpu_ids.iter().enumerate() {
+            if image.kernel.vcpu_runnable(slot) {
+                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32 });
+            }
+        }
+        for (thread, until) in image.kernel.sleeping_threads() {
+            self.events.schedule(
+                until.max(resume),
+                Ev::SleepTimer {
+                    vm: vm_idx as u32,
+                    thread: thread as u32,
+                },
+            );
+        }
+        self.vms.push(Vm {
+            name: image.name,
+            weight: image.weight,
+            cap: image.cap,
+            concurrent_hint: image.concurrent_hint,
+            finite: image.finite,
+            kernel: image.kernel,
+            vcpu_ids,
+            vcrd: Vcrd::Low,
+            vcrd_epoch: 0,
+            vcrd_high_since: self.now,
+            last_cosched: None,
+            acct: image.acct,
+            online_count: 0,
+            co_last: self.now,
+            evacuated: false,
+        });
+        vm_idx
     }
 
     // ------------------------------------------------------------------
@@ -890,6 +1162,13 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             }
             Ev::SleepTimer { vm, thread } => {
                 let (vm, thread) = (vm as usize, thread as usize);
+                if self.vms[vm].evacuated {
+                    // The VM migrated away; its stub kernel has no
+                    // threads, so the stale timer must not be delivered.
+                    // The destination host re-armed the sleep from the
+                    // kernel's thread state at injection time.
+                    return;
+                }
                 let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.vms[vm].kernel.sleep_timer(thread, self.now, &mut fx);
                 self.apply_effects(vm, &mut fx);
@@ -897,7 +1176,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             }
             Ev::VcrdTimer { vm, epoch } => {
                 let vm = vm as usize;
-                if self.vms[vm].vcrd_epoch != epoch {
+                if self.vms[vm].vcrd_epoch != epoch || self.vms[vm].evacuated {
                     return;
                 }
                 if self.cfg.policy == CoschedPolicy::OutOfVm {
@@ -935,9 +1214,16 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// Distribute one interval's credit: `Cred_total = |P| × Cred_unit ×
     /// K` split by weight, equally among each VM's VCPUs (Algorithm 3).
     fn assign_credit(&mut self) {
+        if self.total_weight == 0 {
+            // Every VM migrated away; nothing to fund.
+            return;
+        }
         let interval = self.cfg.assign_interval();
         let total = self.cfg.slot() * self.cfg.pcpus as u64 * self.cfg.assign_interval_slots as u64;
         for vm in 0..self.vms.len() {
+            if self.vms[vm].evacuated {
+                continue;
+            }
             let inc = total.mul_ratio(self.vms[vm].weight as u64, self.total_weight);
             let per_vcpu = (inc / self.vms[vm].vcpu_ids.len() as u64).as_u64() as i64;
             let cap = per_vcpu.saturating_mul(self.cfg.credit_cap_intervals as i64);
@@ -1150,7 +1436,11 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     #[inline]
     fn prio(&self, vcpu: usize) -> (u8, i64) {
         let v = &self.vcpus[vcpu];
-        let class = if v.boost {
+        #[cfg(feature = "audit")]
+        let boosted = v.boost && !self.audit.boost_skip;
+        #[cfg(not(feature = "audit"))]
+        let boosted = v.boost;
+        let class = if boosted {
             2
         } else if v.credit > 0 {
             1
@@ -2088,6 +2378,119 @@ mod tests {
             )
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn live_migration_moves_a_vm_and_preserves_guest_progress() {
+        // A VM whose threads sleep until t=30 ms, then compute 40 ms.
+        // Migrate it at t=10 ms (mid-sleep) with a 5 ms pause: the sleep
+        // must be re-armed on the destination and the program finish.
+        let prog = ScriptProgram::homogeneous(
+            "job",
+            2,
+            vec![Op::Sleep(clk().ms(30)), Op::Compute(clk().ms(40))],
+        );
+        let mut src = Machine::new(
+            MachineConfig::default(),
+            vec![idle_vm("v0", 2), VmSpec::new("mig", 2, Box::new(prog))],
+        );
+        src.run_until(clk().ms(10));
+        let image = src.extract_vm(1);
+        assert_eq!(image.vcpus(), 2);
+        assert!(src.vm_evacuated(1));
+        assert_eq!(src.active_vm_count(), 1);
+        src.check_invariants();
+        let mut dst = Machine::new(MachineConfig::default(), vec![idle_vm("d0", 2)]);
+        dst.run_until(clk().ms(10));
+        let vm = dst.inject_vm(image, dst.now() + clk().ms(5));
+        dst.check_invariants();
+        // The source runs on past the stale sleep deadline: the
+        // tombstone guard must drop the old SleepTimer events.
+        src.run_until(clk().ms(100));
+        src.check_invariants();
+        assert!(dst.run_to_completion(clk().secs(5)), "migrated VM must finish");
+        let fin = dst.vm_kernel(vm).stats().finished_at.expect("finished");
+        assert!(
+            clk().to_ms(fin) >= 30.0,
+            "finished at {} ms, before its sleep deadline",
+            clk().to_ms(fin)
+        );
+        dst.check_invariants();
+    }
+
+    #[test]
+    fn live_migration_midwork_carries_accounting_and_pause_is_dead_time() {
+        // Migrate a busy VM mid-compute: accounting must travel, and the
+        // VM must come back online only after the stop-and-copy pause.
+        let cfg = MachineConfig {
+            pcpus: 2,
+            ..MachineConfig::default()
+        };
+        let mut src = Machine::new(
+            cfg,
+            vec![idle_vm("v0", 1), VmSpec::new("busy", 2, busy(2))],
+        );
+        src.run_until(clk().ms(50));
+        let online_before = src.vm_accounting(1).total_online();
+        assert!(!online_before.is_zero());
+        let image = src.extract_vm(1);
+        assert_eq!(image.acct.total_online(), online_before);
+        let mut dst = Machine::new(cfg, vec![idle_vm("d0", 1)]);
+        dst.run_until(clk().ms(50));
+        let pause = clk().ms(20);
+        let resume_at = dst.now() + pause;
+        let vm = dst.inject_vm(image, resume_at);
+        dst.run_until(clk().ms(80));
+        dst.check_invariants();
+        let acct = dst.vm_accounting(vm);
+        assert!(
+            acct.total_online() > online_before,
+            "migrated VM never ran on the destination"
+        );
+        // No online time may accrue during the pause: everything beyond
+        // the carried total fits in the post-resume window (2 VCPUs can
+        // each be online for the full window).
+        let gained = acct.total_online() - online_before;
+        assert!(
+            gained <= (clk().ms(80) - resume_at) * 2,
+            "VM was online during the stop-and-copy pause"
+        );
+    }
+
+    #[test]
+    fn extracting_twice_panics() {
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![idle_vm("v0", 1), VmSpec::new("b", 2, busy(2))],
+        );
+        m.run_until(clk().ms(10));
+        let _ = m.extract_vm(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.extract_vm(1)));
+        assert!(r.is_err(), "double extraction must panic");
+    }
+
+    /// Under the audit feature, the shadow ledger must stay exact across
+    /// an extract/inject cycle on both hosts.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn auditor_stays_green_across_migration() {
+        let cfg = MachineConfig {
+            pcpus: 2,
+            ..MachineConfig::default()
+        };
+        let mut src = Machine::new(
+            cfg,
+            vec![idle_vm("v0", 1), VmSpec::new("busy", 2, busy(2))],
+        );
+        src.run_until(clk().ms(40));
+        let image = src.extract_vm(1);
+        let mut dst = Machine::new(cfg, vec![idle_vm("d0", 1)]);
+        dst.run_until(clk().ms(40));
+        dst.inject_vm(image, dst.now() + clk().ms(10));
+        src.run_until(clk().ms(200));
+        dst.run_until(clk().ms(200));
+        assert!(src.audit_checkpoints() > 10);
+        assert!(dst.audit_checkpoints() > 10);
     }
 
     /// A lock-heavy overcommitted two-VM machine over the given queue —

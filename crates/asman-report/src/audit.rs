@@ -315,8 +315,23 @@ fn first_stream_divergence(
 
 /// Run one cell on both engines and compare everything observable.
 pub fn run_cell(spec: &CellSpec) -> CellOutcome {
+    run_cell_impl(spec, |_| {})
+}
+
+/// Run one cell with a fault armed on the **optimized** engine only,
+/// while the oracle stays clean. A correct differential harness must
+/// then report a divergence; the mutation tests assert it does. The
+/// hook runs after construction and before the first event, so it can
+/// call the machine's `audit_inject_*` mutators.
+#[cfg(feature = "audit")]
+pub fn run_cell_with_fault(spec: &CellSpec, arm: impl FnOnce(&mut Machine)) -> CellOutcome {
+    run_cell_impl(spec, arm)
+}
+
+fn run_cell_impl(spec: &CellSpec, arm: impl FnOnce(&mut Machine)) -> CellOutcome {
     let (cfg, specs) = resolved(spec);
     let mut opt = Machine::new(cfg, specs);
+    arm(&mut opt);
     let (cfg, specs) = resolved(spec);
     let mut ora = OracleMachine::build(cfg, specs);
     if spec.tracing {
@@ -459,6 +474,43 @@ mod tests {
         let d = first_stream_divergence("cell x", &a[..4], &a).expect("must diverge");
         assert!(d.report.contains("diverge at event 4"), "{}", d.report);
         assert!(d.report.contains("<end of stream>"), "{}", d.report);
+    }
+
+    /// A wake-churn cell where BOOST decides the schedule: sleeping
+    /// VCPUs wake constantly on an overcommitted host, so whether a
+    /// woken VCPU preempts the runner is observable in every digest
+    /// line. The injected BOOST-skip fault (armed on the optimized
+    /// engine only) must surface as a divergence, and the identical
+    /// un-armed cell must stay green — proving the harness catches a
+    /// pure scheduling-policy mutation that miscounts no credit.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn boost_skip_fault_is_flagged_by_the_differential_harness() {
+        let spec = CellSpec {
+            id: 0,
+            seed: 42,
+            sched: Sched::Credit,
+            workload: Workload::MixedSleep,
+            pcpus: 2,
+            tracing: true,
+            nwc_cap: false,
+            horizon_ms: 40,
+        };
+        let clean = run_cell(&spec);
+        assert!(
+            clean.divergence.is_none(),
+            "un-armed cell must agree: {}",
+            clean.divergence.unwrap()
+        );
+        let armed = run_cell_with_fault(&spec, |m| m.audit_inject_boost_skip());
+        let d = armed
+            .divergence
+            .expect("BOOST-skip fault must diverge from the oracle");
+        assert!(
+            d.report.contains("differs") || d.report.contains("diverge"),
+            "divergence report must name the first mismatch:\n{d}"
+        );
+        assert_ne!(clean.digest, armed.digest, "fault must change the digest");
     }
 
     /// The digest diff reports the first differing line from both sides.

@@ -32,6 +32,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use asman_cluster::Policy;
 use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
 };
@@ -46,9 +47,13 @@ struct Args {
     trace_dir: Option<PathBuf>,
     trace_cats: CatMask,
     audit_cells: usize,
+    hosts: usize,
+    cluster_vms: usize,
+    cluster_epochs: u64,
+    cluster_policy: Option<Policy>,
 }
 
-const KNOWN_TARGETS: [&str; 13] = [
+const KNOWN_TARGETS: [&str; 14] = [
     "fig1",
     "fig2",
     "fig7",
@@ -62,6 +67,7 @@ const KNOWN_TARGETS: [&str; 13] = [
     "perf",
     "trace",
     "audit",
+    "cluster",
 ];
 
 fn usage() -> String {
@@ -82,6 +88,11 @@ fn usage() -> String {
          --trace-cats L  comma-separated categories to record\n                  \
          (sched,credit,cosched,lock,futex,barrier; default all)\n  \
          --cells N       audit grid size for the `audit` target (default 200)\n  \
+         --hosts N       cluster target: simulated hosts (default 3)\n  \
+         --vms N         cluster target: gang VMs consolidated on host 0 (default 2)\n  \
+         --epochs N      cluster target: balancer epochs (default 8)\n  \
+         --policy P      cluster target: compare only static vs P\n                  \
+         (static|least-loaded|vcrd-aware; default: all three)\n  \
          -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
@@ -101,6 +112,10 @@ fn parse_args() -> Args {
     let mut trace_dir = None;
     let mut trace_cats = CatMask::ALL;
     let mut audit_cells = 200usize;
+    let mut hosts = 3usize;
+    let mut cluster_vms = 2usize;
+    let mut cluster_epochs = 8u64;
+    let mut cluster_policy = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -163,6 +178,40 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("--cells `{v}` is not a number")));
             }
+            "--hosts" => {
+                let v = it.next().unwrap_or_else(|| fail("--hosts needs a value"));
+                hosts = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--hosts `{v}` is not a number")));
+                if hosts < 2 {
+                    fail("--hosts must be at least 2 (migration needs a destination)");
+                }
+            }
+            "--vms" => {
+                let v = it.next().unwrap_or_else(|| fail("--vms needs a value"));
+                cluster_vms = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--vms `{v}` is not a number")));
+                if cluster_vms < 1 {
+                    fail("--vms must be at least 1");
+                }
+            }
+            "--epochs" => {
+                let v = it.next().unwrap_or_else(|| fail("--epochs needs a value"));
+                cluster_epochs = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--epochs `{v}` is not a number")));
+            }
+            "--policy" => {
+                let v = it.next().unwrap_or_else(|| {
+                    fail("--policy needs a value (static|least-loaded|vcrd-aware)")
+                });
+                cluster_policy = Some(Policy::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown policy `{v}` (use static|least-loaded|vcrd-aware)"
+                    ))
+                }));
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown option `{flag}`")),
             "all" => which.push("all".to_string()),
             fig if KNOWN_TARGETS.contains(&fig) => which.push(fig.to_string()),
@@ -190,6 +239,10 @@ fn parse_args() -> Args {
         trace_dir,
         trace_cats,
         audit_cells,
+        hosts,
+        cluster_vms,
+        cluster_epochs,
+        cluster_policy,
     }
 }
 
@@ -448,6 +501,59 @@ fn run_audit(args: &Args) {
     }
 }
 
+/// The multi-host consolidation experiment: compare placement policies
+/// on the same seeded cluster, print the table and shape checks, and —
+/// when an output directory is available — write the host-tagged
+/// flight-recorder streams of each compared policy.
+fn run_cluster(args: &Args) {
+    use asman_report::cluster;
+    use serde::Serialize;
+
+    let policies = match args.cluster_policy {
+        // A single policy is always compared against the static
+        // baseline, which anchors every shape check.
+        Some(Policy::Static) => vec![Policy::Static],
+        Some(p) => vec![Policy::Static, p],
+        None => Policy::ALL.to_vec(),
+    };
+    let p = cluster::ClusterParams {
+        hosts: args.hosts,
+        gangs: args.cluster_vms,
+        epochs: args.cluster_epochs,
+        seed: args.params.seed,
+        jobs: args.params.jobs,
+        policies: policies.clone(),
+    };
+    let exp = cluster::run(&p);
+    emit(args, "CLUSTER_consolidation", exp.render(), exp.shape_checks(), &exp);
+
+    // Flight streams, tagged by host id, one artifact per policy.
+    if let Some(dir) = args.trace_dir.clone().or_else(|| args.json_dir.clone()) {
+        #[derive(Serialize)]
+        struct HostStream {
+            host: usize,
+            events: Vec<asman_sim::FlightEvent>,
+        }
+        fs::create_dir_all(&dir).expect("create trace dir");
+        for policy in policies {
+            let streams = cluster::capture_flight(
+                &p,
+                policy,
+                args.trace_cats,
+                flightrec::TRACE_CAPACITY,
+            );
+            let tagged: Vec<HostStream> = streams
+                .into_iter()
+                .map(|(host, events)| HostStream { host, events })
+                .collect();
+            let path = dir.join(format!("CLUSTER_flight_{}.json", policy.label()));
+            fs::write(&path, serde_json::to_vec(&tagged).expect("serialize"))
+                .expect("write flight streams");
+            progress!("wrote {}", path.display());
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let p = &args.params;
@@ -496,6 +602,7 @@ fn main() {
             "perf" => run_perf(&args),
             "trace" => run_trace(&args),
             "audit" => run_audit(&args),
+            "cluster" => run_cluster(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);

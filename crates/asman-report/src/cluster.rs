@@ -1,0 +1,304 @@
+//! The cluster consolidation experiment (`repro cluster`).
+//!
+//! An operator consolidated several concurrent (gang) VMs onto host 0
+//! while the other hosts run quiet background services. Per-host
+//! adaptive coscheduling cannot help — host 0's gangs demand more
+//! PCPUs than exist — so the experiment compares *cluster* placement
+//! policies: `static` (never migrate), `least-loaded` (VCPU-count
+//! balancing, blind to synchronization), and `vcrd-aware` (ASMan's
+//! VCRD/spin telemetry driving live migration). Policies run as
+//! independent sweep cells, so `--jobs` parallelism never touches a
+//! simulation's interior and results are bit-identical for any worker
+//! count.
+
+use asman_cluster::{
+    scenario::{self, ConsolidationSpec},
+    ClusterConfig, ClusterReport, Policy,
+};
+use asman_sim::{CatMask, FlightEvent};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+use crate::exec::SweepRunner;
+use crate::figures::ShapeCheck;
+
+/// Parameters of the cluster experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterParams {
+    /// Host count (host 0 is the consolidated one).
+    pub hosts: usize,
+    /// Concurrent gang VMs packed onto host 0.
+    pub gangs: usize,
+    /// Balancer epochs to run.
+    pub epochs: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Sweep worker threads (0 = one per core).
+    pub jobs: usize,
+    /// Policies to compare, in cell order.
+    pub policies: Vec<Policy>,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            hosts: 3,
+            gangs: 2,
+            epochs: 8,
+            seed: 42,
+            jobs: 0,
+            policies: Policy::ALL.to_vec(),
+        }
+    }
+}
+
+impl ClusterParams {
+    fn cluster_config(&self, policy: Policy) -> ClusterConfig {
+        ClusterConfig {
+            policy,
+            epochs: self.epochs,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn scenario_spec(&self) -> ConsolidationSpec {
+        ConsolidationSpec {
+            hosts: self.hosts,
+            gangs: self.gangs,
+            seed: self.seed,
+            ..ConsolidationSpec::default()
+        }
+    }
+}
+
+/// One policy's result plus its content digest.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolicyOutcome {
+    /// The cluster run's full report.
+    pub report: ClusterReport,
+    /// FNV-1a digest of the serialized report — the bit-identity
+    /// handle the jobs cross-checks and golden tests compare.
+    pub digest: String,
+}
+
+/// The full experiment: one outcome per requested policy.
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterExperiment {
+    /// Host count.
+    pub hosts: usize,
+    /// Gangs consolidated on host 0.
+    pub gangs: usize,
+    /// Epochs run.
+    pub epochs: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Per-policy outcomes, in [`ClusterParams::policies`] order.
+    pub outcomes: Vec<PolicyOutcome>,
+}
+
+/// FNV-1a over a serialized report: stable, dependency-free digest.
+pub fn digest_report(report: &ClusterReport) -> String {
+    let json = serde_json::to_string(report).expect("serialize cluster report");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Run one policy cell to its report.
+fn run_cell(p: &ClusterParams, policy: Policy) -> ClusterReport {
+    scenario::consolidation_cluster(p.cluster_config(policy), &p.scenario_spec()).run()
+}
+
+/// Run the experiment: every requested policy as an independent sweep
+/// cell.
+pub fn run(p: &ClusterParams) -> ClusterExperiment {
+    let outcomes = SweepRunner::new(p.jobs).map(p.policies.clone(), |policy| {
+        let report = run_cell(p, policy);
+        let digest = digest_report(&report);
+        PolicyOutcome { report, digest }
+    });
+    ClusterExperiment {
+        hosts: p.hosts,
+        gangs: p.gangs,
+        epochs: p.epochs,
+        seed: p.seed,
+        outcomes,
+    }
+}
+
+/// Re-run one policy with the flight recorder armed on every host and
+/// return the host-tagged streams (recording does not perturb the
+/// simulation, so the run matches its digest-bearing twin).
+pub fn capture_flight(
+    p: &ClusterParams,
+    policy: Policy,
+    mask: CatMask,
+    capacity: usize,
+) -> Vec<(usize, Vec<FlightEvent>)> {
+    let mut cluster = scenario::consolidation_cluster(p.cluster_config(policy), &p.scenario_spec());
+    cluster.enable_flight(mask, capacity);
+    cluster.run();
+    cluster.drain_flight()
+}
+
+impl ClusterExperiment {
+    fn outcome(&self, label: &str) -> Option<&PolicyOutcome> {
+        self.outcomes.iter().find(|o| o.report.policy == label)
+    }
+
+    /// Human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        writeln!(
+            s,
+            "Cluster consolidation — {} hosts, {} gangs on host 0, {} epochs, seed {}",
+            self.hosts, self.gangs, self.epochs, self.seed
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:>12} {:>6} {:>14} {:>14} {:>13} {:>18}",
+            "policy", "moves", "spin Mcycles", "useful Mcyc", "pause Mcyc", "digest"
+        )
+        .unwrap();
+        for o in &self.outcomes {
+            let r = &o.report;
+            writeln!(
+                s,
+                "{:>12} {:>6} {:>14.1} {:>14.1} {:>13.2} {:>18}",
+                r.policy,
+                r.migrations.len(),
+                r.total_spin_cycles as f64 / 1e6,
+                r.total_useful_cycles as f64 / 1e6,
+                r.total_pause_cycles as f64 / 1e6,
+                o.digest,
+            )
+            .unwrap();
+        }
+        for o in &self.outcomes {
+            for m in &o.report.migrations {
+                writeln!(
+                    s,
+                    "  [{}] epoch {}: {} host{} -> host{} ({} dirty pages, {:.2} Mcycles pause)",
+                    o.report.policy,
+                    m.epoch,
+                    m.name,
+                    m.from,
+                    m.to,
+                    m.dirty_pages,
+                    m.pause as f64 / 1e6,
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+
+    /// The experiment's qualitative claims.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let mut checks = Vec::new();
+        if let Some(stat) = self.outcome("static") {
+            checks.push(ShapeCheck {
+                claim: "static placement never migrates".into(),
+                holds: stat.report.migrations.is_empty(),
+                evidence: format!("{} migrations", stat.report.migrations.len()),
+            });
+            if let Some(aware) = self.outcome("vcrd-aware") {
+                let moved_gang = aware
+                    .report
+                    .migrations
+                    .first()
+                    .is_some_and(|m| m.name.starts_with("gang") && m.from == 0);
+                checks.push(ShapeCheck {
+                    claim: "vcrd-aware moves a gang off the consolidated host".into(),
+                    holds: moved_gang,
+                    evidence: match aware.report.migrations.first() {
+                        Some(m) => format!("first move: {} host{} -> host{}", m.name, m.from, m.to),
+                        None => "no migrations".into(),
+                    },
+                });
+                checks.push(ShapeCheck {
+                    claim: "vcrd-aware recovers wasted spin static placement cannot".into(),
+                    holds: aware.report.total_spin_cycles < stat.report.total_spin_cycles,
+                    evidence: format!(
+                        "spin {:.1} Mcycles vs {:.1} static",
+                        aware.report.total_spin_cycles as f64 / 1e6,
+                        stat.report.total_spin_cycles as f64 / 1e6
+                    ),
+                });
+            }
+            if let Some(ll) = self.outcome("least-loaded") {
+                checks.push(ShapeCheck {
+                    claim: "least-loaded is synchronization-blind (its first move is not a gang)"
+                        .into(),
+                    holds: ll
+                        .report
+                        .migrations
+                        .first()
+                        .is_none_or(|m| !m.name.starts_with("gang")),
+                    evidence: match ll.report.migrations.first() {
+                        Some(m) => format!("first move: {}", m.name),
+                        None => "no migrations".into(),
+                    },
+                });
+            }
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ClusterParams {
+        ClusterParams {
+            epochs: 6,
+            jobs: 1,
+            ..ClusterParams::default()
+        }
+    }
+
+    #[test]
+    fn experiment_shape_checks_hold() {
+        let exp = run(&small());
+        for c in exp.shape_checks() {
+            assert!(c.holds, "{}: {}", c.claim, c.evidence);
+        }
+    }
+
+    #[test]
+    fn jobs_count_does_not_change_digests() {
+        let seq = run(&small());
+        let par = run(&ClusterParams {
+            jobs: 4,
+            ..small()
+        });
+        let d = |e: &ClusterExperiment| -> Vec<String> {
+            e.outcomes.iter().map(|o| o.digest.clone()).collect()
+        };
+        assert_eq!(d(&seq), d(&par), "digests must be worker-count independent");
+    }
+
+    #[test]
+    fn flight_capture_tags_every_host() {
+        let p = ClusterParams {
+            epochs: 2,
+            jobs: 1,
+            ..ClusterParams::default()
+        };
+        let streams = capture_flight(&p, Policy::Static, CatMask::ALL, 50_000);
+        assert_eq!(streams.len(), p.hosts);
+        assert!(
+            streams.iter().all(|(_, evs)| !evs.is_empty()),
+            "every host must record activity"
+        );
+        for (h, evs) in &streams {
+            assert!(*h < p.hosts);
+            assert!(evs.windows(2).all(|w| w[0].t <= w[1].t), "streams are time-ordered");
+        }
+    }
+}

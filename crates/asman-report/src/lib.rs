@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cluster;
 pub mod csv;
 pub mod exec;
 pub mod extensions;

@@ -1,0 +1,88 @@
+//! End-to-end CLI contract tests for the `repro` binary.
+//!
+//! Argument parsing happens before any simulation work, so every case
+//! here is instant: `--help` exits 0 with the usage text on stdout;
+//! every malformed invocation exits 2 with a `repro:`-prefixed
+//! diagnostic plus the usage text on stderr. Pinning the exit codes
+//! keeps shell scripts and the CI pipeline honest — `$?` is part of
+//! the interface.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Assert a malformed invocation exits 2 and names the problem.
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = repro(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains(needle),
+        "{args:?} stderr must mention `{needle}`:\n{err}"
+    );
+    assert!(
+        err.contains("usage: repro"),
+        "{args:?} stderr must include the usage text:\n{err}"
+    );
+}
+
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    for flag in ["--help", "-h"] {
+        let out = repro(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: repro"), "{flag} prints usage");
+        // The cluster target and its flags are documented.
+        assert!(stdout.contains("cluster"), "usage lists the cluster target");
+        assert!(stdout.contains("--hosts"), "usage documents --hosts");
+        assert!(stdout.contains("--policy"), "usage documents --policy");
+        assert!(out.stderr.is_empty(), "{flag} writes nothing to stderr");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    assert_usage_error(&["--bogus"], "unknown option `--bogus`");
+}
+
+#[test]
+fn unknown_target_exits_two() {
+    assert_usage_error(&["fig99"], "unknown target `fig99`");
+}
+
+#[test]
+fn missing_values_exit_two() {
+    assert_usage_error(&["--seed"], "--seed needs a value");
+    assert_usage_error(&["--jobs"], "--jobs needs a value");
+    assert_usage_error(&["--trace"], "--trace needs a directory");
+    assert_usage_error(&["cluster", "--policy"], "--policy needs a value");
+}
+
+#[test]
+fn non_numeric_values_exit_two() {
+    assert_usage_error(&["--seed", "banana"], "`banana` is not a number");
+    assert_usage_error(&["--class", "q"], "unknown class `q`");
+}
+
+#[test]
+fn bad_cluster_flags_exit_two() {
+    assert_usage_error(&["cluster", "--policy", "bogus"], "unknown policy `bogus`");
+    assert_usage_error(&["cluster", "--hosts", "1"], "at least 2");
+    assert_usage_error(&["cluster", "--vms", "0"], "at least 1");
+}

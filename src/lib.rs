@@ -46,10 +46,12 @@
 //! | [`guest`] | guest kernel: spinlocks, futexes, barriers, Monitoring Module hooks |
 //! | [`hypervisor`] | PCPUs/VCPUs/VMs, Credit scheduler, coscheduling mechanics |
 //! | [`core`] | ASMan: VCRD, locality model, Roth–Erev estimator |
+//! | [`cluster`] | multi-host lock-step driver, global balancer, live migration |
 //! | [`report`] | per-figure experiment harness |
 
 #![warn(missing_docs)]
 
+pub use asman_cluster as cluster;
 pub use asman_core as core;
 pub use asman_guest as guest;
 pub use asman_hypervisor as hypervisor;
