@@ -54,8 +54,12 @@ impl Policy {
 /// Per-host facts the balancer sees.
 #[derive(Clone, Debug)]
 pub struct HostView {
-    /// Physical CPUs.
+    /// Physical CPUs *as advertised*: a degraded host reports its
+    /// derated capacity, so placement math shrinks with the host.
     pub pcpus: usize,
+    /// Whether admission control accepts new VMs. Degraded and crashed
+    /// hosts do not admit; their resident VMs may still be moved *off*.
+    pub admit: bool,
 }
 
 /// Per-VM facts the balancer sees (deltas are over the last epoch).
@@ -141,7 +145,10 @@ pub fn decide(policy: Policy, snap: &Snapshot) -> Option<Move> {
 fn decide_least_loaded(snap: &Snapshot) -> Option<Move> {
     let n = snap.hosts.len();
     let hmax = (0..n).max_by_key(|&h| (snap.overcommit(h), std::cmp::Reverse(h)))?;
-    let hmin = (0..n).min_by_key(|&h| (snap.overcommit(h), h))?;
+    // Only admitting hosts may receive; the source may be any host.
+    let hmin = (0..n)
+        .filter(|&h| snap.hosts[h].admit)
+        .min_by_key(|&h| (snap.overcommit(h), h))?;
     if hmax == hmin {
         return None;
     }
@@ -198,6 +205,7 @@ fn decide_vcrd_aware(snap: &Snapshot) -> Option<Move> {
     let dst = (0..n)
         .filter(|&h| {
             h != src
+                && snap.hosts[h].admit
                 && need as usize <= snap.hosts[h].pcpus
                 && snap.gang_pressure(h) + need <= snap.hosts[h].pcpus as u64
         })
@@ -218,7 +226,10 @@ mod tests {
 
     fn snap(hosts: Vec<usize>, vms: Vec<(usize, usize, u64, u64)>) -> Snapshot {
         Snapshot {
-            hosts: hosts.into_iter().map(|pcpus| HostView { pcpus }).collect(),
+            hosts: hosts
+                .into_iter()
+                .map(|pcpus| HostView { pcpus, admit: true })
+                .collect(),
             vms: vms
                 .into_iter()
                 .map(|(host, vcpus, spin, high)| VmView {
@@ -280,6 +291,37 @@ mod tests {
     #[test]
     fn vcrd_aware_leaves_a_lone_gang_alone() {
         let s = snap(vec![4, 4], vec![(0, 3, 900_000, 0), (1, 4, 0, 0)]);
+        assert_eq!(decide(Policy::VcrdAware, &s), None);
+    }
+
+    #[test]
+    fn non_admitting_hosts_are_never_destinations() {
+        // Same shape as the gang-separation test, but the would-be
+        // destination no longer admits (degraded or crashed).
+        let mut s = snap(
+            vec![4, 4],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0), (1, 4, 0, 0)],
+        );
+        s.hosts[1].admit = false;
+        assert_eq!(decide(Policy::VcrdAware, &s), None);
+        // Least-loaded likewise: with every other host rejecting, the
+        // overloaded host has nowhere to shed to.
+        let mut s = snap(
+            vec![4, 4],
+            vec![(0, 4, 0, 0), (0, 2, 0, 0), (0, 2, 0, 0), (1, 2, 0, 0)],
+        );
+        s.hosts[1].admit = false;
+        assert_eq!(decide(Policy::LeastLoaded, &s), None);
+    }
+
+    #[test]
+    fn derated_capacity_shrinks_the_destination() {
+        // A 4-PCPU host advertising only 2 effective PCPUs cannot take
+        // a 3-VCPU gang even though it admits.
+        let s = snap(
+            vec![4, 2],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0)],
+        );
         assert_eq!(decide(Policy::VcrdAware, &s), None);
     }
 

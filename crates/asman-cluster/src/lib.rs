@@ -17,6 +17,28 @@
 //! [`MigrationModel`]. An always-on auditor re-derives every invariant
 //! it can (VM conservation, registry/host agreement, migration-cost
 //! conservation) each epoch.
+//!
+//! # Faults and recovery
+//!
+//! A [`FaultPlan`] in [`ClusterConfig::faults`] injects three failure
+//! modes at epoch boundaries, and the driver must stay correct under
+//! all of them:
+//!
+//! * **Migration aborts** — a move fails mid-copy: the extracted
+//!   [`asman_hypervisor::VmImage`] is rolled back onto the source
+//!   (tombstone cleared, counters monotone), the guest eats a modeled
+//!   [`MigrationModel::abort_penalty`], and the balancer retries the
+//!   same move with exponential backoff until
+//!   [`ClusterConfig::retry_cap`] attempts are spent.
+//! * **Host slowdowns** — the host advertises derated capacity and
+//!   stops admitting new VMs; residents keep running.
+//! * **Host crashes** — every resident VM is evacuated and re-placed
+//!   deterministically (healthy hosts first, then least-loaded, then
+//!   lowest index); the dead host admits nothing forever after.
+//!
+//! Because the plan is a pure data schedule (and randomly generated
+//! plans draw from their own forked RNG stream), a faulted run is
+//! exactly as replayable and `--jobs`-independent as a clean one.
 
 #![warn(missing_docs)]
 
@@ -25,10 +47,10 @@ pub mod migration;
 pub mod scenario;
 
 pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
-pub use migration::{MigrationModel, MigrationRecord};
+pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
 
 use asman_hypervisor::Machine;
-use asman_sim::{CatMask, Cycles, FlightEvent};
+use asman_sim::{CatMask, Cycles, FaultKind, FaultPlan, FlightEv, FlightEvent, MetricsRegistry};
 use serde::Serialize;
 
 /// Cluster driver parameters.
@@ -44,6 +66,11 @@ pub struct ClusterConfig {
     pub model: MigrationModel,
     /// A migrated VM may not move again for this many epochs.
     pub cooldown_epochs: u64,
+    /// Deterministic fault schedule (empty = clean run).
+    pub faults: FaultPlan,
+    /// Maximum migration attempts per retry chain before the balancer
+    /// gives up on the VM for the rest of the run.
+    pub retry_cap: u32,
 }
 
 impl Default for ClusterConfig {
@@ -54,8 +81,40 @@ impl Default for ClusterConfig {
             policy: Policy::Static,
             model: MigrationModel::default(),
             cooldown_epochs: 3,
+            faults: FaultPlan::empty(),
+            retry_cap: 3,
         }
     }
+}
+
+/// Health of one host, as the cluster driver tracks it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum HostHealth {
+    /// Fully operational; admits new VMs.
+    Healthy,
+    /// Advertising derated capacity; residents keep running but
+    /// admission control rejects new VMs.
+    Degraded {
+        /// Capacity reduction in percent.
+        pct: u32,
+    },
+    /// Dead: residents were evacuated, nothing runs or is admitted.
+    Crashed,
+}
+
+/// An aborted migration waiting out its exponential backoff. The chain
+/// holds the cluster's one-migration-per-epoch slot until it commits,
+/// is abandoned, or exhausts the attempt cap.
+#[derive(Clone, Copy, Debug)]
+struct PendingRetry {
+    /// Cluster-wide VM id being moved.
+    vm: usize,
+    /// Destination of the original decision.
+    to: usize,
+    /// Epoch at whose boundary the retry may run.
+    due: u64,
+    /// Attempts already made (>= 1).
+    attempts: u32,
 }
 
 /// Cluster-side registry entry for one VM. The cluster id is stable for
@@ -74,6 +133,11 @@ struct VmEntry {
     spin_delta: u64,
     vcrd_high_delta: u64,
     online_delta: u64,
+    /// Attempts spent by the current (or last) retry chain.
+    attempts: u32,
+    /// The retry chain exhausted its cap; the balancer leaves the VM
+    /// alone for the rest of the run.
+    gave_up: bool,
 }
 
 /// Per-VM row of the final report.
@@ -114,7 +178,12 @@ pub struct HostRow {
 }
 
 /// Serializable result of one cluster run.
-#[derive(Clone, Debug, Serialize)]
+///
+/// `Serialize` is written by hand: the `recovery` section appears only
+/// when a fault plan was armed, so the serialized form — and therefore
+/// every golden digest — of a clean run is byte-identical to what it
+/// was before faults existed.
+#[derive(Clone, Debug)]
 pub struct ClusterReport {
     /// Policy label.
     pub policy: &'static str,
@@ -136,17 +205,86 @@ pub struct ClusterReport {
     pub total_useful_cycles: u64,
     /// Total guest-visible migration dead time in cycles.
     pub total_pause_cycles: u64,
+    /// Fault/recovery outcome; `None` for clean runs (and then omitted
+    /// from serialization entirely).
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl Serialize for ClusterReport {
+    fn to_value(&self) -> serde::Value {
+        // Field order mirrors the struct declaration, exactly as the
+        // derive would emit it.
+        let mut fields = vec![
+            ("policy".to_string(), self.policy.to_value()),
+            ("hosts".to_string(), self.hosts.to_value()),
+            ("epochs".to_string(), self.epochs.to_value()),
+            ("epoch_ms".to_string(), self.epoch_ms.to_value()),
+            ("host_rows".to_string(), self.host_rows.to_value()),
+            ("vm_rows".to_string(), self.vm_rows.to_value()),
+            ("migrations".to_string(), self.migrations.to_value()),
+            (
+                "total_spin_cycles".to_string(),
+                self.total_spin_cycles.to_value(),
+            ),
+            (
+                "total_useful_cycles".to_string(),
+                self.total_useful_cycles.to_value(),
+            ),
+            (
+                "total_pause_cycles".to_string(),
+                self.total_pause_cycles.to_value(),
+            ),
+        ];
+        if let Some(rec) = &self.recovery {
+            fields.push(("recovery".to_string(), rec.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+/// Fault and recovery outcome of a faulted run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryReport {
+    /// The fault plan that was armed.
+    pub plan: FaultPlan,
+    /// Final health of every host.
+    pub host_health: Vec<HostHealth>,
+    /// Every aborted migration attempt, in order.
+    pub aborts: Vec<AbortRecord>,
+    /// Every crash evacuation, in order (same cost model and record
+    /// shape as a planned migration).
+    pub evacuations: Vec<MigrationRecord>,
+    /// Aborted-then-retried migrations that eventually committed.
+    pub retries_committed: u64,
+    /// Retry chains dropped because the destination stopped admitting
+    /// (or the VM was evacuated onto it) mid-chain.
+    pub retries_abandoned: u64,
+    /// VMs whose retry chains exhausted [`ClusterConfig::retry_cap`].
+    pub gave_up: u64,
+    /// Total guest-visible dead time of failed attempts, in cycles.
+    pub total_abort_penalty_cycles: u64,
+    /// Total guest-visible dead time of evacuations, in cycles.
+    pub total_evacuation_pause_cycles: u64,
 }
 
 /// N machines in lock-step plus the global balancer state.
 pub struct Cluster {
     cfg: ClusterConfig,
     hosts: Vec<Machine>,
+    health: Vec<HostHealth>,
     vms: Vec<VmEntry>,
     records: Vec<MigrationRecord>,
+    aborts: Vec<AbortRecord>,
+    evacuations: Vec<MigrationRecord>,
+    pending: Option<PendingRetry>,
+    retries_committed: u64,
+    retries_abandoned: u64,
+    gave_up: u64,
     epochs_run: u64,
     #[cfg(feature = "audit")]
     fault_dirty_undercount: bool,
+    #[cfg(feature = "audit")]
+    fault_sticky_tombstone: bool,
 }
 
 impl Cluster {
@@ -172,17 +310,36 @@ impl Cluster {
                     spin_delta: 0,
                     vcrd_high_delta: 0,
                     online_delta: 0,
+                    attempts: 0,
+                    gave_up: false,
                 });
             }
         }
+        if let Some(h) = cfg.faults.max_host() {
+            assert!(
+                h < hosts.len(),
+                "fault plan touches host {h} but the cluster has {}",
+                hosts.len()
+            );
+        }
+        let health = vec![HostHealth::Healthy; hosts.len()];
         Cluster {
             cfg,
             hosts,
+            health,
             vms,
             records: Vec::new(),
+            aborts: Vec::new(),
+            evacuations: Vec::new(),
+            pending: None,
+            retries_committed: 0,
+            retries_abandoned: 0,
+            gave_up: 0,
             epochs_run: 0,
             #[cfg(feature = "audit")]
             fault_dirty_undercount: false,
+            #[cfg(feature = "audit")]
+            fault_sticky_tombstone: false,
         }
     }
 
@@ -211,6 +368,53 @@ impl Cluster {
         &self.records
     }
 
+    /// Aborted migration attempts so far.
+    pub fn aborts(&self) -> &[AbortRecord] {
+        &self.aborts
+    }
+
+    /// Crash evacuations so far.
+    pub fn evacuations(&self) -> &[MigrationRecord] {
+        &self.evacuations
+    }
+
+    /// Current health of every host.
+    pub fn host_health(&self) -> &[HostHealth] {
+        &self.health
+    }
+
+    /// Register the recovery counters into `reg` under `cluster.*`.
+    /// Zero-valued counters are skipped so a clean run exports nothing.
+    pub fn export_recovery_metrics(&self, reg: &mut MetricsRegistry) {
+        let crashed = self
+            .health
+            .iter()
+            .filter(|h| **h == HostHealth::Crashed)
+            .count() as u64;
+        let degraded = self
+            .health
+            .iter()
+            .filter(|h| matches!(h, HostHealth::Degraded { .. }))
+            .count() as u64;
+        let penalty: u64 = self.aborts.iter().map(|a| a.penalty).sum();
+        let evac_pause: u64 = self.evacuations.iter().map(|r| r.pause).sum();
+        for (name, v) in [
+            ("cluster.hosts.crashed", crashed),
+            ("cluster.hosts.degraded", degraded),
+            ("cluster.migration.aborts", self.aborts.len() as u64),
+            ("cluster.migration.retries_committed", self.retries_committed),
+            ("cluster.migration.retries_abandoned", self.retries_abandoned),
+            ("cluster.migration.gave_up", self.gave_up),
+            ("cluster.migration.abort_penalty_cycles", penalty),
+            ("cluster.evacuations", self.evacuations.len() as u64),
+            ("cluster.evacuation_pause_cycles", evac_pause),
+        ] {
+            if v > 0 {
+                reg.inc(name, v);
+            }
+        }
+    }
+
     /// Arm the dirty-page undercount fault: executed migrations copy
     /// only half the modeled dirty pages, so their records no longer
     /// satisfy the cost model. The cluster auditor must catch this at
@@ -218,6 +422,15 @@ impl Cluster {
     #[cfg(feature = "audit")]
     pub fn audit_inject_dirty_undercount(&mut self) {
         self.fault_dirty_undercount = true;
+    }
+
+    /// Injected fault for auditor self-tests: abort rollbacks "forget"
+    /// to clear the source tombstone, leaving the registry pointing at
+    /// an evacuated slot. The auditor must catch it at the next epoch
+    /// boundary.
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_sticky_tombstone(&mut self) {
+        self.fault_sticky_tombstone = true;
     }
 
     /// Enable flight recording on every host (host streams are kept
@@ -246,19 +459,149 @@ impl Cluster {
         self.report()
     }
 
-    /// Advance every host to the next epoch boundary, then balance.
+    /// Advance every live host to the next epoch boundary, apply the
+    /// epoch's scheduled faults, then balance. Crashed hosts stay
+    /// frozen at the boundary where they died.
     pub fn run_epoch(&mut self) {
         let epoch = self.epochs_run;
         let end = self.epoch_cycles() * (epoch + 1);
-        for m in &mut self.hosts {
-            m.run_until(end);
+        for (h, m) in self.hosts.iter_mut().enumerate() {
+            if self.health[h] != HostHealth::Crashed {
+                m.run_until(end);
+            }
         }
         self.collect_deltas();
+        self.apply_host_faults(epoch, end);
         self.audit_check();
-        if let Some(mv) = decide(self.cfg.policy, &self.snapshot(epoch)) {
-            self.execute_migration(epoch, mv, end);
+        let attempt = match self.pending {
+            Some(p) if p.due <= epoch => {
+                self.pending = None;
+                self.revalidate_retry(p)
+            }
+            // A chain backing off holds the one-migration-per-epoch
+            // slot: no fresh decision until it resolves.
+            Some(_) => None,
+            None => decide(self.cfg.policy, &self.snapshot(epoch)).map(|mv| (mv, 1)),
+        };
+        if let Some((mv, attempt)) = attempt {
+            self.execute_migration(epoch, mv, end, attempt);
         }
         self.epochs_run = epoch + 1;
+    }
+
+    /// Apply this epoch's scheduled host faults: derate slow hosts,
+    /// crash and evacuate dead ones. Fault events land in the affected
+    /// (or, for evacuations, receiving) host's flight stream.
+    fn apply_host_faults(&mut self, epoch: u64, now: Cycles) {
+        let faults: Vec<FaultKind> = self.cfg.faults.host_faults_at(epoch).collect();
+        for kind in faults {
+            match kind {
+                FaultKind::Slow { host, derate_pct } => {
+                    if self.health[host] == HostHealth::Crashed {
+                        continue;
+                    }
+                    self.hosts[host].set_capacity_derate(derate_pct);
+                    self.health[host] = HostHealth::Degraded { pct: derate_pct };
+                    self.hosts[host].record_cluster_event(FlightEv::HostDerate {
+                        host: host as u32,
+                        pct: derate_pct,
+                    });
+                }
+                FaultKind::Crash { host } => {
+                    if self.health[host] == HostHealth::Crashed {
+                        continue;
+                    }
+                    self.health[host] = HostHealth::Crashed;
+                    self.hosts[host]
+                        .record_cluster_event(FlightEv::HostCrash { host: host as u32 });
+                    self.evacuate_host(host, epoch, now);
+                }
+                // host_faults_at never yields aborts; those are
+                // consumed by execute_migration.
+                FaultKind::Abort => unreachable!("abort is not a host fault"),
+            }
+        }
+    }
+
+    /// Evacuate every VM registered on a crashed host and re-place it:
+    /// healthy destinations before degraded ones, then fewest resident
+    /// VCPUs, then lowest index. Each evacuation is charged like a
+    /// stop-and-copy migration (the simulator restores the VM from its
+    /// at-crash state; the full pause models the restore).
+    fn evacuate_host(&mut self, host: usize, epoch: u64, now: Cycles) {
+        let refugees: Vec<usize> = (0..self.vms.len())
+            .filter(|&id| self.vms[id].host == host)
+            .collect();
+        for id in refugees {
+            let (local, vcpus, online_delta, name) = {
+                let e = &self.vms[id];
+                (e.local, e.vcpus, e.online_delta, e.name.clone())
+            };
+            let dest = (0..self.hosts.len())
+                .filter(|&h| {
+                    h != host
+                        && self.health[h] != HostHealth::Crashed
+                        && vcpus <= self.hosts[h].config().pcpus
+                })
+                .min_by_key(|&h| {
+                    let degraded = self.health[h] != HostHealth::Healthy;
+                    let resident: usize = self
+                        .vms
+                        .iter()
+                        .filter(|e| e.host == h)
+                        .map(|e| e.vcpus)
+                        .sum();
+                    (degraded, resident, h)
+                })
+                .unwrap_or_else(|| {
+                    panic!("evacuation failed: no live host can take vm {id} ({name})")
+                });
+            let image = self.hosts[host].extract_vm(local);
+            let dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
+            let pause = self.cfg.model.pause(dirty);
+            let new_local = self.hosts[dest].inject_vm(image, now + pause);
+            self.hosts[dest].record_cluster_event(FlightEv::Evacuate {
+                vm: id as u32,
+                from: host as u32,
+                to: dest as u32,
+            });
+            self.evacuations.push(MigrationRecord {
+                epoch,
+                vm: id,
+                name,
+                from: host,
+                to: dest,
+                online_delta,
+                dirty_pages: dirty,
+                pause: pause.as_u64(),
+            });
+            let e = &mut self.vms[id];
+            e.host = dest;
+            e.local = new_local;
+            e.last_migration = Some(epoch);
+            e.migrations += 1;
+        }
+        // A retry chain headed for (or rolling back onto) the dead host
+        // cannot continue.
+        if let Some(p) = self.pending {
+            if p.to == host {
+                self.pending = None;
+                self.retries_abandoned += 1;
+            }
+        }
+    }
+
+    /// Re-check a due retry against the current cluster state: the
+    /// destination must still admit and must not have become the VM's
+    /// home (a crash evacuation may have re-placed it meanwhile).
+    fn revalidate_retry(&mut self, p: PendingRetry) -> Option<(Move, u32)> {
+        let stale =
+            self.health[p.to] != HostHealth::Healthy || self.vms[p.vm].host == p.to;
+        if stale {
+            self.retries_abandoned += 1;
+            return None;
+        }
+        Some((Move { vm: p.vm, to: p.to }, p.attempts + 1))
     }
 
     /// Pull cumulative per-VM counters from the hosts and form epoch
@@ -283,14 +626,19 @@ impl Cluster {
         }
     }
 
-    /// Build the balancer's view of this epoch.
+    /// Build the balancer's view of this epoch. Hosts advertise their
+    /// *effective* (derate-shrunk) capacity, and only healthy hosts
+    /// admit; VMs that exhausted their retry cap read as cooling
+    /// forever, so no policy re-proposes them.
     fn snapshot(&self, epoch: u64) -> Snapshot {
         Snapshot {
             hosts: self
                 .hosts
                 .iter()
-                .map(|m| HostView {
-                    pcpus: m.config().pcpus,
+                .enumerate()
+                .map(|(h, m)| HostView {
+                    pcpus: m.effective_pcpus(),
+                    admit: self.health[h] == HostHealth::Healthy,
                 })
                 .collect(),
             vms: self
@@ -301,30 +649,86 @@ impl Cluster {
                     vcpus: e.vcpus,
                     spin_delta: e.spin_delta,
                     vcrd_high_delta: e.vcrd_high_delta,
-                    cooling: e
-                        .last_migration
-                        .is_some_and(|m| epoch.saturating_sub(m) < self.cfg.cooldown_epochs),
+                    cooling: e.gave_up
+                        || e.last_migration.is_some_and(|m| {
+                            epoch.saturating_sub(m) < self.cfg.cooldown_epochs
+                        }),
                 })
                 .collect(),
             epoch_cycles: self.epoch_cycles().as_u64(),
         }
     }
 
-    /// Stop-and-copy `mv.vm` onto `mv.to`: extract at the epoch
-    /// boundary, charge the dirty-rate-proportional pause, resume on
-    /// the destination after the pause.
-    fn execute_migration(&mut self, epoch: u64, mv: Move, now: Cycles) {
+    /// Attempt to stop-and-copy `mv.vm` onto `mv.to` (attempt number
+    /// `attempt` of its chain). The state machine:
+    ///
+    /// * **prepare** — extract the [`asman_hypervisor::VmImage`] at the
+    ///   epoch boundary;
+    /// * **copy** — charge the dirty-rate-proportional cost; if the
+    ///   fault plan aborts this epoch, the copy fails here;
+    /// * **commit** — inject on the destination, resuming after the
+    ///   full pause; or
+    /// * **abort** — roll the image back onto the source (tombstone
+    ///   cleared, [`MigrationModel::abort_penalty`] of dead time) and
+    ///   schedule a retry with exponential backoff (1, 2, 4… epochs)
+    ///   until the per-VM attempt cap is spent.
+    fn execute_migration(&mut self, epoch: u64, mv: Move, now: Cycles, attempt: u32) {
         let (from, local, online_delta, name) = {
             let e = &self.vms[mv.vm];
             (e.host, e.local, e.online_delta, e.name.clone())
         };
         assert_ne!(from, mv.to, "balancer proposed a no-op move");
+        if attempt > 1 {
+            self.hosts[from].record_cluster_event(FlightEv::MigrateRetry {
+                vm: mv.vm as u32,
+                attempt,
+            });
+        }
         let image = self.hosts[from].extract_vm(local);
         #[allow(unused_mut)]
         let mut dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
         #[cfg(feature = "audit")]
         if self.fault_dirty_undercount {
             dirty /= 2;
+        }
+        if self.cfg.faults.aborts_at(epoch) {
+            // Abort with rollback: the image returns to its original
+            // slot on the source, which eats the failed copy's penalty
+            // as guest-visible dead time.
+            let penalty = self.cfg.model.abort_penalty(dirty);
+            self.hosts[from].undo_extract_vm(local, image, now + penalty);
+            #[cfg(feature = "audit")]
+            if self.fault_sticky_tombstone {
+                self.hosts[from].audit_mark_evacuated(local);
+            }
+            self.hosts[from].record_cluster_event(FlightEv::MigrateAbort {
+                vm: mv.vm as u32,
+                attempt,
+            });
+            self.aborts.push(AbortRecord {
+                epoch,
+                vm: mv.vm,
+                name,
+                from,
+                to: mv.to,
+                attempt,
+                online_delta,
+                dirty_pages: dirty,
+                penalty: penalty.as_u64(),
+            });
+            self.vms[mv.vm].attempts = attempt;
+            if attempt < self.cfg.retry_cap {
+                self.pending = Some(PendingRetry {
+                    vm: mv.vm,
+                    to: mv.to,
+                    due: epoch + (1 << (attempt - 1)),
+                    attempts: attempt,
+                });
+            } else {
+                self.vms[mv.vm].gave_up = true;
+                self.gave_up += 1;
+            }
+            return;
         }
         let pause = self.cfg.model.pause(dirty);
         let new_local = self.hosts[mv.to].inject_vm(image, now + pause);
@@ -338,38 +742,43 @@ impl Cluster {
             dirty_pages: dirty,
             pause: pause.as_u64(),
         });
+        if attempt > 1 {
+            self.retries_committed += 1;
+        }
         let e = &mut self.vms[mv.vm];
         e.host = mv.to;
         e.local = new_local;
         e.last_migration = Some(epoch);
         e.migrations += 1;
+        e.attempts = 0;
     }
 
     /// Cluster invariant auditor (always on — it is cheap relative to
     /// an epoch of simulation):
     ///
-    /// * **VM conservation** — live VMs across hosts equal the registry;
     /// * **registry/host agreement** — every entry points at a live VM
-    ///   with the right name and VCPU count;
-    /// * **migration-cost conservation** — every record's `dirty_pages`
-    ///   and `pause` re-derive from its `online_delta` through the
+    ///   on a live host, with the right name and VCPU count, and no
+    ///   retry chain overran its attempt cap;
+    /// * **VM conservation** — live VMs across hosts equal the registry;
+    /// * **migration-cost conservation** — every migration and
+    ///   evacuation record's `dirty_pages` and `pause`, and every abort
+    ///   record's `penalty`, re-derive from `online_delta` through the
     ///   model (catches any path that charges less than the model
-    ///   demands, e.g. the injected undercount fault).
+    ///   demands — e.g. the injected undercount fault — and any
+    ///   rollback that forgot to clear the source tombstone).
     pub fn audit_check(&self) {
-        let live: usize = self.hosts.iter().map(|m| m.active_vm_count()).sum();
-        assert_eq!(
-            live,
-            self.vms.len(),
-            "cluster audit: VM count not conserved ({} live vs {} registered)",
-            live,
-            self.vms.len()
-        );
         for (id, e) in self.vms.iter().enumerate() {
             let m = &self.hosts[e.host];
             assert!(
                 !m.vm_evacuated(e.local),
                 "cluster audit: registry vm {} points at a tombstone",
                 id
+            );
+            assert!(
+                self.health[e.host] != HostHealth::Crashed,
+                "cluster audit: registry vm {} resident on crashed host {}",
+                id,
+                e.host
             );
             assert_eq!(
                 m.vm_name(e.local),
@@ -383,8 +792,23 @@ impl Cluster {
                 "cluster audit: registry vm {} vcpu count mismatch",
                 id
             );
+            assert!(
+                e.attempts <= self.cfg.retry_cap,
+                "cluster audit: vm {} overran the retry cap ({} > {})",
+                id,
+                e.attempts,
+                self.cfg.retry_cap
+            );
         }
-        for r in &self.records {
+        let live: usize = self.hosts.iter().map(|m| m.active_vm_count()).sum();
+        assert_eq!(
+            live,
+            self.vms.len(),
+            "cluster audit: VM count not conserved ({} live vs {} registered)",
+            live,
+            self.vms.len()
+        );
+        for r in self.records.iter().chain(&self.evacuations) {
             let dirty = self.cfg.model.dirty_pages(Cycles(r.online_delta));
             assert_eq!(
                 dirty, r.dirty_pages,
@@ -396,6 +820,27 @@ impl Cluster {
                 r.pause,
                 "cluster audit: migration pause not conserved (vm {} epoch {})",
                 r.vm, r.epoch
+            );
+        }
+        for a in &self.aborts {
+            let dirty = self.cfg.model.dirty_pages(Cycles(a.online_delta));
+            assert_eq!(
+                dirty, a.dirty_pages,
+                "cluster audit: abort dirty pages not conserved (vm {} epoch {})",
+                a.vm, a.epoch
+            );
+            assert_eq!(
+                self.cfg.model.abort_penalty(a.dirty_pages).as_u64(),
+                a.penalty,
+                "cluster audit: abort penalty not conserved (vm {} epoch {})",
+                a.vm, a.epoch
+            );
+            assert!(
+                a.attempt >= 1 && a.attempt <= self.cfg.retry_cap,
+                "cluster audit: abort attempt {} outside 1..={} (vm {})",
+                a.attempt,
+                self.cfg.retry_cap,
+                a.vm
             );
         }
         #[cfg(feature = "audit")]
@@ -450,6 +895,25 @@ impl Cluster {
                 events_processed: m.events_processed(),
             })
             .collect();
+        let recovery = if self.cfg.faults.is_empty() {
+            None
+        } else {
+            Some(RecoveryReport {
+                plan: self.cfg.faults.clone(),
+                host_health: self.health.clone(),
+                aborts: self.aborts.clone(),
+                evacuations: self.evacuations.clone(),
+                retries_committed: self.retries_committed,
+                retries_abandoned: self.retries_abandoned,
+                gave_up: self.gave_up,
+                total_abort_penalty_cycles: self.aborts.iter().map(|a| a.penalty).sum(),
+                total_evacuation_pause_cycles: self
+                    .evacuations
+                    .iter()
+                    .map(|r| r.pause)
+                    .sum(),
+            })
+        };
         ClusterReport {
             policy: self.cfg.policy.label(),
             hosts: self.hosts.len(),
@@ -461,6 +925,7 @@ impl Cluster {
             total_pause_cycles: self.records.iter().map(|r| r.pause).sum(),
             vm_rows,
             migrations: self.records.clone(),
+            recovery,
         }
     }
 }

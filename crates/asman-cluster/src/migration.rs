@@ -53,6 +53,15 @@ impl MigrationModel {
     pub fn pause(&self, dirty: u64) -> Cycles {
         self.downtime_base + Cycles(dirty.saturating_mul(self.copy_cycles_per_page))
     }
+
+    /// Guest-visible penalty for a migration that aborts mid-copy: the
+    /// abort is detected halfway through the stop-and-copy, so the
+    /// source guest ate half the full pause for nothing before it is
+    /// rolled back. Deterministic so the cluster auditor can re-derive
+    /// it from any [`AbortRecord`].
+    pub fn abort_penalty(&self, dirty: u64) -> Cycles {
+        Cycles(self.pause(dirty).as_u64() / 2)
+    }
 }
 
 /// One executed live migration, as recorded by the cluster driver. The
@@ -79,6 +88,33 @@ pub struct MigrationRecord {
     pub pause: u64,
 }
 
+/// One *aborted* migration attempt: the VM was extracted, the copy
+/// failed (per the fault plan), and the image was rolled back onto the
+/// source with `penalty` cycles of guest-visible dead time. The cluster
+/// auditor recomputes `dirty_pages` and `penalty` from `online_delta`
+/// through the model and panics on any mismatch.
+#[derive(Clone, Debug, Serialize)]
+pub struct AbortRecord {
+    /// Epoch (0-based) at whose boundary the attempt was made.
+    pub epoch: u64,
+    /// Cluster-wide VM id.
+    pub vm: usize,
+    /// VM name.
+    pub name: String,
+    /// Source host (where the VM was rolled back to).
+    pub from: usize,
+    /// Intended destination host.
+    pub to: usize,
+    /// Attempt number in the retry chain, 1-based.
+    pub attempt: u32,
+    /// The VM's online cycles in the epoch before the attempt.
+    pub online_delta: u64,
+    /// Pages the copy would have moved.
+    pub dirty_pages: u64,
+    /// Guest-visible dead time of the failed attempt in cycles.
+    pub penalty: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +126,13 @@ mod tests {
         let busy = m.pause(m.dirty_pages(Cycles(200_000_000)));
         assert!(busy > idle);
         assert_eq!(m.dirty_pages(Cycles(0)), m.base_pages);
+    }
+
+    #[test]
+    fn abort_penalty_is_half_the_pause() {
+        let m = MigrationModel::default();
+        let dirty = m.dirty_pages(Cycles(90_000_000));
+        assert_eq!(m.abort_penalty(dirty).as_u64(), m.pause(dirty).as_u64() / 2);
+        assert!(m.abort_penalty(dirty) < m.pause(dirty));
     }
 }

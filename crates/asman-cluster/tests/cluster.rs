@@ -4,8 +4,9 @@
 
 use asman_cluster::{
     scenario::{self, ConsolidationSpec},
-    Cluster, ClusterConfig, ClusterReport, Policy,
+    Cluster, ClusterConfig, ClusterReport, HostHealth, Policy,
 };
+use asman_sim::FaultPlan;
 
 fn run_policy(policy: Policy, spec: &ConsolidationSpec, epochs: u64) -> ClusterReport {
     let cfg = ClusterConfig {
@@ -142,6 +143,122 @@ fn fuzz_smoke_random_clusters_conserve_vms() {
     assert_eq!(ran, 9);
 }
 
+fn faulted_cfg(faults: &str) -> ClusterConfig {
+    let faults = if faults.is_empty() {
+        FaultPlan::empty()
+    } else {
+        FaultPlan::parse(faults).unwrap()
+    };
+    ClusterConfig {
+        policy: Policy::VcrdAware,
+        epochs: 8,
+        epoch_ms: 50,
+        faults,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn aborted_migration_rolls_back_and_commits_on_retry() {
+    let spec = ConsolidationSpec::default();
+    let clean = scenario::consolidation_cluster(faulted_cfg(""), &spec).run();
+    let mut cluster = scenario::consolidation_cluster(faulted_cfg("abort@0"), &spec);
+    let report = cluster.run();
+    let rec = report.recovery.as_ref().expect("faulted run reports recovery");
+
+    assert_eq!(rec.aborts.len(), 1, "abort@0 fails exactly the first attempt");
+    let a = &rec.aborts[0];
+    assert_eq!((a.epoch, a.attempt), (0, 1));
+    assert_eq!(rec.retries_committed, 1, "the retry chain must commit");
+    // The retry commits one epoch later, to the destination the
+    // original decision picked; the abort charged half a pause.
+    let m = &report.migrations[0];
+    assert_eq!((m.vm, m.from, m.to), (a.vm, a.from, a.to));
+    assert_eq!(m.epoch, a.epoch + 1);
+    assert!(a.penalty > 0 && a.penalty < m.pause);
+    // The clean twin moved the same VM at epoch 0 — the fault only
+    // delayed it, it never redirected the balancer.
+    assert_eq!(clean.migrations[0].vm, m.vm);
+    // Rollback left every VM with exactly one live home.
+    let resident: usize = report.host_rows.iter().map(|h| h.vms.len()).sum();
+    assert_eq!(resident, report.vm_rows.len());
+}
+
+#[test]
+fn exhausted_retry_chain_gives_up_and_bars_the_vm() {
+    // Abort every epoch: attempt 1 at epoch 0, retry at 1, retry at 3
+    // (backoff 1 then 2) all fail, and the cap of 3 ends the chain.
+    let cfg = faulted_cfg("abort@0,abort@1,abort@2,abort@3,abort@4,abort@5,abort@6,abort@7");
+    let mut cluster = scenario::consolidation_cluster(cfg, &ConsolidationSpec::default());
+    let report = cluster.run();
+    let rec = report.recovery.as_ref().unwrap();
+    assert!(rec.gave_up >= 1, "the chain must exhaust its attempt cap");
+    let aborted_vm = rec.aborts[0].vm;
+    assert_eq!(
+        rec.aborts.iter().filter(|a| a.vm == aborted_vm).count(),
+        3,
+        "retry cap bounds the attempts"
+    );
+    assert!(
+        report.migrations.iter().all(|m| m.vm != aborted_vm),
+        "a gave-up VM must never migrate again"
+    );
+    let resident: usize = report.host_rows.iter().map(|h| h.vms.len()).sum();
+    assert_eq!(resident, report.vm_rows.len(), "every rollback conserved the VM");
+}
+
+#[test]
+fn crashed_host_is_evacuated_with_every_vm_conserved() {
+    let spec = ConsolidationSpec::default();
+    let mut cluster = scenario::consolidation_cluster(faulted_cfg("crash@4:h1"), &spec);
+    let before = cluster.vm_count();
+    let report = cluster.run();
+    let rec = report.recovery.as_ref().unwrap();
+
+    assert_eq!(cluster.host_health()[1], HostHealth::Crashed);
+    assert!(!rec.evacuations.is_empty(), "host 1 held VMs; they must move");
+    assert!(rec.evacuations.iter().all(|e| e.from == 1));
+    // Nothing lives on the crashed host, and nothing was lost: the
+    // host rows of live hosts cover the whole registry.
+    assert!(report.vm_rows.iter().all(|v| v.host != 1));
+    assert!(report.host_rows[1].vms.is_empty());
+    let resident: usize = report.host_rows.iter().map(|h| h.vms.len()).sum();
+    assert_eq!(resident, before);
+    // Evacuation dead time is accounted in the recovery block (it is
+    // deliberately kept out of `total_pause_cycles`, which covers
+    // balancer-chosen moves only).
+    let evac_pause: u64 = rec.evacuations.iter().map(|e| e.pause).sum();
+    assert_eq!(rec.total_evacuation_pause_cycles, evac_pause);
+    assert!(evac_pause > 0);
+}
+
+#[test]
+fn degraded_hosts_stop_admitting_but_keep_their_vms() {
+    let spec = ConsolidationSpec::default();
+    let mut cluster = scenario::consolidation_cluster(faulted_cfg("slow@1:h1:50"), &spec);
+    let report = cluster.run();
+    assert_eq!(cluster.host_health()[1], HostHealth::Degraded { pct: 50 });
+    // Admission control: no migration after the derate targets host 1.
+    assert!(
+        report.migrations.iter().all(|m| m.epoch < 1 || m.to != 1),
+        "a degraded host must not admit new VMs"
+    );
+    // Its resident VMs stay — degradation is not a crash.
+    assert!(report.vm_rows.iter().any(|v| v.host == 1));
+}
+
+#[test]
+fn faulted_reruns_are_bit_identical() {
+    let spec = ConsolidationSpec::default();
+    let run = |faults: &str| {
+        serde_json::to_string(&scenario::consolidation_cluster(faulted_cfg(faults), &spec).run())
+            .unwrap()
+    };
+    let plan = "abort@0,slow@2:h2:30,crash@4:h1";
+    assert_eq!(run(plan), run(plan), "faulted runs must be deterministic");
+    assert_ne!(run(plan), run("abort@0"), "the plan must matter");
+}
+
 /// Reverting the dirty-page accounting guard (here: arming the
 /// equivalent injected fault) must trip the cluster auditor.
 #[cfg(feature = "audit")]
@@ -156,5 +273,17 @@ fn dirty_undercount_fault_is_caught_by_the_auditor() {
     };
     let mut cluster = scenario::consolidation_cluster(cfg, &ConsolidationSpec::default());
     cluster.audit_inject_dirty_undercount();
+    cluster.run();
+}
+
+/// A rollback that forgets to clear the source tombstone leaves the
+/// registry pointing at an evacuated slot; the auditor must say so.
+#[cfg(feature = "audit")]
+#[test]
+#[should_panic(expected = "points at a tombstone")]
+fn sticky_tombstone_fault_is_caught_by_the_auditor() {
+    let mut cluster =
+        scenario::consolidation_cluster(faulted_cfg("abort@0"), &ConsolidationSpec::default());
+    cluster.audit_inject_sticky_tombstone();
     cluster.run();
 }

@@ -234,6 +234,11 @@ pub struct Machine<Q: SimQueue<Ev> = EventQueue<Ev>> {
     /// into [`Machine::flight_events`] so an evacuated VM's history is
     /// not lost with its kernel.
     adopted_streams: Vec<Vec<FlightEvent>>,
+    /// Advertised capacity derate in percent (0 = healthy). Purely an
+    /// admission-control signal for the cluster layer: it shrinks
+    /// [`Machine::effective_pcpus`] but never changes engine timing, so
+    /// arming it cannot perturb a host's event stream.
+    derate_pct: u32,
     /// Invariant-auditor state (shadow ledgers, injected mutations).
     /// Costs nothing unless the `audit` feature is compiled in.
     #[cfg(feature = "audit")]
@@ -398,6 +403,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             scratch_fx: Effects::default(),
             scratch_occupied: Vec::new(),
             adopted_streams: Vec::new(),
+            derate_pct: 0,
             cfg,
         };
         // Initial credit: one assignment interval's worth, so the first
@@ -426,6 +432,27 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Advertise a capacity derate of `pct` percent (a degraded host
+    /// under a fault plan). The knob only changes what
+    /// [`Machine::effective_pcpus`] reports to admission control —
+    /// engine timing is untouched, so arming it never perturbs the
+    /// host's own event stream.
+    pub fn set_capacity_derate(&mut self, pct: u32) {
+        assert!(pct < 100, "a 100% derate is a crash, not a slowdown");
+        self.derate_pct = pct;
+    }
+
+    /// Current advertised capacity derate in percent (0 = healthy).
+    pub fn capacity_derate(&self) -> u32 {
+        self.derate_pct
+    }
+
+    /// PCPUs advertised to cluster admission control after the derate,
+    /// never below one.
+    pub fn effective_pcpus(&self) -> usize {
+        (self.cfg.pcpus * (100 - self.derate_pct as usize) / 100).max(1)
     }
 
     /// Number of VMs.
@@ -581,6 +608,16 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         self.audit.boost_skip = true;
     }
 
+    /// Re-mark a live VM as an evacuated tombstone *without* touching
+    /// anything else — the exact footprint of a migration rollback that
+    /// forgot to clear the source tombstone. Exists purely so the
+    /// injected-fault test can prove the cluster auditor catches that
+    /// bug; never armed in normal runs.
+    #[cfg(feature = "audit")]
+    pub fn audit_mark_evacuated(&mut self, vm: usize) {
+        self.vms[vm].evacuated = true;
+    }
+
     /// The invariant auditor's checkpoint, run at every accounting
     /// event (per-PCPU ticks and the global credit assignment):
     ///
@@ -640,6 +677,16 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// retained hypervisor events).
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// Record a cluster-layer event (fault injection, migration
+    /// abort/retry, evacuation) into this host's flight stream at the
+    /// current simulated time. No-op unless the recorder wants the
+    /// event's category, like every other record site.
+    pub fn record_cluster_event(&mut self, ev: FlightEv) {
+        if self.flight.wants(ev.cat()) {
+            self.flight.record(self.now, ev);
+        }
     }
 
     /// Drain every layer's flight-recorder buffers into one time-ordered
@@ -986,6 +1033,66 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             evacuated: false,
         });
         vm_idx
+    }
+
+    /// Roll back an aborted migration: re-inject `image` into the
+    /// tombstone slot it was extracted from on *this* host. The inverse
+    /// of [`Machine::extract_vm`], with [`Machine::inject_vm`]'s resume
+    /// semantics: runnable VCPUs wake at `resume_at` (the abort
+    /// penalty's end) and sleep deadlines that expired during the
+    /// penalty fire late. Unlike injection the working set never left
+    /// this host, so no cold-dispatch penalty is charged, and wake or
+    /// sleep events still in flight from before the extraction deliver
+    /// normally — the guest never actually stopped being resident. Must
+    /// be called between run drivers, like extract/inject.
+    pub fn undo_extract_vm(&mut self, vm: usize, image: VmImage, resume_at: Cycles) {
+        assert!(
+            self.vms[vm].evacuated,
+            "undo_extract_vm: vm {vm} is not a tombstone"
+        );
+        assert_eq!(
+            image.vcpus(),
+            self.vms[vm].vcpu_ids.len(),
+            "undo_extract_vm: image shape does not match the tombstone"
+        );
+        let resume = resume_at.max(self.now);
+        let weight = image.weight as u64;
+        // Re-arm what inject_vm would have armed on a destination:
+        // wakes for runnable VCPUs at the penalty's end, one timer per
+        // sleeping thread.
+        for (slot, &vcpu) in self.vms[vm].vcpu_ids.iter().enumerate() {
+            if image.kernel.vcpu_runnable(slot) {
+                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32 });
+            }
+        }
+        for (thread, until) in image.kernel.sleeping_threads() {
+            self.events.schedule(
+                until.max(resume),
+                Ev::SleepTimer {
+                    vm: vm as u32,
+                    thread: thread as u32,
+                },
+            );
+        }
+        let v = &mut self.vms[vm];
+        debug_assert_eq!(v.online_count, 0, "a tombstone cannot have online VCPUs");
+        v.name = image.name;
+        v.weight = image.weight;
+        v.cap = image.cap;
+        v.concurrent_hint = image.concurrent_hint;
+        v.finite = image.finite;
+        v.kernel = image.kernel;
+        v.acct = image.acct;
+        // The VMM view restarts LOW, exactly as on a destination host;
+        // vcrd_epoch stays bumped so pre-extraction timers stay dead.
+        v.vcrd = Vcrd::Low;
+        v.vcrd_high_since = self.now;
+        v.last_cosched = None;
+        v.co_last = self.now;
+        v.evacuated = false;
+        self.total_weight += weight;
+        // Credits were zeroed at extraction and stay zero (the shadow
+        // ledger already agrees); the next assignment funds the VM.
     }
 
     // ------------------------------------------------------------------

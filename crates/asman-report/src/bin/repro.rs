@@ -37,7 +37,7 @@ use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
 };
 use asman_report::{flightrec, logger, progress};
-use asman_sim::CatMask;
+use asman_sim::{CatMask, FaultPlan, FaultSpec};
 use asman_workloads::ProblemClass;
 
 struct Args {
@@ -51,6 +51,7 @@ struct Args {
     cluster_vms: usize,
     cluster_epochs: u64,
     cluster_policy: Option<Policy>,
+    cluster_faults: FaultPlan,
 }
 
 const KNOWN_TARGETS: [&str; 14] = [
@@ -93,6 +94,9 @@ fn usage() -> String {
          --epochs N      cluster target: balancer epochs (default 8)\n  \
          --policy P      cluster target: compare only static vs P\n                  \
          (static|least-loaded|vcrd-aware; default: all three)\n  \
+         --faults PLAN   cluster target: inject faults. PLAN is either a\n                  \
+         comma list of crash@E:hH | slow@E:hH:P | abort@E tokens,\n                  \
+         or rand:SEED for a generated plan\n  \
          -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
@@ -116,6 +120,7 @@ fn parse_args() -> Args {
     let mut cluster_vms = 2usize;
     let mut cluster_epochs = 8u64;
     let mut cluster_policy = None;
+    let mut cluster_faults: Option<FaultSpec> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -136,7 +141,7 @@ fn parse_args() -> Args {
                 trace_cats = CatMask::parse(&v).unwrap_or_else(|| {
                     fail(&format!(
                         "--trace-cats `{v}` has an unknown category \
-                         (known: sched,credit,cosched,lock,futex,barrier)"
+                         (known: sched,credit,cosched,lock,futex,barrier,fault)"
                     ))
                 });
             }
@@ -201,6 +206,15 @@ fn parse_args() -> Args {
                 cluster_epochs = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("--epochs `{v}` is not a number")));
+                if cluster_epochs < 1 {
+                    fail("--epochs must be at least 1");
+                }
+            }
+            "--faults" => {
+                let v = it.next().unwrap_or_else(|| fail("--faults needs a plan"));
+                cluster_faults = Some(
+                    FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--faults {e}"))),
+                );
             }
             "--policy" => {
                 let v = it.next().unwrap_or_else(|| {
@@ -232,6 +246,22 @@ fn parse_args() -> Args {
     if trace_dir.is_some() && !which.iter().any(|w| w == "trace") {
         which.push("trace".to_string());
     }
+    // Resolve the fault spec now that epochs/hosts are final, and
+    // reject plans naming hosts the cluster won't have.
+    let cluster_faults = match cluster_faults {
+        Some(spec) => {
+            let plan = spec.resolve(cluster_epochs, hosts);
+            if let Some(h) = plan.max_host() {
+                if h >= hosts {
+                    fail(&format!(
+                        "--faults names host {h} but the cluster only has {hosts} hosts"
+                    ));
+                }
+            }
+            plan
+        }
+        None => FaultPlan::empty(),
+    };
     Args {
         which,
         params,
@@ -243,6 +273,7 @@ fn parse_args() -> Args {
         cluster_vms,
         cluster_epochs,
         cluster_policy,
+        cluster_faults,
     }
 }
 
@@ -523,6 +554,7 @@ fn run_cluster(args: &Args) {
         seed: args.params.seed,
         jobs: args.params.jobs,
         policies: policies.clone(),
+        faults: args.cluster_faults.clone(),
     };
     let exp = cluster::run(&p);
     emit(args, "CLUSTER_consolidation", exp.render(), exp.shape_checks(), &exp);
@@ -536,7 +568,7 @@ fn run_cluster(args: &Args) {
         }
         fs::create_dir_all(&dir).expect("create trace dir");
         for policy in policies {
-            let streams = cluster::capture_flight(
+            let (streams, metrics) = cluster::capture_flight(
                 &p,
                 policy,
                 args.trace_cats,
@@ -549,6 +581,10 @@ fn run_cluster(args: &Args) {
             let path = dir.join(format!("CLUSTER_flight_{}.json", policy.label()));
             fs::write(&path, serde_json::to_vec(&tagged).expect("serialize"))
                 .expect("write flight streams");
+            progress!("wrote {}", path.display());
+            let path = dir.join(format!("CLUSTER_metrics_{}.json", policy.label()));
+            fs::write(&path, serde_json::to_vec_pretty(&metrics).expect("serialize"))
+                .expect("write cluster metrics");
             progress!("wrote {}", path.display());
         }
     }

@@ -15,7 +15,7 @@ use asman_cluster::{
     scenario::{self, ConsolidationSpec},
     ClusterConfig, ClusterReport, Policy,
 };
-use asman_sim::{CatMask, FlightEvent};
+use asman_sim::{CatMask, FaultPlan, FlightEvent, MetricsRegistry};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -37,6 +37,8 @@ pub struct ClusterParams {
     pub jobs: usize,
     /// Policies to compare, in cell order.
     pub policies: Vec<Policy>,
+    /// Fault plan injected into every policy cell (empty = clean run).
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterParams {
@@ -48,6 +50,7 @@ impl Default for ClusterParams {
             seed: 42,
             jobs: 0,
             policies: Policy::ALL.to_vec(),
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -57,6 +60,7 @@ impl ClusterParams {
         ClusterConfig {
             policy,
             epochs: self.epochs,
+            faults: self.faults.clone(),
             ..ClusterConfig::default()
         }
     }
@@ -130,18 +134,29 @@ pub fn run(p: &ClusterParams) -> ClusterExperiment {
 }
 
 /// Re-run one policy with the flight recorder armed on every host and
-/// return the host-tagged streams (recording does not perturb the
-/// simulation, so the run matches its digest-bearing twin).
+/// return the host-tagged streams plus the merged metrics registry —
+/// per-host scheduler counters prefixed `hostN.` and, when faults are
+/// armed, the cluster recovery counters. Recording does not perturb
+/// the simulation, so the run matches its digest-bearing twin.
 pub fn capture_flight(
     p: &ClusterParams,
     policy: Policy,
     mask: CatMask,
     capacity: usize,
-) -> Vec<(usize, Vec<FlightEvent>)> {
+) -> (Vec<(usize, Vec<FlightEvent>)>, MetricsRegistry) {
     let mut cluster = scenario::consolidation_cluster(p.cluster_config(policy), &p.scenario_spec());
     cluster.enable_flight(mask, capacity);
     cluster.run();
-    cluster.drain_flight()
+    let mut reg = MetricsRegistry::new();
+    for (h, m) in cluster.hosts().iter().enumerate() {
+        let mut host_reg = MetricsRegistry::new();
+        m.export_metrics(&mut host_reg);
+        for (name, value) in host_reg.counters() {
+            reg.inc(&format!("host{h}.{name}"), value);
+        }
+    }
+    cluster.export_recovery_metrics(&mut reg);
+    (cluster.drain_flight(), reg)
 }
 
 impl ClusterExperiment {
@@ -193,6 +208,48 @@ impl ClusterExperiment {
                 )
                 .unwrap();
             }
+        }
+        for o in &self.outcomes {
+            let Some(rec) = &o.report.recovery else { continue };
+            for a in &rec.aborts {
+                writeln!(
+                    s,
+                    "  [{}] epoch {}: ABORT {} host{} -> host{} attempt {} ({:.2} Mcycles penalty)",
+                    o.report.policy,
+                    a.epoch,
+                    a.name,
+                    a.from,
+                    a.to,
+                    a.attempt,
+                    a.penalty as f64 / 1e6,
+                )
+                .unwrap();
+            }
+            for e in &rec.evacuations {
+                writeln!(
+                    s,
+                    "  [{}] epoch {}: EVACUATE {} host{} -> host{} ({:.2} Mcycles pause)",
+                    o.report.policy,
+                    e.epoch,
+                    e.name,
+                    e.from,
+                    e.to,
+                    e.pause as f64 / 1e6,
+                )
+                .unwrap();
+            }
+            writeln!(
+                s,
+                "  [{}] recovery: {} aborts / {} retries committed / {} abandoned / \
+                 {} gave up / {} evacuations",
+                o.report.policy,
+                rec.aborts.len(),
+                rec.retries_committed,
+                rec.retries_abandoned,
+                rec.gave_up,
+                rec.evacuations.len(),
+            )
+            .unwrap();
         }
         s
     }
@@ -283,6 +340,103 @@ mod tests {
         assert_eq!(d(&seq), d(&par), "digests must be worker-count independent");
     }
 
+    /// A plan that exercises the whole recovery machinery under the
+    /// default scenario: epoch 0's first move aborts and commits on
+    /// retry at epoch 1; host 1 crashes at epoch 4 and is evacuated.
+    fn faulted() -> ClusterParams {
+        ClusterParams {
+            jobs: 1,
+            faults: FaultPlan::parse("abort@0,crash@4:h1").unwrap(),
+            ..ClusterParams::default()
+        }
+    }
+
+    #[test]
+    fn faulted_run_aborts_then_commits_the_retry() {
+        let exp = run(&faulted());
+        let aware = exp.outcome("vcrd-aware").expect("vcrd-aware cell");
+        let rec = aware.report.recovery.as_ref().expect("faulted run carries recovery");
+        assert!(!rec.aborts.is_empty(), "abort@0 must abort the first move");
+        assert_eq!(rec.aborts[0].attempt, 1);
+        assert!(rec.retries_committed >= 1, "the aborted move must commit on retry");
+        // The committed retry lands one epoch after the abort and moves
+        // the same VM to the same destination.
+        let a = &rec.aborts[0];
+        let m = aware
+            .report
+            .migrations
+            .iter()
+            .find(|m| m.vm == a.vm && m.epoch == a.epoch + 1)
+            .expect("retry commits at the next epoch");
+        assert_eq!((m.from, m.to), (a.from, a.to));
+    }
+
+    #[test]
+    fn crash_evacuation_conserves_every_vm() {
+        let exp = run(&faulted());
+        for o in &exp.outcomes {
+            let rec = o.report.recovery.as_ref().expect("recovery present");
+            // Host 1 crashed, so nothing may report it as home.
+            for row in &o.report.vm_rows {
+                assert_ne!(row.host, 1, "{}: {} still on crashed host", o.report.policy, row.name);
+            }
+            assert_eq!(
+                o.report.vm_rows.len(),
+                exp.gangs + exp.hosts,
+                "{}: VM count must be conserved",
+                o.report.policy
+            );
+            assert_eq!(rec.host_health[1], asman_cluster::HostHealth::Crashed);
+        }
+    }
+
+    #[test]
+    fn faulted_digests_are_worker_count_independent() {
+        let seq = run(&faulted());
+        let par = run(&ClusterParams {
+            jobs: 4,
+            ..faulted()
+        });
+        let d = |e: &ClusterExperiment| -> Vec<String> {
+            e.outcomes.iter().map(|o| o.digest.clone()).collect()
+        };
+        assert_eq!(d(&seq), d(&par), "faulted digests must be worker-count independent");
+    }
+
+    #[test]
+    fn clean_runs_serialize_without_a_recovery_field() {
+        let exp = run(&small());
+        let json = serde_json::to_string(&exp.outcomes[0].report).unwrap();
+        assert!(
+            !json.contains("recovery"),
+            "clean reports must stay byte-identical to the pre-fault format"
+        );
+        let f = run(&faulted());
+        let json = serde_json::to_string(&f.outcomes[0].report).unwrap();
+        assert!(json.contains("\"recovery\""));
+    }
+
+    #[test]
+    fn faulted_capture_records_fault_events_and_recovery_metrics() {
+        let p = faulted();
+        let (streams, reg) = capture_flight(&p, asman_cluster::Policy::VcrdAware, CatMask::ALL, 50_000);
+        let fault_evs: Vec<&str> = streams
+            .iter()
+            .flat_map(|(_, evs)| evs.iter())
+            .filter(|e| e.ev.cat() == asman_sim::TraceCat::Fault)
+            .map(|e| e.ev.kind())
+            .collect();
+        for kind in ["migrate_abort", "migrate_retry", "host_crash", "evacuate"] {
+            assert!(fault_evs.contains(&kind), "flight stream missing {kind}: {fault_evs:?}");
+        }
+        assert!(reg.counter("cluster.migration.aborts").unwrap_or(0) >= 1);
+        assert!(reg.counter("cluster.migration.retries_committed").unwrap_or(0) >= 1);
+        assert_eq!(reg.counter("cluster.hosts.crashed"), Some(1));
+        assert!(reg.counter("cluster.evacuations").unwrap_or(0) >= 1);
+        // Per-host scheduler counters ride along, host-prefixed.
+        assert!(reg.counters().any(|(name, _)| name.starts_with("host0.")));
+    }
+
     #[test]
     fn flight_capture_tags_every_host() {
         let p = ClusterParams {
@@ -290,7 +444,7 @@ mod tests {
             jobs: 1,
             ..ClusterParams::default()
         };
-        let streams = capture_flight(&p, Policy::Static, CatMask::ALL, 50_000);
+        let (streams, _) = capture_flight(&p, Policy::Static, CatMask::ALL, 50_000);
         assert_eq!(streams.len(), p.hosts);
         assert!(
             streams.iter().all(|(_, evs)| !evs.is_empty()),

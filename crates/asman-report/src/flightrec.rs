@@ -378,6 +378,54 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
                     obj(vec![("woken", Value::U64(woken as u64))]),
                 ));
             }
+            // Cluster-layer fault events: host-wide, so they land on the
+            // VMM row. `vm` in these is the cluster-wide id (carried in
+            // args, not mapped to a local pid).
+            FlightEv::HostCrash { host } => {
+                out.push(instant(
+                    format!("host {host} CRASH"),
+                    0,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    Value::Null,
+                ));
+            }
+            FlightEv::HostDerate { host, pct } => {
+                out.push(instant(
+                    format!("host {host} derate {pct}%"),
+                    0,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    obj(vec![("pct", Value::U64(pct as u64))]),
+                ));
+            }
+            FlightEv::MigrateAbort { vm, attempt } => {
+                out.push(instant(
+                    format!("migration abort (attempt {attempt})"),
+                    0,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    obj(vec![("cluster_vm", Value::U64(vm as u64))]),
+                ));
+            }
+            FlightEv::MigrateRetry { vm, attempt } => {
+                out.push(instant(
+                    format!("migration retry (attempt {attempt})"),
+                    0,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    obj(vec![("cluster_vm", Value::U64(vm as u64))]),
+                ));
+            }
+            FlightEv::Evacuate { vm, from, to } => {
+                out.push(instant(
+                    format!("evacuate {from}->{to}"),
+                    0,
+                    TID_VMM_ROW,
+                    topo.us(t),
+                    obj(vec![("cluster_vm", Value::U64(vm as u64))]),
+                ));
+            }
         }
     }
 

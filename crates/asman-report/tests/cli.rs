@@ -85,4 +85,19 @@ fn bad_cluster_flags_exit_two() {
     assert_usage_error(&["cluster", "--policy", "bogus"], "unknown policy `bogus`");
     assert_usage_error(&["cluster", "--hosts", "1"], "at least 2");
     assert_usage_error(&["cluster", "--vms", "0"], "at least 1");
+    assert_usage_error(&["cluster", "--epochs", "0"], "at least 1");
+}
+
+#[test]
+fn bad_fault_plans_exit_two() {
+    assert_usage_error(&["cluster", "--faults"], "--faults needs a plan");
+    assert_usage_error(&["cluster", "--faults", "explode@3"], "unknown fault");
+    assert_usage_error(&["cluster", "--faults", "crash@2"], "crash");
+    assert_usage_error(&["cluster", "--faults", "slow@1:h2:0"], "1..=99");
+    assert_usage_error(&["cluster", "--faults", "rand:banana"], "rand:");
+    // Plans may only name hosts the cluster actually has.
+    assert_usage_error(
+        &["cluster", "--hosts", "3", "--faults", "crash@2:h7"],
+        "host 7",
+    );
 }

@@ -44,10 +44,13 @@ pub enum TraceCat {
     Futex = 4,
     /// Guest barrier phases: arrivals and releases.
     Barrier = 5,
+    /// Cluster-layer fault injection and recovery: host crashes and
+    /// derates, migration aborts/retries, evacuations.
+    Fault = 6,
 }
 
 /// Number of categories (buffer array size).
-pub const FLIGHT_CATS: usize = 6;
+pub const FLIGHT_CATS: usize = 7;
 
 impl TraceCat {
     /// All categories in declaration order.
@@ -58,6 +61,7 @@ impl TraceCat {
         TraceCat::Lock,
         TraceCat::Futex,
         TraceCat::Barrier,
+        TraceCat::Fault,
     ];
 
     /// Short lower-case name (used by `--trace-cats` and the summary).
@@ -69,6 +73,7 @@ impl TraceCat {
             TraceCat::Lock => "lock",
             TraceCat::Futex => "futex",
             TraceCat::Barrier => "barrier",
+            TraceCat::Fault => "fault",
         }
     }
 
@@ -316,6 +321,44 @@ pub enum FlightEv {
         /// Waiters released (blocked + spinning).
         woken: u32,
     },
+    // ----------------------------------------------------- cluster layer
+    // Recorded by the cluster driver into the affected host's stream;
+    // `vm` here is the *cluster-wide* VM id, not a host-local index.
+    /// A fault-plan host crash fired at this epoch boundary.
+    HostCrash {
+        /// The crashed host.
+        host: u32,
+    },
+    /// A fault-plan capacity derate was applied to a host.
+    HostDerate {
+        /// The degraded host.
+        host: u32,
+        /// Advertised capacity reduction in percent.
+        pct: u32,
+    },
+    /// A live migration aborted mid-copy and rolled back to the source.
+    MigrateAbort {
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// Attempt number (1-based) that aborted.
+        attempt: u32,
+    },
+    /// An aborted migration was re-attempted after backoff.
+    MigrateRetry {
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// Attempt number (1-based) of the retry.
+        attempt: u32,
+    },
+    /// A VM was evacuated off a crashed host and re-placed.
+    Evacuate {
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// The crashed source host.
+        from: u32,
+        /// The host that took the VM in.
+        to: u32,
+    },
 }
 
 /// Tag bit distinguishing pipeline (peer-flag) futexes from barrier
@@ -342,6 +385,11 @@ impl FlightEv {
             | FlightEv::LockRelease { .. } => TraceCat::Lock,
             FlightEv::FutexBlock { .. } | FlightEv::FutexWake { .. } => TraceCat::Futex,
             FlightEv::BarrierArrive { .. } | FlightEv::BarrierRelease { .. } => TraceCat::Barrier,
+            FlightEv::HostCrash { .. }
+            | FlightEv::HostDerate { .. }
+            | FlightEv::MigrateAbort { .. }
+            | FlightEv::MigrateRetry { .. }
+            | FlightEv::Evacuate { .. } => TraceCat::Fault,
         }
     }
 
@@ -366,6 +414,11 @@ impl FlightEv {
             FlightEv::FutexWake { .. } => "futex_wake",
             FlightEv::BarrierArrive { .. } => "barrier_arrive",
             FlightEv::BarrierRelease { .. } => "barrier_release",
+            FlightEv::HostCrash { .. } => "host_crash",
+            FlightEv::HostDerate { .. } => "host_derate",
+            FlightEv::MigrateAbort { .. } => "migrate_abort",
+            FlightEv::MigrateRetry { .. } => "migrate_retry",
+            FlightEv::Evacuate { .. } => "evacuate",
         }
     }
 

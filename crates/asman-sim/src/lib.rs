@@ -24,6 +24,9 @@
 //!   events in per-category bounded buffers with drop accounting.
 //! * [`lhp`] — lock-holder-preemption episode detection over merged
 //!   flight-recorder streams.
+//! * [`fault`] — deterministic fault-injection plans (host crashes,
+//!   slowdowns, migration aborts) drawn from their own forked RNG
+//!   stream so faults never perturb workload draws.
 //! * [`registry`] — a unified registry of named counters, gauges and
 //!   quantile histograms serialized into per-run artifacts.
 //! * [`audit`] — the [`SimQueue`] trait shared by the optimized queue
@@ -33,6 +36,7 @@
 
 pub mod audit;
 pub mod event;
+pub mod fault;
 pub mod flight;
 pub mod lhp;
 pub mod quantile;
@@ -44,6 +48,7 @@ pub mod trace;
 
 pub use audit::{OracleQueue, SimQueue};
 pub use event::{EventQueue, ScheduledAt};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use flight::{merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
 pub use lhp::{check_episode_invariants, detect_lhp, LhpEpisode, LhpSummary};
 pub use quantile::P2Quantile;

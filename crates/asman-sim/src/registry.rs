@@ -139,6 +139,13 @@ impl MetricsRegistry {
         self.counters.get(name).copied()
     }
 
+    /// All counters in sorted name order, for re-prefixing one
+    /// registry into another (e.g. per-host registries merged into a
+    /// cluster-wide dump).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Current value of a gauge, if registered.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()

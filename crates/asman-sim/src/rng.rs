@@ -98,16 +98,20 @@ impl SimRng {
     /// A value uniformly jittered within `±frac` of `base` (e.g.
     /// `jitter(1000, 0.2)` is uniform in `[800, 1200]`). Used to give
     /// workload segments realistic variability without heavy-tailed noise.
+    /// The downward span is clamped to `base` (a `frac >= 1.0` cannot
+    /// underflow below zero), and the band saturates at `u64::MAX`.
     pub fn jitter(&mut self, base: u64, frac: f64) -> u64 {
         if base == 0 || frac <= 0.0 {
             return base;
         }
+        // A non-finite or huge frac saturates the cast at u64::MAX.
         let span = ((base as f64) * frac) as u64;
         if span == 0 {
             return base;
         }
-        let lo = base - span;
-        self.range(lo, base + span + 1)
+        let lo = base - span.min(base);
+        let hi = base.saturating_add(span).saturating_add(1);
+        self.range(lo, hi)
     }
 
     /// Pick a uniformly random index into a slice of length `len`.
@@ -115,19 +119,34 @@ impl SimRng {
         self.below(len as u64) as usize
     }
 
-    /// Sample an index according to non-negative weights (at least one
-    /// strictly positive).
+    /// Sample an index according to the weights. Entries that are not
+    /// finite and strictly positive are skipped (weight zero), so a NaN
+    /// or negative weight can never be selected and can never poison
+    /// the walk. Panics — in every build profile — when no usable
+    /// weight remains: silently returning the last index in release
+    /// builds hid exactly that bug for a while.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        let total: f64 = weights.iter().sum();
-        debug_assert!(total > 0.0, "weighted_index needs positive total weight");
+        let usable = |w: f64| w.is_finite() && w > 0.0;
+        let total: f64 = weights.iter().copied().filter(|&w| usable(w)).sum();
+        assert!(
+            total > 0.0,
+            "weighted_index needs at least one finite positive weight, got {weights:?}"
+        );
         let mut x = self.f64() * total;
+        let mut last = 0;
         for (i, &w) in weights.iter().enumerate() {
+            if !usable(w) {
+                continue;
+            }
             if x < w {
                 return i;
             }
             x -= w;
+            last = i;
         }
-        weights.len() - 1
+        // Rounding at the top of the walk: fall back to the last usable
+        // index, never to a zero-weight one.
+        last
     }
 }
 
@@ -195,6 +214,28 @@ mod tests {
     }
 
     #[test]
+    fn jitter_frac_at_or_above_one_cannot_underflow() {
+        // Regression: frac >= 1.0 made span > base, so `base - span`
+        // panicked in debug builds and wrapped in release builds.
+        let mut r = SimRng::new(17);
+        for frac in [1.0, 1.5, 4.0, 1e9] {
+            for _ in 0..2_000 {
+                let v = r.jitter(1_000, frac);
+                let span = ((1_000f64) * frac) as u64;
+                assert!(
+                    v <= 1_000u64.saturating_add(span),
+                    "jitter({frac}) above band: {v}"
+                );
+            }
+        }
+        // Non-finite frac degrades to the full band, never panics.
+        let _ = r.jitter(1_000, f64::INFINITY);
+        assert_eq!(r.jitter(1_000, f64::NAN), 1_000, "NaN frac casts to span 0");
+        // Saturation near the top of the u64 range.
+        let _ = r.jitter(u64::MAX - 1, 2.0);
+    }
+
+    #[test]
     fn forked_streams_are_independent_and_deterministic() {
         let mut parent_a = SimRng::new(1234);
         let mut parent_b = SimRng::new(1234);
@@ -216,6 +257,40 @@ mod tests {
         assert_eq!(counts[0], 0);
         let ratio = counts[2] as f64 / counts[1] as f64;
         assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio} should be ~3");
+    }
+
+    #[test]
+    fn weighted_index_skips_poisoned_weights() {
+        // Regression: NaN / negative entries used to flow into the
+        // total, and the release-mode fallback could return an index
+        // whose weight was zero.
+        let mut r = SimRng::new(23);
+        let w = [f64::NAN, -2.0, 5.0, f64::INFINITY, 0.0, 1.0];
+        for _ in 0..10_000 {
+            let i = r.weighted_index(&w);
+            assert!(i == 2 || i == 5, "picked unusable index {i}");
+        }
+    }
+
+    #[test]
+    fn weighted_index_trailing_zero_never_selected() {
+        // The old fallback returned `weights.len() - 1` on rounding
+        // overshoot — a zero-weight index if the last entry was 0.
+        let mut r = SimRng::new(29);
+        let w = [1.0, 0.0];
+        for _ in 0..10_000 {
+            assert_eq!(r.weighted_index(&w), 0);
+        }
+    }
+
+    /// The guard is a real panic in *both* build profiles now — this
+    /// test is meaningful precisely because the release-mode
+    /// `debug_assert!` used to compile out.
+    #[test]
+    #[should_panic(expected = "weighted_index needs at least one finite positive weight")]
+    fn weighted_index_all_zero_panics_in_every_profile() {
+        let mut r = SimRng::new(31);
+        r.weighted_index(&[0.0, 0.0, f64::NAN]);
     }
 
     #[test]

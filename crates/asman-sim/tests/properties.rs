@@ -93,4 +93,53 @@ proptest! {
             prop_assert_eq!(ca.next_u64(), cb.next_u64());
         }
     }
+
+    /// `jitter` never underflows or overflows: for any base and any
+    /// finite non-negative fraction — including frac >= 1, where the
+    /// naive `base - span` would wrap — the result stays within the
+    /// span-clamped window around base.
+    #[test]
+    fn jitter_respects_bounds(seed in any::<u64>(), base in 0u64..u64::MAX, frac in 0.0f64..8.0) {
+        let mut r = SimRng::new(seed);
+        let span = ((base as f64) * frac) as u64;
+        let lo = base - span.min(base);
+        let hi = base.saturating_add(span);
+        for _ in 0..20 {
+            let v = r.jitter(base, frac);
+            prop_assert!(v >= lo && v <= hi, "jitter({base}, {frac}) = {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// `weighted_index` only ever lands on an index whose weight is
+    /// finite and strictly positive, no matter how the weight vector is
+    /// poisoned with zeros, negatives, NaNs or infinities — as long as
+    /// one usable weight exists.
+    #[test]
+    fn weighted_index_picks_only_usable_weights(
+        seed in any::<u64>(),
+        mut weights in proptest::collection::vec(
+            prop_oneof![
+                Just(0.0f64),
+                Just(-1.0),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                0.001f64..1e6,
+            ],
+            1..40,
+        ),
+        anchor in 0.001f64..1e3,
+    ) {
+        let mut r = SimRng::new(seed);
+        // Guarantee at least one usable weight somewhere.
+        let slot = (seed % weights.len() as u64) as usize;
+        weights[slot] = anchor;
+        for _ in 0..20 {
+            let i = r.weighted_index(&weights);
+            prop_assert!(
+                weights[i].is_finite() && weights[i] > 0.0,
+                "weighted_index picked unusable weight {} at {i} from {weights:?}",
+                weights[i]
+            );
+        }
+    }
 }
