@@ -98,20 +98,6 @@ pub struct Move {
 }
 
 impl Snapshot {
-    /// Total resident VCPUs on a host.
-    fn load(&self, host: usize) -> u64 {
-        self.vms
-            .iter()
-            .filter(|v| v.host == host)
-            .map(|v| v.vcpus as u64)
-            .sum()
-    }
-
-    /// Overcommit ratio in milli-VCPUs-per-PCPU.
-    fn overcommit(&self, host: usize) -> u64 {
-        self.load(host) * 1000 / self.hosts[host].pcpus as u64
-    }
-
     /// Whether a VM behaved as a concurrent gang last epoch: its VCRD
     /// was HIGH for a meaningful share of the epoch, or it burned a
     /// meaningful share busy-waiting in the kernel.
@@ -119,17 +105,39 @@ impl Snapshot {
         let v = &self.vms[vm];
         v.vcrd_high_delta >= self.epoch_cycles / 16 || v.spin_delta >= self.epoch_cycles / 32
     }
+}
 
-    /// Total VCPUs of concurrent VMs resident on a host — the PCPU
-    /// demand of its gangs. While this exceeds `pcpus`, the gangs
-    /// cannot all be coscheduled cleanly.
-    fn gang_pressure(&self, host: usize) -> u64 {
-        self.vms
-            .iter()
-            .enumerate()
-            .filter(|(i, v)| v.host == host && self.concurrent(*i))
-            .map(|(_, v)| v.vcpus as u64)
-            .sum()
+/// Per-host aggregates, folded from the per-VM deltas in one O(VMs)
+/// pass per decision. The policies used to recompute these inside every
+/// per-host comparator — O(hosts × VMs) at the epoch barrier, which is
+/// the serial section of the (otherwise parallel) cluster driver — so
+/// the fold keeps the barrier O(hosts + VMs). Same integer math, same
+/// tie-breaks, bit-identical decisions.
+struct Aggregates {
+    /// Total resident VCPUs per host.
+    load: Vec<u64>,
+    /// Total VCPUs of concurrent (gang) VMs per host — the PCPU demand
+    /// of its gangs. While this exceeds `pcpus`, the gangs cannot all
+    /// be coscheduled cleanly.
+    gang: Vec<u64>,
+}
+
+impl Aggregates {
+    fn fold(snap: &Snapshot) -> Self {
+        let mut load = vec![0u64; snap.hosts.len()];
+        let mut gang = vec![0u64; snap.hosts.len()];
+        for (i, v) in snap.vms.iter().enumerate() {
+            load[v.host] += v.vcpus as u64;
+            if snap.concurrent(i) {
+                gang[v.host] += v.vcpus as u64;
+            }
+        }
+        Aggregates { load, gang }
+    }
+
+    /// Overcommit ratio in milli-VCPUs-per-PCPU.
+    fn overcommit(&self, snap: &Snapshot, host: usize) -> u64 {
+        self.load[host] * 1000 / snap.hosts[host].pcpus as u64
     }
 }
 
@@ -137,22 +145,22 @@ impl Snapshot {
 pub fn decide(policy: Policy, snap: &Snapshot) -> Option<Move> {
     match policy {
         Policy::Static => None,
-        Policy::LeastLoaded => decide_least_loaded(snap),
-        Policy::VcrdAware => decide_vcrd_aware(snap),
+        Policy::LeastLoaded => decide_least_loaded(snap, &Aggregates::fold(snap)),
+        Policy::VcrdAware => decide_vcrd_aware(snap, &Aggregates::fold(snap)),
     }
 }
 
-fn decide_least_loaded(snap: &Snapshot) -> Option<Move> {
+fn decide_least_loaded(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
     let n = snap.hosts.len();
-    let hmax = (0..n).max_by_key(|&h| (snap.overcommit(h), std::cmp::Reverse(h)))?;
+    let hmax = (0..n).max_by_key(|&h| (agg.overcommit(snap, h), std::cmp::Reverse(h)))?;
     // Only admitting hosts may receive; the source may be any host.
     let hmin = (0..n)
         .filter(|&h| snap.hosts[h].admit)
-        .min_by_key(|&h| (snap.overcommit(h), h))?;
+        .min_by_key(|&h| (agg.overcommit(snap, h), h))?;
     if hmax == hmin {
         return None;
     }
-    let spread = snap.overcommit(hmax) - snap.overcommit(hmin);
+    let spread = agg.overcommit(snap, hmax) - agg.overcommit(snap, hmin);
     // Largest movable VM on the hottest host (ties: lowest id).
     let vm = snap
         .vms
@@ -167,8 +175,8 @@ fn decide_least_loaded(snap: &Snapshot) -> Option<Move> {
     // narrows. Without this the balancer ping-pongs a VM between two
     // equally loaded hosts forever.
     let moved = snap.vms[vm].vcpus as u64 * 1000;
-    let max_after = snap.overcommit(hmax) - moved / snap.hosts[hmax].pcpus as u64;
-    let min_after = snap.overcommit(hmin) + moved / snap.hosts[hmin].pcpus as u64;
+    let max_after = agg.overcommit(snap, hmax) - moved / snap.hosts[hmax].pcpus as u64;
+    let min_after = agg.overcommit(snap, hmin) + moved / snap.hosts[hmin].pcpus as u64;
     let spread_after = max_after.abs_diff(min_after);
     if spread_after < spread {
         Some(Move { vm, to: hmin })
@@ -177,13 +185,13 @@ fn decide_least_loaded(snap: &Snapshot) -> Option<Move> {
     }
 }
 
-fn decide_vcrd_aware(snap: &Snapshot) -> Option<Move> {
+fn decide_vcrd_aware(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
     let n = snap.hosts.len();
     // Hottest gang host: gangs demand more PCPUs than exist, so they
     // cannot co-run without lock-holder preemption.
     let src = (0..n)
-        .filter(|&h| snap.gang_pressure(h) > snap.hosts[h].pcpus as u64)
-        .max_by_key(|&h| (snap.gang_pressure(h), std::cmp::Reverse(h)))?;
+        .filter(|&h| agg.gang[h] > snap.hosts[h].pcpus as u64)
+        .max_by_key(|&h| (agg.gang[h], std::cmp::Reverse(h)))?;
     // The most spin-burdened concurrent VM there (ties: lowest id).
     let vm = snap
         .vms
@@ -207,13 +215,13 @@ fn decide_vcrd_aware(snap: &Snapshot) -> Option<Move> {
             h != src
                 && snap.hosts[h].admit
                 && need as usize <= snap.hosts[h].pcpus
-                && snap.gang_pressure(h) + need <= snap.hosts[h].pcpus as u64
+                && agg.gang[h] + need <= snap.hosts[h].pcpus as u64
         })
-        .min_by_key(|&h| (snap.gang_pressure(h), snap.overcommit(h), h))?;
+        .min_by_key(|&h| (agg.gang[h], agg.overcommit(snap, h), h))?;
     // Hysteresis margin: the move must genuinely relieve the source —
     // the destination's pressure (after the move) must stay below what
     // the source suffers now.
-    if snap.gang_pressure(dst) + need < snap.gang_pressure(src) {
+    if agg.gang[dst] + need < agg.gang[src] {
         Some(Move { vm, to: dst })
     } else {
         None

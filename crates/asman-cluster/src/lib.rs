@@ -9,13 +9,21 @@
 //! on lock-holder preemption no matter how cleverly it coschedules —
 //! the only cure is moving a gang elsewhere.
 //!
-//! The driver is deterministic: hosts are advanced sequentially to each
-//! epoch boundary (each host is itself a deterministic event-driven
-//! simulation with its own seed), telemetry deltas are collected, one
-//! balancer decision is taken ([`balancer::decide`]), and at most one
-//! stop-and-copy migration executes with its pause charged through the
-//! [`MigrationModel`]. An always-on auditor re-derives every invariant
-//! it can (VM conservation, registry/host agreement, migration-cost
+//! The driver is deterministic *and parallel*: hosts are advanced to
+//! each epoch boundary on a bounded scoped-thread pool
+//! ([`ClusterConfig::jobs`]; each host is itself a deterministic
+//! event-driven simulation with its own seed and flight buffer, so no
+//! RNG draw or recorded event can leak across workers), each worker
+//! snapshots its host's per-VM telemetry counters before the barrier,
+//! and then the serial section runs: deltas are formed from the
+//! captured counters, one balancer decision is taken
+//! ([`balancer::decide`]), and at most one stop-and-copy migration
+//! executes with its pause charged through the [`MigrationModel`].
+//! Results are bit-identical for every worker count — `jobs == 1`
+//! degenerates to the historical sequential loop, and any other count
+//! only changes which thread advances which host, never what the host
+//! computes. An always-on auditor re-derives every invariant it can
+//! (VM conservation, registry/host agreement, migration-cost
 //! conservation) each epoch.
 //!
 //! # Faults and recovery
@@ -49,8 +57,10 @@ pub mod scenario;
 pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
 pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
 
-use asman_hypervisor::Machine;
-use asman_sim::{CatMask, Cycles, FaultKind, FaultPlan, FlightEv, FlightEvent, MetricsRegistry};
+use asman_hypervisor::{Machine, VmCounters};
+use asman_sim::{
+    CatMask, Cycles, FaultKind, FaultPlan, FlightEv, FlightEvent, MetricsRegistry, SweepRunner,
+};
 use serde::Serialize;
 
 /// Cluster driver parameters.
@@ -71,6 +81,11 @@ pub struct ClusterConfig {
     /// Maximum migration attempts per retry chain before the balancer
     /// gives up on the VM for the rest of the run.
     pub retry_cap: u32,
+    /// Worker threads for intra-epoch host advancement; `0` selects
+    /// [`std::thread::available_parallelism`] (the
+    /// [`SweepRunner::new`] convention). Results are bit-identical for
+    /// every value.
+    pub jobs: usize,
 }
 
 impl Default for ClusterConfig {
@@ -83,6 +98,7 @@ impl Default for ClusterConfig {
             cooldown_epochs: 3,
             faults: FaultPlan::empty(),
             retry_cap: 3,
+            jobs: 0,
         }
     }
 }
@@ -270,6 +286,9 @@ pub struct RecoveryReport {
 /// N machines in lock-step plus the global balancer state.
 pub struct Cluster {
     cfg: ClusterConfig,
+    /// Scoped-thread pool advancing hosts within an epoch. Sized once
+    /// from [`ClusterConfig::jobs`] at construction.
+    runner: SweepRunner,
     hosts: Vec<Machine>,
     health: Vec<HostHealth>,
     vms: Vec<VmEntry>,
@@ -323,8 +342,10 @@ impl Cluster {
             );
         }
         let health = vec![HostHealth::Healthy; hosts.len()];
+        let runner = SweepRunner::new(cfg.jobs);
         Cluster {
             cfg,
+            runner,
             hosts,
             health,
             vms,
@@ -459,18 +480,28 @@ impl Cluster {
         self.report()
     }
 
-    /// Advance every live host to the next epoch boundary, apply the
-    /// epoch's scheduled faults, then balance. Crashed hosts stay
-    /// frozen at the boundary where they died.
+    /// The effective intra-epoch worker count.
+    pub fn jobs(&self) -> usize {
+        self.runner.jobs()
+    }
+
+    /// Advance every live host to the next epoch boundary — in parallel
+    /// on the worker pool — apply the epoch's scheduled faults, then
+    /// balance. Crashed hosts stay frozen at the boundary where they
+    /// died.
+    ///
+    /// Everything after the advance is deliberately serial: fault
+    /// application, the balancer decision and the migration all mutate
+    /// cross-host state and happen at the barrier, in a fixed order, on
+    /// the calling thread. Combined with per-host RNG streams, per-host
+    /// flight buffers (merged later by stable `(time, host, seq)`
+    /// order) and worker-side telemetry capture, this makes the run
+    /// bit-identical for every worker count.
     pub fn run_epoch(&mut self) {
         let epoch = self.epochs_run;
         let end = self.epoch_cycles() * (epoch + 1);
-        for (h, m) in self.hosts.iter_mut().enumerate() {
-            if self.health[h] != HostHealth::Crashed {
-                m.run_until(end);
-            }
-        }
-        self.collect_deltas();
+        let telemetry = self.advance_hosts(end);
+        self.collect_deltas(&telemetry);
         self.apply_host_faults(epoch, end);
         self.audit_check();
         let attempt = match self.pending {
@@ -487,6 +518,34 @@ impl Cluster {
             self.execute_migration(epoch, mv, end, attempt);
         }
         self.epochs_run = epoch + 1;
+    }
+
+    /// Parallel phase of an epoch: every live host runs to the boundary
+    /// as one sweep cell, and the worker that advanced it snapshots its
+    /// per-slot telemetry counters before returning — so the serial
+    /// section never touches a guest kernel or accounting registry.
+    /// Hosts share no state (the one cross-host operation, migration,
+    /// happens serially at the barrier), so cell index `h` fully
+    /// determines cell `h`'s result and the pool's claim order cannot
+    /// matter. Crashed hosts are frozen and skipped; their telemetry
+    /// slots stay empty, and the registry never points at them.
+    fn advance_hosts(&mut self, end: Cycles) -> Vec<Vec<VmCounters>> {
+        let mut telemetry: Vec<Vec<VmCounters>> = vec![Vec::new(); self.hosts.len()];
+        let runner = self.runner;
+        let health = &self.health;
+        let live: Vec<(usize, &mut Machine)> = self
+            .hosts
+            .iter_mut()
+            .enumerate()
+            .filter(|(h, _)| health[*h] != HostHealth::Crashed)
+            .collect();
+        for (h, counters) in runner.map(live, |(h, m)| {
+            m.run_until(end);
+            (h, m.all_vm_counters())
+        }) {
+            telemetry[h] = counters;
+        }
+        telemetry
     }
 
     /// Apply this epoch's scheduled host faults: derate slow hosts,
@@ -604,25 +663,21 @@ impl Cluster {
         Some((Move { vm: p.vm, to: p.to }, p.attempts + 1))
     }
 
-    /// Pull cumulative per-VM counters from the hosts and form epoch
-    /// deltas. The counters travel with the VM (kernel stats move with
-    /// the kernel, accounting moves with the image), so the deltas stay
-    /// monotone across migrations.
-    fn collect_deltas(&mut self) {
+    /// Form epoch deltas from the telemetry the workers captured during
+    /// the parallel advance — a pure array lookup per VM, so the serial
+    /// section stays O(registry) with no host rescans. The counters
+    /// travel with the VM (kernel stats move with the kernel,
+    /// accounting moves with the image), so the deltas stay monotone
+    /// across migrations.
+    fn collect_deltas(&mut self, telemetry: &[Vec<VmCounters>]) {
         for e in &mut self.vms {
-            let m = &self.hosts[e.host];
-            let st = m.vm_kernel(e.local).stats();
-            let spin = (st.spin_kernel_cycles + st.spin_barrier_cycles + st.spin_pipeline_cycles)
-                .as_u64();
-            let acct = m.vm_accounting(e.local);
-            let high = acct.vcrd_high_cycles.as_u64();
-            let online = acct.total_online().as_u64();
-            e.spin_delta = spin.saturating_sub(e.prev_spin);
-            e.vcrd_high_delta = high.saturating_sub(e.prev_vcrd_high);
-            e.online_delta = online.saturating_sub(e.prev_online);
-            e.prev_spin = spin;
-            e.prev_vcrd_high = high;
-            e.prev_online = online;
+            let c = telemetry[e.host][e.local];
+            e.spin_delta = c.spin.saturating_sub(e.prev_spin);
+            e.vcrd_high_delta = c.vcrd_high.saturating_sub(e.prev_vcrd_high);
+            e.online_delta = c.online.saturating_sub(e.prev_online);
+            e.prev_spin = c.spin;
+            e.prev_vcrd_high = c.vcrd_high;
+            e.prev_online = c.online;
         }
     }
 

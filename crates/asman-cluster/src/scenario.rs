@@ -131,6 +131,45 @@ pub fn consolidation_cluster(cfg: ClusterConfig, spec: &ConsolidationSpec) -> Cl
     Cluster::new(cfg, consolidation(spec))
 }
 
+/// A uniformly loaded cluster for scaling benchmarks: every host
+/// carries one 3-VCPU gang VM plus one 2-VCPU background VM on 4
+/// PCPUs. Each gang fits its host, so no policy proposes a migration —
+/// the epoch loop's cost is pure host advancement plus the balancer
+/// scan, which is exactly what the hosts × jobs bench grid wants to
+/// measure. Per-host seeds keep hosts decorrelated and every run
+/// bit-reproducible.
+pub fn uniform(hosts: usize, seed: u64) -> Vec<Machine> {
+    assert!(hosts >= 1, "need at least one host");
+    (0..hosts)
+        .map(|h| {
+            let host_cfg = MachineConfig {
+                pcpus: 4,
+                seed: host_seed(seed, h),
+                ..MachineConfig::default()
+            };
+            let specs = vec![
+                VmSpec::new(
+                    format!("gang{h}"),
+                    3,
+                    Box::new(gang_program(format!("gang{h}"), 3, &host_cfg)),
+                ),
+                VmSpec::new(
+                    format!("bg{h}"),
+                    2,
+                    Box::new(background_program(format!("bg{h}"), 2, &host_cfg)),
+                ),
+            ];
+            asman_core::asman_machine(
+                AsmanConfig {
+                    machine: host_cfg,
+                    ..AsmanConfig::default()
+                },
+                specs,
+            )
+        })
+        .collect()
+}
+
 /// A random heterogeneous cluster: `hosts` machines with 2–6 PCPUs each
 /// and `vms` VMs of random shape (gang or background, 1–4 VCPUs, random
 /// weight) dealt round-robin-ish onto random hosts. Fully determined by

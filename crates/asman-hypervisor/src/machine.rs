@@ -283,6 +283,33 @@ pub struct PerfSnapshot {
     pub events_per_sec: f64,
 }
 
+/// Cumulative telemetry counters of one resident VM, as the cluster
+/// balancer consumes them. A snapshot is taken by the worker that
+/// advanced the host — inside the parallel phase of a cluster epoch —
+/// so the serial balancer section never rescans guest kernels or
+/// accounting registries at the barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Cycles burned busy-waiting (kernel locks + barriers + pipeline
+    /// flags), cumulative since the VM booted.
+    pub spin: u64,
+    /// Cycles the VMM saw the VM's VCRD held HIGH, cumulative.
+    pub vcrd_high: u64,
+    /// Total VCPU-online cycles, cumulative.
+    pub online: u64,
+}
+
+/// A machine is a self-contained deterministic simulation (owned event
+/// queue, owned guests, owned RNG), so it can be advanced on a worker
+/// thread. The cluster driver relies on this to parallelize intra-epoch
+/// host advancement; this assertion turns any future non-`Send` field
+/// into a compile error at the point of introduction.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<OracleMachine>();
+};
+
 impl Machine {
     /// Build a machine with the given VMs over the optimized event
     /// queue. VCPUs are spread round-robin over the PCPU runqueues and
@@ -837,6 +864,28 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// VMs currently resident on this host (tombstones excluded).
     pub fn active_vm_count(&self) -> usize {
         self.vms.iter().filter(|v| !v.evacuated).count()
+    }
+
+    /// Cumulative spin/VCRD/online counters of one VM slot. Reading is
+    /// side-effect free, so a telemetry snapshot never perturbs the
+    /// simulation (or its digests).
+    pub fn vm_counters(&self, vm: usize) -> VmCounters {
+        let st = self.vms[vm].kernel.stats();
+        let acct = &self.vms[vm].acct;
+        VmCounters {
+            spin: (st.spin_kernel_cycles + st.spin_barrier_cycles + st.spin_pipeline_cycles)
+                .as_u64(),
+            vcrd_high: acct.vcrd_high_cycles.as_u64(),
+            online: acct.total_online().as_u64(),
+        }
+    }
+
+    /// Telemetry counters for every VM slot, tombstones included (an
+    /// evacuated slot reads as its stub kernel's zeros — the cluster
+    /// registry never points at one). Captured by the worker advancing
+    /// this host so the cluster's serial section is a pure array lookup.
+    pub fn all_vm_counters(&self) -> Vec<VmCounters> {
+        (0..self.vms.len()).map(|v| self.vm_counters(v)).collect()
     }
 
     /// Lift a VM off this host for live migration (the "stop" half of

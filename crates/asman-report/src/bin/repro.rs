@@ -52,6 +52,9 @@ struct Args {
     cluster_epochs: u64,
     cluster_policy: Option<Policy>,
     cluster_faults: FaultPlan,
+    cluster_bench: bool,
+    bench_hosts: Vec<usize>,
+    bench_jobs: Vec<usize>,
 }
 
 const KNOWN_TARGETS: [&str; 14] = [
@@ -97,6 +100,12 @@ fn usage() -> String {
          --faults PLAN   cluster target: inject faults. PLAN is either a\n                  \
          comma list of crash@E:hH | slow@E:hH:P | abort@E tokens,\n                  \
          or rand:SEED for a generated plan\n  \
+         --bench         cluster target: run the hosts x jobs performance\n                  \
+         grid instead of the consolidation experiment and write\n                  \
+         BENCH_cluster.json (warmup + median-of-3 per cell)\n  \
+         --bench-hosts L comma list of host counts for --bench (default 2,4,8)\n  \
+         --bench-jobs L  comma list of worker counts for --bench\n                  \
+         (default 1,2,4,8; 0 = one per core)\n  \
          -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
@@ -121,6 +130,25 @@ fn parse_args() -> Args {
     let mut cluster_epochs = 8u64;
     let mut cluster_policy = None;
     let mut cluster_faults: Option<FaultSpec> = None;
+    let mut cluster_bench = false;
+    let mut bench_hosts = vec![2usize, 4, 8];
+    let mut bench_jobs = vec![1usize, 2, 4, 8];
+    // Comma-separated numeric list for the bench grid flags; any
+    // non-numeric element exits 2 like every other malformed value.
+    fn parse_list(flag: &str, v: &str) -> Vec<usize> {
+        let vals: Vec<usize> = v
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("{flag} `{tok}` is not a number")))
+            })
+            .collect();
+        if vals.is_empty() {
+            fail(&format!("{flag} needs at least one value"));
+        }
+        vals
+    }
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -216,6 +244,22 @@ fn parse_args() -> Args {
                     FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--faults {e}"))),
                 );
             }
+            "--bench" => cluster_bench = true,
+            "--bench-hosts" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--bench-hosts needs a comma list"));
+                bench_hosts = parse_list("--bench-hosts", &v);
+                if bench_hosts.iter().any(|&h| h < 2) {
+                    fail("--bench-hosts values must be at least 2");
+                }
+            }
+            "--bench-jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--bench-jobs needs a comma list"));
+                bench_jobs = parse_list("--bench-jobs", &v);
+            }
             "--policy" => {
                 let v = it.next().unwrap_or_else(|| {
                     fail("--policy needs a value (static|least-loaded|vcrd-aware)")
@@ -274,6 +318,9 @@ fn parse_args() -> Args {
         cluster_epochs,
         cluster_policy,
         cluster_faults,
+        cluster_bench,
+        bench_hosts,
+        bench_jobs,
     }
 }
 
@@ -394,42 +441,80 @@ fn run_perf(args: &Args) {
         Traced,
     }
 
-    // Each scheduler runs REPS fresh, identical machines back to back;
-    // events and wall time accumulate across the repetitions so the
-    // sample covers ~1 s of host time rather than one noisy ~100 ms run.
-    // The sweep repeats for each recorder state, so the artifact records
-    // disabled vs gated vs fully-traced throughput.
-    const REPS: usize = 5;
+    // Measurement discipline (this used to be a single cold pass per
+    // recorder state, which let `gated_overhead_pct` go negative):
+    //
+    // * **warmup** — one discarded run per recorder state eats one-off
+    //   costs (cold page cache, allocator growth, branch training);
+    // * **interleaving** — each sample measures Off, then Gated, then
+    //   Traced back to back, so slow host-load drift lands on every
+    //   state of a sample equally instead of on whichever state
+    //   happened to run during a busy period;
+    // * **min-of-N** — the simulation is deterministic, so every run of
+    //   a state does identical work and all wall-time variance is host
+    //   interference; the minimum sample is therefore the best estimate
+    //   of the true cost (the standard `timeit` argument).
+    const SAMPLES: usize = 5;
+    const REPS: usize = 2;
     const TRACED_CAPACITY: usize = 250_000;
+    const STATES: [Rec; 3] = [Rec::Off, Rec::Gated, Rec::Traced];
     let p = &args.params;
-    let measure = |sched: Sched, rec: Rec| -> (u64, f64) {
-        let (mut events, mut wall) = (0u64, 0.0f64);
-        for _ in 0..REPS {
-            let sc = SingleVmScenario::new(sched, 32, p.seed);
-            let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
-            let mut m = sc.build(Box::new(lu));
-            match rec {
-                Rec::Off => {}
-                Rec::Gated => m.enable_flight(asman_sim::CatMask(0), 0),
-                Rec::Traced => m.enable_flight(asman_sim::CatMask::ALL, TRACED_CAPACITY),
-            }
-            let clk = m.config().clock;
-            m.run_to_completion(clk.secs(sc.horizon_secs));
-            let perf = m.perf();
-            events += perf.events;
-            wall += perf.wall.as_secs_f64();
+    let run_once = |sched: Sched, rec: Rec| -> (u64, f64) {
+        let sc = SingleVmScenario::new(sched, 32, p.seed);
+        let lu = NasSpec::new(NasBenchmark::LU, p.class, 4).build(p.seed ^ 7);
+        let mut m = sc.build(Box::new(lu));
+        match rec {
+            Rec::Off => {}
+            Rec::Gated => m.enable_flight(asman_sim::CatMask(0), 0),
+            Rec::Traced => m.enable_flight(asman_sim::CatMask::ALL, TRACED_CAPACITY),
         }
-        (events, wall)
+        let clk = m.config().clock;
+        m.run_to_completion(clk.secs(sc.horizon_secs));
+        let perf = m.perf();
+        (perf.events, perf.wall.as_secs_f64())
+    };
+    // All three recorder states of one scheduler, measured together:
+    // returns the median (events, wall) per state in STATES order.
+    let measure_states = |sched: Sched| -> [(u64, f64); 3] {
+        for rec in STATES {
+            run_once(sched, rec); // warmup, discarded
+        }
+        let mut samples: [Vec<(u64, f64)>; 3] = Default::default();
+        for _ in 0..SAMPLES {
+            for (k, &rec) in STATES.iter().enumerate() {
+                let (mut events, mut wall) = (0u64, 0.0f64);
+                for _ in 0..REPS {
+                    let (e, w) = run_once(sched, rec);
+                    events += e;
+                    wall += w;
+                }
+                samples[k].push((events, wall));
+            }
+        }
+        samples.map(|mut s| {
+            // Event counts are identical across samples (the simulation
+            // is deterministic), so the min-by-wall sample is the
+            // max-by-rate sample.
+            s.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("wall times are finite"));
+            s[0]
+        })
     };
     let rate_of = |events: u64, wall: f64| if wall > 0.0 { events as f64 / wall } else { 0.0 };
+    // Gated and traced runs execute a strict superset of the Off run's
+    // instructions (same deterministic simulation plus gate checks /
+    // ring writes), so their true overhead is >= 0 by construction; a
+    // negative reading is residual interference and is floored at zero.
     let overhead_vs = |base: f64, rate: f64| {
         if base > 0.0 {
-            (base - rate) / base * 100.0
+            ((base - rate) / base * 100.0).max(0.0)
         } else {
             0.0
         }
     };
-    println!("Engine benchmark — LU @ 22.2% online rate, sequential, {REPS} reps");
+    println!(
+        "Engine benchmark — LU @ 22.2% online rate, sequential, \
+         warmup + min of {SAMPLES} interleaved samples x {REPS} reps"
+    );
     println!(
         "{:>8} {:>12} {:>10} {:>14} {:>13} {:>7} {:>13} {:>7}",
         "sched", "events", "wall(s)", "events/sec", "gated ev/s", "gate%", "traced ev/s", "trace%"
@@ -439,9 +524,7 @@ fn run_perf(args: &Args) {
     let (mut total_gt_events, mut total_gt_wall) = (0u64, 0.0f64);
     let (mut total_tr_events, mut total_tr_wall) = (0u64, 0.0f64);
     for sched in [Sched::Credit, Sched::Asman] {
-        let (events, wall) = measure(sched, Rec::Off);
-        let (gt_events, gt_wall) = measure(sched, Rec::Gated);
-        let (tr_events, tr_wall) = measure(sched, Rec::Traced);
+        let [(events, wall), (gt_events, gt_wall), (tr_events, tr_wall)] = measure_states(sched);
         let rate = rate_of(events, wall);
         let gt_rate = rate_of(gt_events, gt_wall);
         let tr_rate = rate_of(tr_events, tr_wall);
@@ -540,6 +623,10 @@ fn run_cluster(args: &Args) {
     use asman_report::cluster;
     use serde::Serialize;
 
+    if args.cluster_bench {
+        run_cluster_bench(args);
+        return;
+    }
     let policies = match args.cluster_policy {
         // A single policy is always compared against the static
         // baseline, which anchors every shape check.
@@ -588,6 +675,31 @@ fn run_cluster(args: &Args) {
             progress!("wrote {}", path.display());
         }
     }
+}
+
+/// The cluster performance grid (`repro cluster --bench`): hosts × jobs
+/// cells on the uniform scaling scenario, warmup + median-of-3 each,
+/// written to `BENCH_cluster.json` (into `--json` DIR, or the working
+/// directory). Every cell cross-checks its report digest against the
+/// row's `jobs = 1` baseline, so a nondeterministic "speedup" aborts
+/// the bench instead of producing a lying artifact.
+fn run_cluster_bench(args: &Args) {
+    use asman_report::clusterbench;
+
+    let p = clusterbench::BenchParams {
+        hosts_grid: args.bench_hosts.clone(),
+        jobs_grid: args.bench_jobs.clone(),
+        epochs: args.cluster_epochs,
+        seed: args.params.seed,
+        ..clusterbench::BenchParams::default()
+    };
+    let bench = clusterbench::run(&p);
+    println!("{}", bench.render());
+    let dir = args.json_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    fs::create_dir_all(&dir).expect("create json dir");
+    let path = dir.join("BENCH_cluster.json");
+    fs::write(&path, serde_json::to_vec_pretty(&bench).expect("serialize")).expect("write json");
+    progress!("wrote {}", path.display());
 }
 
 fn main() {

@@ -6,10 +6,13 @@
 //! PCPUs than exist — so the experiment compares *cluster* placement
 //! policies: `static` (never migrate), `least-loaded` (VCPU-count
 //! balancing, blind to synchronization), and `vcrd-aware` (ASMan's
-//! VCRD/spin telemetry driving live migration). Policies run as
-//! independent sweep cells, so `--jobs` parallelism never touches a
-//! simulation's interior and results are bit-identical for any worker
-//! count.
+//! VCRD/spin telemetry driving live migration). `--jobs` drives two
+//! layers of parallelism: policies run as independent sweep cells, and
+//! within each cell the cluster driver advances its hosts to every
+//! epoch boundary on a scoped worker pool
+//! (`asman_cluster::ClusterConfig::jobs`). Neither layer reaches
+//! inside a host's simulation, so results are bit-identical for any
+//! worker count.
 
 use asman_cluster::{
     scenario::{self, ConsolidationSpec},
@@ -61,6 +64,10 @@ impl ClusterParams {
             policy,
             epochs: self.epochs,
             faults: self.faults.clone(),
+            // The same knob drives both layers of parallelism: policy
+            // cells across the sweep, and host advancement within each
+            // cluster's epochs. Both are bit-identical for any count.
+            jobs: self.jobs,
             ..ClusterConfig::default()
         }
     }

@@ -1,0 +1,225 @@
+//! Cluster performance harness (`repro cluster --bench`).
+//!
+//! Measures the parallel epoch driver over a hosts × jobs grid on the
+//! uniformly loaded scaling scenario (`asman_cluster::scenario::uniform`:
+//! one gang plus one background VM per host, nothing to migrate). Each
+//! cell runs one warmup run, then `samples` timed runs, and reports the
+//! **median** wall time — cold caches and one-off allocator work land in
+//! the warmup, outlier interference lands outside the median. Reported
+//! rates are epochs/sec (the cluster driver's unit of progress) and
+//! guest-events/sec (summed over hosts — the engine's unit of work).
+//!
+//! Every cell also digests its final [`ClusterReport`]; within a hosts
+//! row all digests must match the `jobs = 1` baseline, so the bench
+//! doubles as a determinism cross-check and refuses to report a speedup
+//! obtained by computing something different.
+
+use asman_cluster::{scenario, Cluster, ClusterConfig, Policy};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+use crate::cluster::digest_report;
+
+/// Parameters of the bench grid.
+#[derive(Clone, Debug)]
+pub struct BenchParams {
+    /// Host counts to sweep (rows).
+    pub hosts_grid: Vec<usize>,
+    /// Worker counts to sweep within each row (`0` = auto).
+    pub jobs_grid: Vec<usize>,
+    /// Epochs per run.
+    pub epochs: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Timed runs per cell (median is reported).
+    pub samples: usize,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            hosts_grid: vec![2, 4, 8],
+            jobs_grid: vec![1, 2, 4, 8],
+            epochs: 6,
+            seed: 42,
+            samples: 3,
+        }
+    }
+}
+
+/// One (hosts, jobs) cell of the bench grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchCell {
+    /// Simulated hosts.
+    pub hosts: usize,
+    /// Requested worker count (`0` = auto).
+    pub jobs: usize,
+    /// Worker count actually used.
+    pub effective_jobs: usize,
+    /// Median wall seconds of the timed runs.
+    pub wall_secs_median: f64,
+    /// Cluster epochs per wall second.
+    pub epochs_per_sec: f64,
+    /// Guest simulation events per wall second (summed over hosts).
+    pub guest_events_per_sec: f64,
+    /// Total guest events per run (deterministic across samples).
+    pub events: u64,
+    /// FNV-1a digest of the final cluster report.
+    pub digest: String,
+    /// `epochs_per_sec` relative to this row's `jobs = 1` cell
+    /// (`1.0` when this is the baseline).
+    pub speedup_vs_jobs1: f64,
+}
+
+/// The full bench artifact (`BENCH_cluster.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct ClusterBench {
+    /// Epochs per run.
+    pub epochs: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Timed samples per cell (median reported).
+    pub samples: usize,
+    /// Threads the host machine advertises.
+    pub available_parallelism: usize,
+    /// The grid, hosts-major in parameter order.
+    pub grid: Vec<BenchCell>,
+}
+
+/// Build-and-run one timed sample; returns (wall seconds, events,
+/// digest). Cluster construction is setup, not measurement — only
+/// `Cluster::run` is inside the clock.
+fn sample(hosts: usize, jobs: usize, epochs: u64, seed: u64) -> (f64, u64, String) {
+    let cfg = ClusterConfig {
+        policy: Policy::VcrdAware,
+        epochs,
+        jobs,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(cfg, scenario::uniform(hosts, seed));
+    let t0 = std::time::Instant::now();
+    let report = cluster.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let events: u64 = cluster.hosts().iter().map(|m| m.events_processed()).sum();
+    (wall, events, digest_report(&report))
+}
+
+/// Run the whole grid.
+pub fn run(p: &BenchParams) -> ClusterBench {
+    let auto = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut grid = Vec::new();
+    for &hosts in &p.hosts_grid {
+        let mut baseline_rate = None;
+        for &jobs in &p.jobs_grid {
+            // Warmup: one full, untimed run.
+            let (_, events, digest) = sample(hosts, jobs, p.epochs, p.seed);
+            let mut walls: Vec<f64> = (0..p.samples.max(1))
+                .map(|_| {
+                    let (wall, ev, d) = sample(hosts, jobs, p.epochs, p.seed);
+                    assert_eq!(ev, events, "bench runs must be deterministic");
+                    assert_eq!(d, digest, "bench runs must be deterministic");
+                    wall
+                })
+                .collect();
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+            let wall = walls[walls.len() / 2];
+            let epochs_per_sec = if wall > 0.0 { p.epochs as f64 / wall } else { 0.0 };
+            let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+            if jobs == 1 {
+                baseline_rate = Some(epochs_per_sec);
+            }
+            // Determinism across worker counts: every cell of a hosts
+            // row reproduces the jobs = 1 report bit for bit.
+            if let Some(first) = grid
+                .iter()
+                .find(|c: &&BenchCell| c.hosts == hosts)
+                .map(|c: &BenchCell| c.digest.clone())
+            {
+                assert_eq!(
+                    digest, first,
+                    "digest drift at hosts={hosts} jobs={jobs} — worker count leaked into results"
+                );
+            }
+            grid.push(BenchCell {
+                hosts,
+                jobs,
+                effective_jobs: if jobs == 0 { auto } else { jobs },
+                wall_secs_median: wall,
+                epochs_per_sec,
+                guest_events_per_sec: rate,
+                events,
+                digest,
+                speedup_vs_jobs1: match baseline_rate {
+                    Some(base) if base > 0.0 => epochs_per_sec / base,
+                    _ => 1.0,
+                },
+            });
+        }
+    }
+    ClusterBench {
+        epochs: p.epochs,
+        seed: p.seed,
+        samples: p.samples,
+        available_parallelism: auto,
+        grid,
+    }
+}
+
+impl ClusterBench {
+    /// Human-readable grid table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        writeln!(
+            s,
+            "Cluster bench — uniform scenario, {} epochs, seed {}, median of {} \
+             (host advertises {} threads)",
+            self.epochs, self.seed, self.samples, self.available_parallelism
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "{:>6} {:>5} {:>9} {:>11} {:>14} {:>8} {:>18}",
+            "hosts", "jobs", "wall(s)", "epochs/s", "guest ev/s", "speedup", "digest"
+        )
+        .unwrap();
+        for c in &self.grid {
+            writeln!(
+                s,
+                "{:>6} {:>5} {:>9.4} {:>11.1} {:>14.0} {:>7.2}x {:>18}",
+                c.hosts,
+                c.jobs,
+                c.wall_secs_median,
+                c.epochs_per_sec,
+                c.guest_events_per_sec,
+                c.speedup_vs_jobs1,
+                c.digest,
+            )
+            .unwrap();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal grid cell: determinism assertions inside `run` are the
+    /// real test payload (digest drift or event-count drift panics).
+    #[test]
+    fn tiny_grid_is_deterministic_and_self_checking() {
+        let bench = run(&BenchParams {
+            hosts_grid: vec![2],
+            jobs_grid: vec![1, 2],
+            epochs: 2,
+            samples: 1,
+            ..BenchParams::default()
+        });
+        assert_eq!(bench.grid.len(), 2);
+        assert_eq!(bench.grid[0].digest, bench.grid[1].digest);
+        assert!(bench.grid.iter().all(|c| c.events > 0));
+        assert!((bench.grid[0].speedup_vs_jobs1 - 1.0).abs() < 1e-9);
+    }
+}

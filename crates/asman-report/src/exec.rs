@@ -1,226 +1,9 @@
-//! Parallel sweep executor.
+//! Parallel sweep executor — re-export of [`asman_sim::exec`].
 //!
-//! Every figure of the reproduction is a *sweep*: a grid of independent
-//! (scheduler, rate, workload, round) cells, each of which builds its own
-//! deterministic [`asman_hypervisor::Machine`] from a seed and runs it to
-//! completion. Cells share no state, so they can run on worker threads —
-//! determinism is preserved because parallelism is *across* simulations,
-//! never inside one, and results are always collected in cell order.
-//!
-//! [`SweepRunner::run`] with `jobs == 1` degenerates to a plain in-order
-//! loop on the calling thread, which is bit-identical to the historical
-//! sequential behavior; any other job count produces bit-identical output
-//! by construction (slot `i` always holds cell `i`'s result).
+//! [`SweepRunner`] started life here driving the figure sweeps, then
+//! moved one layer down into `asman-sim` when the cluster driver's
+//! intra-epoch host advancement (`asman-cluster::Cluster::run_epoch`)
+//! needed the same scoped-thread pool. This module remains so every
+//! historical `crate::exec::SweepRunner` path keeps working.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Best-effort text of a panic payload (`panic!` with a string covers
-/// every cell in practice; anything else degrades to a placeholder).
-fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&'static str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
-}
-
-/// Executes a sweep's cells across a bounded pool of scoped threads,
-/// returning results in deterministic cell order.
-#[derive(Clone, Copy, Debug)]
-pub struct SweepRunner {
-    jobs: usize,
-}
-
-impl SweepRunner {
-    /// Runner with an explicit worker count; `0` selects
-    /// [`std::thread::available_parallelism`].
-    pub fn new(jobs: usize) -> Self {
-        let jobs = if jobs == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            jobs
-        };
-        SweepRunner { jobs }
-    }
-
-    /// Runner sized to the host's available parallelism.
-    pub fn auto() -> Self {
-        SweepRunner::new(0)
-    }
-
-    /// The effective worker count.
-    pub fn jobs(&self) -> usize {
-        self.jobs
-    }
-
-    /// Run every cell and return their results in cell order.
-    ///
-    /// With one job (or at most one cell) this is an ordinary sequential
-    /// loop on the calling thread. Otherwise workers claim cells through
-    /// an atomic cursor — claim order is racy, but each result lands in
-    /// its own cell's slot, so the returned `Vec` is independent of
-    /// thread scheduling.
-    ///
-    /// A panicking cell no longer unwinds through the scoped pool
-    /// (which used to leave sibling slots half-initialized and poison
-    /// the result mutexes): every cell runs under `catch_unwind`, all
-    /// workers are joined normally, and then the panic of the
-    /// *lowest-indexed* failing cell is re-raised with the cell index
-    /// in its message.
-    pub fn run<T, F>(&self, cells: Vec<F>) -> Vec<T>
-    where
-        T: Send,
-        F: FnOnce() -> T + Send,
-    {
-        let n = cells.len();
-        if self.jobs <= 1 || n <= 1 {
-            return cells
-                .into_iter()
-                .enumerate()
-                .map(|(i, cell)| match catch_unwind(AssertUnwindSafe(cell)) {
-                    Ok(out) => out,
-                    Err(p) => panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref())),
-                })
-                .collect();
-        }
-        let slots: Vec<Mutex<Option<F>>> =
-            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.jobs.min(n) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let cell = slots[i]
-                        .lock()
-                        .expect("cell slot poisoned")
-                        .take()
-                        .expect("cell claimed twice");
-                    match catch_unwind(AssertUnwindSafe(cell)) {
-                        Ok(out) => {
-                            *results[i].lock().expect("result slot poisoned") = Some(out);
-                        }
-                        Err(p) => {
-                            let mut first = panicked.lock().expect("panic slot poisoned");
-                            if first.as_ref().is_none_or(|&(j, _)| i < j) {
-                                *first = Some((i, p));
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        if let Some((i, p)) = panicked.into_inner().expect("panic slot poisoned") {
-            panic!("sweep cell {i} panicked: {}", payload_msg(p.as_ref()));
-        }
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker panicked before storing result")
-            })
-            .collect()
-    }
-
-    /// Apply `f` to every item on the worker pool, preserving item order.
-    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
-    where
-        I: Send,
-        T: Send,
-        F: Fn(I) -> T + Sync,
-    {
-        let f = &f;
-        self.run(items.into_iter().map(|item| move || f(item)).collect())
-    }
-}
-
-impl Default for SweepRunner {
-    fn default() -> Self {
-        SweepRunner::auto()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sequential_and_parallel_agree() {
-        let inputs: Vec<u64> = (0..37).collect();
-        let seq = SweepRunner::new(1).map(inputs.clone(), |x| x * x + 1);
-        let par = SweepRunner::new(8).map(inputs, |x| x * x + 1);
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn order_is_deterministic_under_adversarial_latencies() {
-        // Early cells sleep longest, so under any work-stealing order the
-        // *completion* order is adversarial (reversed); the result order
-        // must still be cell order.
-        let n = 24usize;
-        for jobs in [2usize, 3, 8] {
-            let cells: Vec<_> = (0..n)
-                .map(|i| {
-                    move || {
-                        std::thread::sleep(std::time::Duration::from_millis(
-                            (n - i) as u64 % 7,
-                        ));
-                        i
-                    }
-                })
-                .collect();
-            let out = SweepRunner::new(jobs).run(cells);
-            assert_eq!(out, (0..n).collect::<Vec<_>>(), "jobs={jobs}");
-        }
-    }
-
-    #[test]
-    fn zero_means_available_parallelism() {
-        assert!(SweepRunner::new(0).jobs() >= 1);
-        assert!(SweepRunner::auto().jobs() >= 1);
-    }
-
-    #[test]
-    fn empty_and_single_cell_sweeps() {
-        let empty: Vec<fn() -> u8> = Vec::new();
-        assert!(SweepRunner::new(4).run(empty).is_empty());
-        assert_eq!(SweepRunner::new(4).run(vec![|| 9u8]), vec![9]);
-    }
-
-    /// Regression: a panicking cell used to unwind straight through the
-    /// scoped pool, poisoning sibling mutexes and surfacing as a
-    /// misleading "result slot poisoned". Now every worker joins
-    /// normally and the first failing cell's panic is re-raised with
-    /// its index.
-    #[test]
-    fn cell_panic_reports_lowest_failing_index() {
-        for jobs in [1usize, 4] {
-            let cells: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
-                .map(|i| {
-                    Box::new(move || {
-                        if i == 3 || i == 7 {
-                            panic!("boom in {i}");
-                        }
-                        i
-                    }) as Box<dyn FnOnce() -> usize + Send>
-                })
-                .collect();
-            let err = catch_unwind(AssertUnwindSafe(|| SweepRunner::new(jobs).run(cells)))
-                .expect_err("sweep must propagate the cell panic");
-            let msg = payload_msg(err.as_ref()).to_string();
-            assert!(
-                msg.contains("sweep cell 3 panicked") && msg.contains("boom in 3"),
-                "jobs={jobs}: unexpected message: {msg}"
-            );
-        }
-    }
-}
+pub use asman_sim::exec::SweepRunner;

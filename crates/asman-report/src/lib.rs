@@ -21,6 +21,7 @@
 
 pub mod audit;
 pub mod cluster;
+pub mod clusterbench;
 pub mod csv;
 pub mod exec;
 pub mod extensions;

@@ -89,6 +89,47 @@ fn bad_cluster_flags_exit_two() {
 }
 
 #[test]
+fn bad_jobs_and_bench_flags_exit_two() {
+    assert_usage_error(&["--jobs", "banana"], "`banana` is not a number");
+    assert_usage_error(&["cluster", "--jobs", "2x"], "`2x` is not a number");
+    assert_usage_error(&["cluster", "--bench", "--bench-hosts"], "needs a comma list");
+    assert_usage_error(
+        &["cluster", "--bench", "--bench-hosts", "2,x"],
+        "`x` is not a number",
+    );
+    assert_usage_error(
+        &["cluster", "--bench", "--bench-hosts", "1"],
+        "at least 2",
+    );
+    assert_usage_error(
+        &["cluster", "--bench", "--bench-jobs", "1,,4"],
+        "is not a number",
+    );
+}
+
+/// `--jobs 0` means "one worker per core" everywhere (SweepRunner's
+/// convention), so it must be accepted, not rejected as malformed.
+#[test]
+fn jobs_zero_means_auto_and_exits_zero() {
+    let out = repro(&["cluster", "--jobs", "0", "--epochs", "1", "--policy", "static", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--jobs 0 must run with auto parallelism\nstderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn usage_documents_bench_flags() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--bench", "--bench-hosts", "--bench-jobs", "--jobs"] {
+        assert!(stdout.contains(flag), "usage documents {flag}");
+    }
+}
+
+#[test]
 fn bad_fault_plans_exit_two() {
     assert_usage_error(&["cluster", "--faults"], "--faults needs a plan");
     assert_usage_error(&["cluster", "--faults", "explode@3"], "unknown fault");

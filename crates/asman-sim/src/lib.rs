@@ -31,11 +31,15 @@
 //!   quantile histograms serialized into per-run artifacts.
 //! * [`audit`] — the [`SimQueue`] trait shared by the optimized queue
 //!   and the naive [`OracleQueue`] used for differential auditing.
+//! * [`exec`] — the [`SweepRunner`] scoped-thread pool that executes
+//!   independent cells (figure sweeps, cluster host advancement) in
+//!   parallel with results in deterministic cell order.
 
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod event;
+pub mod exec;
 pub mod fault;
 pub mod flight;
 pub mod lhp;
@@ -48,6 +52,7 @@ pub mod trace;
 
 pub use audit::{OracleQueue, SimQueue};
 pub use event::{EventQueue, ScheduledAt};
+pub use exec::SweepRunner;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use flight::{merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
 pub use lhp::{check_episode_invariants, detect_lhp, LhpEpisode, LhpSummary};

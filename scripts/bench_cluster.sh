@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Cluster scaling measurement: hosts x jobs grid of the parallel epoch
+# driver (`repro cluster --bench`).
+#
+# Builds the repro binary tuned for the local CPU (in its own target
+# directory, so the portable ./target build is left alone), runs the
+# bench grid on the uniform scaling scenario, and writes
+# BENCH_cluster.json into OUT_DIR (default: the repository root). Every
+# cell reports epochs/sec and guest-events/sec from the median of three
+# timed runs after a warmup run; the bench itself asserts that every
+# jobs count in a hosts row reproduces the jobs=1 report digest bit for
+# bit, so a speedup can never come from computing something different.
+#
+#   scripts/bench_cluster.sh [OUT_DIR]
+#   scripts/bench_cluster.sh --smoke [OUT_DIR]
+#
+# --smoke runs a single small row (4 hosts, jobs 1 and 4, 3 epochs) —
+# a few hundred milliseconds — for CI: it exercises the pool, the
+# digest cross-check, and the artifact writer without occupying a
+# runner for the full grid.
+#
+# No criterion, no network: the measurement is plain wall-clock around
+# Cluster::run. The simulation is bit-identical with and without
+# -Ctarget-cpu=native; the flag only changes how fast it runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+smoke=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  smoke=1
+  shift
+fi
+out_dir="${1:-.}"
+
+export RUSTFLAGS="${BENCH_RUSTFLAGS:--Ctarget-cpu=native}"
+export CARGO_TARGET_DIR=target-bench
+cargo build --release -p asman-report --bin repro
+
+if [[ "$smoke" == 1 ]]; then
+  ./target-bench/release/repro cluster --bench \
+    --bench-hosts 4 --bench-jobs 1,4 --epochs 3 --json "$out_dir"
+else
+  ./target-bench/release/repro cluster --bench --json "$out_dir"
+fi
