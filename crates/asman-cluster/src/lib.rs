@@ -59,9 +59,11 @@ pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
 
 use asman_hypervisor::{Machine, VmCounters};
 use asman_sim::{
-    CatMask, Cycles, FaultKind, FaultPlan, FlightEv, FlightEvent, MetricsRegistry, SweepRunner,
+    CatMask, Cycles, EpochSample, FaultKind, FaultPlan, FlightEv, FlightEvent, HostSample,
+    MetricsRegistry, SeriesSampler, SweepRunner,
 };
 use serde::Serialize;
+use std::time::Instant;
 
 /// Cluster driver parameters.
 #[derive(Clone, Debug)]
@@ -131,6 +133,41 @@ struct PendingRetry {
     due: u64,
     /// Attempts already made (>= 1).
     attempts: u32,
+    /// Causal span id minted at the chain's first `prepare`; every
+    /// retry attempt reuses it so the flight stream ties the whole
+    /// chain together.
+    span: u32,
+}
+
+/// Wall-time attribution of one epoch of the parallel driver, captured
+/// only when [`Cluster::enable_profiling`] was called. Wall-clock is
+/// inherently non-deterministic, so this never feeds a digest-bearing
+/// artifact — only `BENCH_cluster.json` and bench stdout.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct EpochProfile {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Wall time of the parallel host-advance phase.
+    pub parallel_wall_ns: u64,
+    /// Sum of per-host worker run times inside that phase.
+    pub worker_busy_ns: u64,
+    /// Idle worker-time at the barrier: `jobs * parallel_wall -
+    /// worker_busy`, clamped at zero.
+    pub barrier_stall_ns: u64,
+    /// Wall time of the serial balancer section (delta collection,
+    /// faults, audit, decision, migration, series sampling).
+    pub serial_wall_ns: u64,
+}
+
+/// What the parallel advance hands back to the serial section: every
+/// worker-captured per-host payload plus wall-time attribution. Only
+/// `counters` and `runnable` are deterministic; the `*_ns` fields are
+/// wall-clock and must never feed a digest-bearing artifact.
+struct AdvanceOut {
+    counters: Vec<Vec<VmCounters>>,
+    runnable: Vec<u32>,
+    parallel_wall_ns: u64,
+    worker_busy_ns: u64,
 }
 
 /// Cluster-side registry entry for one VM. The cluster id is stable for
@@ -300,6 +337,14 @@ pub struct Cluster {
     retries_abandoned: u64,
     gave_up: u64,
     epochs_run: u64,
+    /// Per-epoch time-series sampler; `None` (zero cost, digest
+    /// unchanged) unless [`Cluster::enable_series`] was called.
+    series: Option<SeriesSampler>,
+    /// Per-epoch wall-time attribution; `None` unless
+    /// [`Cluster::enable_profiling`] was called.
+    prof: Option<Vec<EpochProfile>>,
+    /// Next causal migration-span id (minted at `prepare`).
+    next_span: u32,
     #[cfg(feature = "audit")]
     fault_dirty_undercount: bool,
     #[cfg(feature = "audit")]
@@ -357,6 +402,9 @@ impl Cluster {
             retries_abandoned: 0,
             gave_up: 0,
             epochs_run: 0,
+            series: None,
+            prof: None,
+            next_span: 0,
             #[cfg(feature = "audit")]
             fault_dirty_undercount: false,
             #[cfg(feature = "audit")]
@@ -471,6 +519,41 @@ impl Cluster {
             .collect()
     }
 
+    /// Enable per-epoch time-series sampling into a ring of `capacity`
+    /// epochs. Sampling runs entirely inside the serial barrier section
+    /// of [`Cluster::run_epoch`] and only *reads* host and registry
+    /// state, so enabling it cannot change any simulation result for
+    /// any worker count.
+    pub fn enable_series(&mut self, capacity: usize) {
+        self.series = Some(SeriesSampler::new(capacity));
+    }
+
+    /// The series sampler, if [`Cluster::enable_series`] was called.
+    pub fn series(&self) -> Option<&SeriesSampler> {
+        self.series.as_ref()
+    }
+
+    /// Enable scheduler-latency histograms (vCPU wakeup-to-dispatch and
+    /// preemption-hold) and guest spin-episode distributions on every
+    /// host.
+    pub fn enable_sched_latency(&mut self) {
+        for m in &mut self.hosts {
+            m.enable_sched_latency();
+        }
+    }
+
+    /// Enable per-epoch wall-time attribution of the parallel driver
+    /// (worker run vs. barrier stall vs. serial balancer section).
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(Vec::new());
+    }
+
+    /// Per-epoch driver profile; empty unless
+    /// [`Cluster::enable_profiling`] was called before running.
+    pub fn profile(&self) -> &[EpochProfile] {
+        self.prof.as_deref().unwrap_or(&[])
+    }
+
     /// Run the configured number of epochs and produce the report.
     pub fn run(&mut self) -> ClusterReport {
         for _ in 0..self.cfg.epochs {
@@ -500,8 +583,9 @@ impl Cluster {
     pub fn run_epoch(&mut self) {
         let epoch = self.epochs_run;
         let end = self.epoch_cycles() * (epoch + 1);
-        let telemetry = self.advance_hosts(end);
-        self.collect_deltas(&telemetry);
+        let adv = self.advance_hosts(end);
+        let serial_t0 = Instant::now();
+        self.collect_deltas(&adv.counters);
         self.apply_host_faults(epoch, end);
         self.audit_check();
         let attempt = match self.pending {
@@ -512,12 +596,25 @@ impl Cluster {
             // A chain backing off holds the one-migration-per-epoch
             // slot: no fresh decision until it resolves.
             Some(_) => None,
-            None => decide(self.cfg.policy, &self.snapshot(epoch)).map(|mv| (mv, 1)),
+            None => decide(self.cfg.policy, &self.snapshot(epoch)).map(|mv| (mv, 1, None)),
         };
-        if let Some((mv, attempt)) = attempt {
-            self.execute_migration(epoch, mv, end, attempt);
+        if let Some((mv, attempt, span)) = attempt {
+            self.execute_migration(epoch, mv, end, attempt, span);
         }
+        self.sample_series(epoch, &adv.runnable);
         self.epochs_run = epoch + 1;
+        if let Some(prof) = self.prof.as_mut() {
+            let jobs = self.runner.jobs() as u64;
+            prof.push(EpochProfile {
+                epoch,
+                parallel_wall_ns: adv.parallel_wall_ns,
+                worker_busy_ns: adv.worker_busy_ns,
+                barrier_stall_ns: jobs
+                    .saturating_mul(adv.parallel_wall_ns)
+                    .saturating_sub(adv.worker_busy_ns),
+                serial_wall_ns: serial_t0.elapsed().as_nanos() as u64,
+            });
+        }
     }
 
     /// Parallel phase of an epoch: every live host runs to the boundary
@@ -529,8 +626,9 @@ impl Cluster {
     /// determines cell `h`'s result and the pool's claim order cannot
     /// matter. Crashed hosts are frozen and skipped; their telemetry
     /// slots stay empty, and the registry never points at them.
-    fn advance_hosts(&mut self, end: Cycles) -> Vec<Vec<VmCounters>> {
-        let mut telemetry: Vec<Vec<VmCounters>> = vec![Vec::new(); self.hosts.len()];
+    fn advance_hosts(&mut self, end: Cycles) -> AdvanceOut {
+        let mut counters: Vec<Vec<VmCounters>> = vec![Vec::new(); self.hosts.len()];
+        let mut runnable = vec![0u32; self.hosts.len()];
         let runner = self.runner;
         let health = &self.health;
         let live: Vec<(usize, &mut Machine)> = self
@@ -539,13 +637,73 @@ impl Cluster {
             .enumerate()
             .filter(|(h, _)| health[*h] != HostHealth::Crashed)
             .collect();
-        for (h, counters) in runner.map(live, |(h, m)| {
+        let wall_t0 = Instant::now();
+        let mut worker_busy_ns = 0u64;
+        for (h, c, r, busy) in runner.map(live, |(h, m)| {
+            let t0 = Instant::now();
             m.run_until(end);
-            (h, m.all_vm_counters())
+            let busy = t0.elapsed().as_nanos() as u64;
+            (h, m.all_vm_counters(), m.runnable_vcpus() as u32, busy)
         }) {
-            telemetry[h] = counters;
+            counters[h] = c;
+            runnable[h] = r;
+            worker_busy_ns += busy;
         }
-        telemetry
+        AdvanceOut {
+            counters,
+            runnable,
+            parallel_wall_ns: wall_t0.elapsed().as_nanos() as u64,
+            worker_busy_ns,
+        }
+    }
+
+    /// Build and push this epoch's series sample. Runs after the
+    /// migration so placement counters reflect the epoch's outcome;
+    /// reads only registry deltas, health, and the worker-captured
+    /// runnable counts — never a guest kernel — so it is identical for
+    /// every worker count.
+    fn sample_series(&mut self, epoch: u64, runnable: &[u32]) {
+        if self.series.is_none() {
+            return;
+        }
+        let mut hosts: Vec<HostSample> = (0..self.hosts.len())
+            .map(|h| HostSample {
+                host: h as u32,
+                resident_vms: 0,
+                resident_vcpus: 0,
+                runnable_vcpus: runnable[h],
+                online_delta: 0,
+                spin_delta: 0,
+                vcrd_high_delta: 0,
+                derate_pct: match self.health[h] {
+                    HostHealth::Degraded { pct } => pct,
+                    _ => 0,
+                },
+                crashed: self.health[h] == HostHealth::Crashed,
+            })
+            .collect();
+        for e in &self.vms {
+            let hs = &mut hosts[e.host];
+            hs.resident_vms += 1;
+            hs.resident_vcpus += e.vcpus as u32;
+            hs.online_delta += e.online_delta;
+            hs.spin_delta += e.spin_delta;
+            hs.vcrd_high_delta += e.vcrd_high_delta;
+        }
+        let sample = EpochSample {
+            epoch,
+            migrations_in_flight: u32::from(self.pending.is_some()),
+            migrations: self.records.len() as u64,
+            aborts: self.aborts.len() as u64,
+            retries_committed: self.retries_committed,
+            gave_up: self.gave_up,
+            evacuations: self.evacuations.len() as u64,
+            hosts,
+        };
+        self.series
+            .as_mut()
+            .expect("checked above")
+            .push(sample);
     }
 
     /// Apply this epoch's scheduled host faults: derate slow hosts,
@@ -653,14 +811,14 @@ impl Cluster {
     /// Re-check a due retry against the current cluster state: the
     /// destination must still admit and must not have become the VM's
     /// home (a crash evacuation may have re-placed it meanwhile).
-    fn revalidate_retry(&mut self, p: PendingRetry) -> Option<(Move, u32)> {
+    fn revalidate_retry(&mut self, p: PendingRetry) -> Option<(Move, u32, Option<u32>)> {
         let stale =
             self.health[p.to] != HostHealth::Healthy || self.vms[p.vm].host == p.to;
         if stale {
             self.retries_abandoned += 1;
             return None;
         }
-        Some((Move { vm: p.vm, to: p.to }, p.attempts + 1))
+        Some((Move { vm: p.vm, to: p.to }, p.attempts + 1, Some(p.span)))
     }
 
     /// Form epoch deltas from the telemetry the workers captured during
@@ -727,18 +885,42 @@ impl Cluster {
     ///   cleared, [`MigrationModel::abort_penalty`] of dead time) and
     ///   schedule a retry with exponential backoff (1, 2, 4… epochs)
     ///   until the per-VM attempt cap is spent.
-    fn execute_migration(&mut self, epoch: u64, mv: Move, now: Cycles, attempt: u32) {
+    fn execute_migration(
+        &mut self,
+        epoch: u64,
+        mv: Move,
+        now: Cycles,
+        attempt: u32,
+        span: Option<u32>,
+    ) {
         let (from, local, online_delta, name) = {
             let e = &self.vms[mv.vm];
             (e.host, e.local, e.online_delta, e.name.clone())
         };
         assert_ne!(from, mv.to, "balancer proposed a no-op move");
+        // A fresh decision mints a new span; a retry inherits the
+        // chain's span from its PendingRetry, so the whole
+        // prepare/copy/abort/retry/commit lifecycle shares one causal
+        // id in the flight stream.
+        let span = span.unwrap_or_else(|| {
+            let s = self.next_span;
+            self.next_span += 1;
+            s
+        });
         if attempt > 1 {
             self.hosts[from].record_cluster_event(FlightEv::MigrateRetry {
+                span,
                 vm: mv.vm as u32,
                 attempt,
             });
         }
+        self.hosts[from].record_cluster_event(FlightEv::MigratePrepare {
+            span,
+            vm: mv.vm as u32,
+            from: from as u32,
+            to: mv.to as u32,
+            attempt,
+        });
         let image = self.hosts[from].extract_vm(local);
         #[allow(unused_mut)]
         let mut dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
@@ -746,6 +928,11 @@ impl Cluster {
         if self.fault_dirty_undercount {
             dirty /= 2;
         }
+        self.hosts[from].record_cluster_event(FlightEv::MigrateCopy {
+            span,
+            vm: mv.vm as u32,
+            pages: dirty,
+        });
         if self.cfg.faults.aborts_at(epoch) {
             // Abort with rollback: the image returns to its original
             // slot on the source, which eats the failed copy's penalty
@@ -756,10 +943,17 @@ impl Cluster {
             if self.fault_sticky_tombstone {
                 self.hosts[from].audit_mark_evacuated(local);
             }
-            self.hosts[from].record_cluster_event(FlightEv::MigrateAbort {
-                vm: mv.vm as u32,
-                attempt,
-            });
+            // Stamped at the end of the penalty window so the span's
+            // prepare->abort duration is the guest-visible dead time
+            // (merge_streams restores time order).
+            self.hosts[from].record_cluster_event_at(
+                now + penalty,
+                FlightEv::MigrateAbort {
+                    span,
+                    vm: mv.vm as u32,
+                    attempt,
+                },
+            );
             self.aborts.push(AbortRecord {
                 epoch,
                 vm: mv.vm,
@@ -778,6 +972,7 @@ impl Cluster {
                     to: mv.to,
                     due: epoch + (1 << (attempt - 1)),
                     attempts: attempt,
+                    span,
                 });
             } else {
                 self.vms[mv.vm].gave_up = true;
@@ -787,6 +982,17 @@ impl Cluster {
         }
         let pause = self.cfg.model.pause(dirty);
         let new_local = self.hosts[mv.to].inject_vm(image, now + pause);
+        // Commit lands on the destination stream, stamped when the
+        // guest resumes (prepare->commit duration == injected pause).
+        self.hosts[mv.to].record_cluster_event_at(
+            now + pause,
+            FlightEv::MigrateCommit {
+                span,
+                vm: mv.vm as u32,
+                to: mv.to as u32,
+                pause: pause.as_u64(),
+            },
+        );
         self.records.push(MigrationRecord {
             epoch,
             vm: mv.vm,

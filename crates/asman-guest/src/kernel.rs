@@ -216,6 +216,14 @@ impl GuestKernel {
         self.flight = FlightRecorder::labeled(mask, capacity, "guest");
     }
 
+    /// Start recording spin-episode durations (kernel spinlock, barrier
+    /// and pipeline-flag busy-wait segments) into a quantile histogram.
+    /// Off by default: the charge path then pays a single branch and no
+    /// observation is ever taken, so results are unchanged.
+    pub fn enable_spin_episodes(&mut self) {
+        self.stats.spin_episodes = Some(Default::default());
+    }
+
     /// The guest-layer flight recorder.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
@@ -505,9 +513,11 @@ impl GuestKernel {
                 match then {
                     AfterWork::TryFutexEnqueue { .. } => {
                         self.stats.spin_barrier_cycles += used;
+                        self.stats.note_spin(used);
                     }
                     AfterWork::TryPeerEnqueue { .. } => {
                         self.stats.spin_pipeline_cycles += used;
+                        self.stats.note_spin(used);
                     }
                     _ => self.stats.useful_cycles += used,
                 }
@@ -515,6 +525,7 @@ impl GuestKernel {
             }
             TState::SpinKernel { .. } => {
                 self.stats.spin_kernel_cycles += el;
+                self.stats.note_spin(el);
             }
             _ => {}
         }

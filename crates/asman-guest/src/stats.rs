@@ -6,7 +6,7 @@
 //! multi-VM batch rounds, §5.3), and cycle accounting that separates
 //! useful computation from synchronization waste.
 
-use asman_sim::{Cycles, Log2Histogram, TraceBuffer};
+use asman_sim::{Cycles, Log2Histogram, QuantileHist, TraceBuffer};
 use serde::{Deserialize, Serialize};
 
 /// A single spinlock wait observation (for the scatter plots).
@@ -52,6 +52,13 @@ pub struct GuestStats {
     /// Number of times a lock holder was preempted while holding (the
     /// direct lock-holder-preemption event count).
     pub holder_preemptions: u64,
+    /// Spin-episode duration distribution: every contiguous busy-wait
+    /// charge segment (kernel spinlocks, barrier spins, pipeline-flag
+    /// spins), in cycles. Segments are bounded by guest scheduling
+    /// events, so preemption-inflated episodes appear as many short
+    /// segments plus the telltale long tail. `None` (and zero cost)
+    /// unless spin-episode telemetry is enabled.
+    pub spin_episodes: Option<QuantileHist>,
     /// Time the VM finished its (finite) program, if it has.
     pub finished_at: Option<Cycles>,
 }
@@ -78,7 +85,22 @@ impl GuestStats {
             barriers_completed: 0,
             lock_acquisitions: 0,
             holder_preemptions: 0,
+            spin_episodes: None,
             finished_at: None,
+        }
+    }
+
+    /// Spin-episode duration distribution, if telemetry is enabled.
+    pub fn spin_episodes(&self) -> Option<&QuantileHist> {
+        self.spin_episodes.as_ref()
+    }
+
+    /// Record one contiguous spin segment of `dur` cycles. No-op (one
+    /// branch) unless spin-episode telemetry is enabled.
+    #[inline]
+    pub fn note_spin(&mut self, dur: Cycles) {
+        if let Some(h) = self.spin_episodes.as_mut() {
+            h.observe(dur.as_u64() as f64);
         }
     }
 

@@ -26,7 +26,7 @@
 use asman_guest::{Effects, GuestKernel, GuestWork, Vcrd, VcrdUpdate};
 use asman_sim::audit::{OracleQueue, SimQueue};
 use asman_sim::flight::{CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
-use asman_sim::registry::MetricsRegistry;
+use asman_sim::registry::{MetricsRegistry, QuantileHist};
 use asman_sim::{merge_streams, Cycles, EventQueue, SimRng, TraceBuffer};
 
 use crate::config::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
@@ -73,6 +73,14 @@ struct Vcpu {
     blocked_since: Option<Cycles>,
     /// Blocked time accumulated since the last credit assignment.
     blocked_accum: Cycles,
+    /// When the VCPU last became runnable via a wake delivery. Stamped
+    /// only while scheduler-latency telemetry is enabled; consumed by
+    /// the next dispatch (wakeup→dispatch latency).
+    wake_at: Option<Cycles>,
+    /// When the VCPU was last involuntarily preempted. Stamped only
+    /// while scheduler-latency telemetry is enabled; consumed by the
+    /// next dispatch (preemption-hold duration).
+    preempt_at: Option<Cycles>,
     /// Position in `assigned`'s runqueue while Runnable; `NOT_QUEUED`
     /// otherwise. Keeps dequeues O(1) instead of a linear scan.
     runq_pos: usize,
@@ -239,6 +247,10 @@ pub struct Machine<Q: SimQueue<Ev> = EventQueue<Ev>> {
     /// [`Machine::effective_pcpus`] but never changes engine timing, so
     /// arming it cannot perturb a host's event stream.
     derate_pct: u32,
+    /// Scheduler-latency telemetry (wakeup→dispatch, preemption-hold).
+    /// `None` by default: the stamp sites then cost a single branch and
+    /// no VCPU timestamps are ever taken, so artifacts are unchanged.
+    lat: Option<Box<SchedLatency>>,
     /// Invariant-auditor state (shadow ledgers, injected mutations).
     /// Costs nothing unless the `audit` feature is compiled in.
     #[cfg(feature = "audit")]
@@ -281,6 +293,19 @@ pub struct PerfSnapshot {
     pub wall: std::time::Duration,
     /// `events / wall`, or 0 if no time has been recorded.
     pub events_per_sec: f64,
+}
+
+/// Scheduler-latency distributions, observed purely from existing state
+/// transitions (no extra events, no RNG draws), so enabling them cannot
+/// perturb the simulation. Durations are in cycles.
+#[derive(Clone, Debug, Default)]
+pub struct SchedLatency {
+    /// Wake delivery (Blocked→Runnable) to the dispatch that next put
+    /// the VCPU on a PCPU.
+    pub wake_to_dispatch: QuantileHist,
+    /// Involuntary preemption (Running→Runnable) to the dispatch that
+    /// got the VCPU back on a PCPU.
+    pub preempt_hold: QuantileHist,
 }
 
 /// Cumulative telemetry counters of one resident VM, as the cluster
@@ -374,6 +399,8 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                     skew: Cycles::ZERO,
                     blocked_since: None,
                     blocked_accum: Cycles::ZERO,
+                    wake_at: None,
+                    preempt_at: None,
                     runq_pos,
                 });
             }
@@ -431,6 +458,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             scratch_occupied: Vec::new(),
             adopted_streams: Vec::new(),
             derate_pct: 0,
+            lat: None,
             cfg,
         };
         // Initial credit: one assignment interval's worth, so the first
@@ -706,13 +734,49 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         &self.flight
     }
 
+    /// Start scheduler-latency telemetry: wakeup→dispatch and
+    /// preemption-hold histograms in the VMM, spin-episode duration
+    /// histograms in every guest kernel. Off by default; the telemetry
+    /// reads only existing state transitions (no events, no RNG), so
+    /// enabling it never changes simulation results — only the exported
+    /// metrics gain `hv.lat.*` / `vm*.guest.spin_episode_cycles`.
+    pub fn enable_sched_latency(&mut self) {
+        self.lat = Some(Box::default());
+        for vm in &mut self.vms {
+            vm.kernel.enable_spin_episodes();
+        }
+    }
+
+    /// Scheduler-latency distributions, if telemetry is enabled.
+    pub fn sched_latency(&self) -> Option<&SchedLatency> {
+        self.lat.as_deref()
+    }
+
+    /// VCPUs currently in the Runnable state (waiting in a runqueue).
+    /// Side-effect free, for barrier-time telemetry snapshots.
+    pub fn runnable_vcpus(&self) -> usize {
+        self.vcpus
+            .iter()
+            .filter(|v| v.state == VState::Runnable)
+            .count()
+    }
+
     /// Record a cluster-layer event (fault injection, migration
     /// abort/retry, evacuation) into this host's flight stream at the
     /// current simulated time. No-op unless the recorder wants the
     /// event's category, like every other record site.
     pub fn record_cluster_event(&mut self, ev: FlightEv) {
+        self.record_cluster_event_at(self.now, ev);
+    }
+
+    /// Record a cluster-layer event at an explicit timestamp — e.g. a
+    /// migration commit stamped at the end of its stop-and-copy pause,
+    /// which lies beyond the host's current epoch-boundary `now`. The
+    /// final [`merge_streams`] sort restores global time order, so a
+    /// slightly out-of-order buffer here is harmless.
+    pub fn record_cluster_event_at(&mut self, t: Cycles, ev: FlightEv) {
         if self.flight.wants(ev.cat()) {
-            self.flight.record(self.now, ev);
+            self.flight.record(t, ev);
         }
     }
 
@@ -767,6 +831,13 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 reg.inc(&format!("hv.flight.{}.dropped", cat.name()), dropped);
             }
         }
+        if let Some(lat) = &self.lat {
+            // P² state cannot be re-observed, so the histograms are
+            // installed wholesale. Only present when telemetry is on,
+            // keeping default artifacts byte-identical.
+            reg.set_hist("hv.lat.wake_to_dispatch_cycles", lat.wake_to_dispatch.clone());
+            reg.set_hist("hv.lat.preempt_hold_cycles", lat.preempt_hold.clone());
+        }
         for (i, vm) in self.vms.iter().enumerate() {
             let p = format!("vm{i}");
             reg.inc(&format!("{p}.dispatches"), vm.acct.dispatches.iter().sum());
@@ -791,6 +862,9 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             );
             for &(_, sample) in stats.wait_trace.samples() {
                 reg.observe(&format!("{p}.guest.wait_cycles"), sample.wait.as_u64() as f64);
+            }
+            if let Some(episodes) = stats.spin_episodes() {
+                reg.set_hist(&format!("{p}.guest.spin_episode_cycles"), episodes.clone());
             }
         }
     }
@@ -928,6 +1002,10 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             vc.parked = false;
             vc.spinning_since = None;
             vc.skew = Cycles::ZERO;
+            // Stale latency stamps must not charge the migration pause
+            // to the destination host's scheduler.
+            vc.wake_at = None;
+            vc.preempt_at = None;
             debug_assert_eq!(vc.runq_pos, NOT_QUEUED);
         }
         // Close the concurrency histogram and the VCRD-high span at the
@@ -1040,6 +1118,8 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 skew: Cycles::ZERO,
                 blocked_since: Some(self.now),
                 blocked_accum: Cycles::ZERO,
+                wake_at: None,
+                preempt_at: None,
                 runq_pos: NOT_QUEUED,
             });
         }
@@ -1764,6 +1844,9 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         self.vcpus[vcpu].epoch += 1;
         self.vcpus[vcpu].cold = true;
         self.vcpus[vcpu].state = VState::Runnable;
+        if self.lat.is_some() {
+            self.vcpus[vcpu].preempt_at = Some(self.now);
+        }
         self.trace_sched(vcpu, pcpu, SchedEventKind::Preempt);
         self.pcpus[pcpu].running = None;
         self.idle_mask |= 1u128 << pcpu;
@@ -1775,6 +1858,17 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     fn dispatch(&mut self, vcpu: usize, pcpu: usize) -> bool {
         debug_assert_eq!(self.vcpus[vcpu].state, VState::Runnable);
         debug_assert!(self.pcpus[pcpu].running.is_none());
+        if let Some(lat) = self.lat.as_deref_mut() {
+            // Stamps exist only while telemetry is on; consuming them
+            // reads state and writes histograms, nothing the scheduler
+            // or RNG can see.
+            if let Some(w) = self.vcpus[vcpu].wake_at.take() {
+                lat.wake_to_dispatch.observe(self.now.saturating_sub(w).as_u64() as f64);
+            }
+            if let Some(p) = self.vcpus[vcpu].preempt_at.take() {
+                lat.preempt_hold.observe(self.now.saturating_sub(p).as_u64() as f64);
+            }
+        }
         let vm = self.vcpus[vcpu].vm;
         let slot = self.vcpus[vcpu].slot;
         self.vcpus[vcpu].state = VState::Running;
@@ -1909,6 +2003,9 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         }
         self.vcpus[vcpu].state = VState::Runnable;
         self.vcpus[vcpu].boost = self.cfg.boost_enabled;
+        if self.lat.is_some() {
+            self.vcpus[vcpu].wake_at = Some(self.now);
+        }
         self.trace_sched(vcpu, self.vcpus[vcpu].assigned, SchedEventKind::Wake);
         // The VCPU wakes on its home PCPU (interrupt affinity): with
         // BOOST priority it preempts whatever runs there. Idle PCPUs will

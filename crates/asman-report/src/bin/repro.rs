@@ -26,6 +26,12 @@
 //! `--trace` directory. Passing `--trace DIR` alongside figure targets
 //! appends the trace bundle to the run.
 //!
+//! `series` re-runs the consolidation cluster with the telemetry layer
+//! armed and renders the epoch × metric sparkline timeline, the
+//! trailing-window Nσ anomaly pass, per-host scheduler-latency
+//! quantiles and the reaction-latency summary; `--json DIR` writes
+//! `CLUSTER_series_<policy>.json` per policy.
+//!
 //! Prints each figure's table and shape checks; `--json DIR` additionally
 //! writes the raw series as JSON artifacts.
 
@@ -55,9 +61,11 @@ struct Args {
     cluster_bench: bool,
     bench_hosts: Vec<usize>,
     bench_jobs: Vec<usize>,
+    series_window: usize,
+    series_nsigma: f64,
 }
 
-const KNOWN_TARGETS: [&str; 14] = [
+const KNOWN_TARGETS: [&str; 15] = [
     "fig1",
     "fig2",
     "fig7",
@@ -72,6 +80,7 @@ const KNOWN_TARGETS: [&str; 14] = [
     "trace",
     "audit",
     "cluster",
+    "series",
 ];
 
 fn usage() -> String {
@@ -106,6 +115,10 @@ fn usage() -> String {
          --bench-hosts L comma list of host counts for --bench (default 2,4,8)\n  \
          --bench-jobs L  comma list of worker counts for --bench\n                  \
          (default 1,2,4,8; 0 = one per core)\n  \
+         --window N      series target: trailing-window length in epochs\n                  \
+         for the anomaly pass (default 4)\n  \
+         --nsigma X      series target: flag samples more than X sigma\n                  \
+         above the trailing mean (default 3.0)\n  \
          -q, --quiet     suppress progress lines on stderr\n  \
          -h, --help      show this help",
         KNOWN_TARGETS.join(" "),
@@ -133,6 +146,8 @@ fn parse_args() -> Args {
     let mut cluster_bench = false;
     let mut bench_hosts = vec![2usize, 4, 8];
     let mut bench_jobs = vec![1usize, 2, 4, 8];
+    let mut series_window = asman_report::series::DEFAULT_WINDOW;
+    let mut series_nsigma = asman_report::series::DEFAULT_NSIGMA;
     // Comma-separated numeric list for the bench grid flags; any
     // non-numeric element exits 2 like every other malformed value.
     fn parse_list(flag: &str, v: &str) -> Vec<usize> {
@@ -244,6 +259,24 @@ fn parse_args() -> Args {
                     FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--faults {e}"))),
                 );
             }
+            "--window" => {
+                let v = it.next().unwrap_or_else(|| fail("--window needs a value"));
+                series_window = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--window `{v}` is not a number")));
+                if series_window < 1 {
+                    fail("--window must be at least 1");
+                }
+            }
+            "--nsigma" => {
+                let v = it.next().unwrap_or_else(|| fail("--nsigma needs a value"));
+                series_nsigma = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--nsigma `{v}` is not a number")));
+                if !series_nsigma.is_finite() || series_nsigma <= 0.0 {
+                    fail("--nsigma must be a positive finite number");
+                }
+            }
             "--bench" => cluster_bench = true,
             "--bench-hosts" => {
                 let v = it
@@ -321,6 +354,8 @@ fn parse_args() -> Args {
         cluster_bench,
         bench_hosts,
         bench_jobs,
+        series_window,
+        series_nsigma,
     }
 }
 
@@ -615,10 +650,22 @@ fn run_audit(args: &Args) {
     }
 }
 
+/// The policies a cluster-family target compares, from `--policy`.
+fn cluster_policies(args: &Args) -> Vec<Policy> {
+    match args.cluster_policy {
+        // A single policy is always compared against the static
+        // baseline, which anchors every shape check.
+        Some(Policy::Static) => vec![Policy::Static],
+        Some(p) => vec![Policy::Static, p],
+        None => Policy::ALL.to_vec(),
+    }
+}
+
 /// The multi-host consolidation experiment: compare placement policies
 /// on the same seeded cluster, print the table and shape checks, and —
 /// when an output directory is available — write the host-tagged
-/// flight-recorder streams of each compared policy.
+/// flight-recorder streams and migration-span cost table of each
+/// compared policy.
 fn run_cluster(args: &Args) {
     use asman_report::cluster;
     use serde::Serialize;
@@ -627,13 +674,7 @@ fn run_cluster(args: &Args) {
         run_cluster_bench(args);
         return;
     }
-    let policies = match args.cluster_policy {
-        // A single policy is always compared against the static
-        // baseline, which anchors every shape check.
-        Some(Policy::Static) => vec![Policy::Static],
-        Some(p) => vec![Policy::Static, p],
-        None => Policy::ALL.to_vec(),
-    };
+    let policies = cluster_policies(args);
     let p = cluster::ClusterParams {
         hosts: args.hosts,
         gangs: args.cluster_vms,
@@ -660,7 +701,15 @@ fn run_cluster(args: &Args) {
                 policy,
                 args.trace_cats,
                 flightrec::TRACE_CAPACITY,
+                cluster::CLUSTER_STREAM_BUDGET,
             );
+            // Migration-span cost table: derived from the merged,
+            // budgeted streams — it covers exactly what the flight
+            // artifact shows.
+            let merged = asman_sim::merge_streams(
+                streams.iter().map(|(_, events)| events.clone()).collect(),
+            );
+            let spans = flightrec::migration_spans(&merged);
             let tagged: Vec<HostStream> = streams
                 .into_iter()
                 .map(|(host, events)| HostStream { host, events })
@@ -669,9 +718,47 @@ fn run_cluster(args: &Args) {
             fs::write(&path, serde_json::to_vec(&tagged).expect("serialize"))
                 .expect("write flight streams");
             progress!("wrote {}", path.display());
+            let path = dir.join(format!("CLUSTER_spans_{}.json", policy.label()));
+            fs::write(&path, serde_json::to_vec_pretty(&spans).expect("serialize"))
+                .expect("write migration spans");
+            progress!("wrote {}", path.display());
             let path = dir.join(format!("CLUSTER_metrics_{}.json", policy.label()));
             fs::write(&path, serde_json::to_vec_pretty(&metrics).expect("serialize"))
                 .expect("write cluster metrics");
+            progress!("wrote {}", path.display());
+        }
+    }
+}
+
+/// The telemetry series report (`repro series`): the consolidation
+/// cluster with the epoch sampler and latency histograms armed. Prints
+/// the sparkline timeline, anomaly flags and reaction summary; with
+/// `--json DIR`, writes one `CLUSTER_series_<policy>.json` per policy
+/// (byte-identical for every `--jobs` value).
+fn run_series(args: &Args) {
+    use asman_report::{cluster, series};
+
+    let p = series::SeriesParams {
+        cluster: cluster::ClusterParams {
+            hosts: args.hosts,
+            gangs: args.cluster_vms,
+            epochs: args.cluster_epochs,
+            seed: args.params.seed,
+            jobs: args.params.jobs,
+            policies: cluster_policies(args),
+            faults: args.cluster_faults.clone(),
+        },
+        window: args.series_window,
+        nsigma: args.series_nsigma,
+    };
+    let rep = series::run(&p);
+    println!("{}", rep.render());
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        for o in &rep.outcomes {
+            let path = dir.join(format!("CLUSTER_series_{}.json", o.policy));
+            fs::write(&path, serde_json::to_vec_pretty(o).expect("serialize"))
+                .expect("write series json");
             progress!("wrote {}", path.display());
         }
     }
@@ -751,6 +838,7 @@ fn main() {
             "trace" => run_trace(&args),
             "audit" => run_audit(&args),
             "cluster" => run_cluster(&args),
+            "series" => run_series(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);

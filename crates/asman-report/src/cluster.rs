@@ -18,7 +18,7 @@ use asman_cluster::{
     scenario::{self, ConsolidationSpec},
     ClusterConfig, ClusterReport, Policy,
 };
-use asman_sim::{CatMask, FaultPlan, FlightEvent, MetricsRegistry};
+use asman_sim::{CatMask, FaultPlan, FlightEvent, MetricsRegistry, StreamBudget};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -58,8 +58,13 @@ impl Default for ClusterParams {
     }
 }
 
+/// Default cross-host retention budget for cluster flight captures:
+/// per-category capacities bound each host, but total memory grows
+/// linearly with host count, so the merged capture is capped too.
+pub const CLUSTER_STREAM_BUDGET: usize = 1_000_000;
+
 impl ClusterParams {
-    fn cluster_config(&self, policy: Policy) -> ClusterConfig {
+    pub(crate) fn cluster_config(&self, policy: Policy) -> ClusterConfig {
         ClusterConfig {
             policy,
             epochs: self.epochs,
@@ -72,7 +77,7 @@ impl ClusterParams {
         }
     }
 
-    fn scenario_spec(&self) -> ConsolidationSpec {
+    pub(crate) fn scenario_spec(&self) -> ConsolidationSpec {
         ConsolidationSpec {
             hosts: self.hosts,
             gangs: self.gangs,
@@ -142,14 +147,21 @@ pub fn run(p: &ClusterParams) -> ClusterExperiment {
 
 /// Re-run one policy with the flight recorder armed on every host and
 /// return the host-tagged streams plus the merged metrics registry —
-/// per-host scheduler counters prefixed `hostN.` and, when faults are
-/// armed, the cluster recovery counters. Recording does not perturb
-/// the simulation, so the run matches its digest-bearing twin.
+/// per-host scheduler counters, gauges and histograms prefixed
+/// `hostN.` and, when faults are armed, the cluster recovery counters.
+/// Recording does not perturb the simulation, so the run matches its
+/// digest-bearing twin.
+///
+/// `stream_budget` caps the *total* events retained across all hosts
+/// (per-category capacities only bound each host): streams are
+/// admitted in host order, each truncated to its time-ordered prefix
+/// once the budget runs low, with warn-once drop accounting.
 pub fn capture_flight(
     p: &ClusterParams,
     policy: Policy,
     mask: CatMask,
     capacity: usize,
+    stream_budget: usize,
 ) -> (Vec<(usize, Vec<FlightEvent>)>, MetricsRegistry) {
     let mut cluster = scenario::consolidation_cluster(p.cluster_config(policy), &p.scenario_spec());
     cluster.enable_flight(mask, capacity);
@@ -158,12 +170,19 @@ pub fn capture_flight(
     for (h, m) in cluster.hosts().iter().enumerate() {
         let mut host_reg = MetricsRegistry::new();
         m.export_metrics(&mut host_reg);
-        for (name, value) in host_reg.counters() {
-            reg.inc(&format!("host{h}.{name}"), value);
-        }
+        reg.merge_prefixed(&format!("host{h}."), &host_reg);
     }
     cluster.export_recovery_metrics(&mut reg);
-    (cluster.drain_flight(), reg)
+    let mut budget = StreamBudget::new(stream_budget);
+    let streams = cluster
+        .drain_flight()
+        .into_iter()
+        .map(|(h, mut events)| {
+            budget.admit(&mut events);
+            (h, events)
+        })
+        .collect();
+    (streams, reg)
 }
 
 impl ClusterExperiment {
@@ -426,14 +445,28 @@ mod tests {
     #[test]
     fn faulted_capture_records_fault_events_and_recovery_metrics() {
         let p = faulted();
-        let (streams, reg) = capture_flight(&p, asman_cluster::Policy::VcrdAware, CatMask::ALL, 50_000);
+        let (streams, reg) = capture_flight(
+            &p,
+            asman_cluster::Policy::VcrdAware,
+            CatMask::ALL,
+            50_000,
+            CLUSTER_STREAM_BUDGET,
+        );
         let fault_evs: Vec<&str> = streams
             .iter()
             .flat_map(|(_, evs)| evs.iter())
             .filter(|e| e.ev.cat() == asman_sim::TraceCat::Fault)
             .map(|e| e.ev.kind())
             .collect();
-        for kind in ["migrate_abort", "migrate_retry", "host_crash", "evacuate"] {
+        for kind in [
+            "migrate_prepare",
+            "migrate_copy",
+            "migrate_commit",
+            "migrate_abort",
+            "migrate_retry",
+            "host_crash",
+            "evacuate",
+        ] {
             assert!(fault_evs.contains(&kind), "flight stream missing {kind}: {fault_evs:?}");
         }
         assert!(reg.counter("cluster.migration.aborts").unwrap_or(0) >= 1);
@@ -444,6 +477,40 @@ mod tests {
         assert!(reg.counters().any(|(name, _)| name.starts_with("host0.")));
     }
 
+    /// Every attempt of a faulted run's retry chain shares the span id
+    /// minted at its first prepare, end to end through the streams.
+    #[test]
+    fn retry_chain_shares_one_span_id() {
+        use asman_sim::FlightEv;
+        let p = faulted();
+        let (streams, _) = capture_flight(
+            &p,
+            asman_cluster::Policy::VcrdAware,
+            CatMask::ALL,
+            50_000,
+            CLUSTER_STREAM_BUDGET,
+        );
+        let mut abort_span = None;
+        let mut retry_span = None;
+        let mut commit_spans = Vec::new();
+        for (_, evs) in &streams {
+            for e in evs {
+                match e.ev {
+                    FlightEv::MigrateAbort { span, .. } => abort_span = Some(span),
+                    FlightEv::MigrateRetry { span, .. } => retry_span = Some(span),
+                    FlightEv::MigrateCommit { span, .. } => commit_spans.push(span),
+                    _ => {}
+                }
+            }
+        }
+        let a = abort_span.expect("abort@0 recorded");
+        assert_eq!(retry_span, Some(a), "retry reuses the aborted attempt's span");
+        assert!(
+            commit_spans.contains(&a),
+            "the chain's commit carries the same span: {commit_spans:?}"
+        );
+    }
+
     #[test]
     fn flight_capture_tags_every_host() {
         let p = ClusterParams {
@@ -451,7 +518,8 @@ mod tests {
             jobs: 1,
             ..ClusterParams::default()
         };
-        let (streams, _) = capture_flight(&p, Policy::Static, CatMask::ALL, 50_000);
+        let (streams, _) =
+            capture_flight(&p, Policy::Static, CatMask::ALL, 50_000, CLUSTER_STREAM_BUDGET);
         assert_eq!(streams.len(), p.hosts);
         assert!(
             streams.iter().all(|(_, evs)| !evs.is_empty()),
@@ -461,5 +529,38 @@ mod tests {
             assert!(*h < p.hosts);
             assert!(evs.windows(2).all(|w| w[0].t <= w[1].t), "streams are time-ordered");
         }
+    }
+
+    /// A tiny cross-host budget truncates the capture to the cap: host
+    /// 0's stream is admitted first and later hosts get the leftovers,
+    /// so total retention never exceeds the budget.
+    #[test]
+    fn stream_budget_caps_total_capture_memory() {
+        asman_sim::trace::set_overflow_warnings(false);
+        let p = ClusterParams {
+            epochs: 2,
+            jobs: 1,
+            ..ClusterParams::default()
+        };
+        let (unbounded, _) =
+            capture_flight(&p, Policy::Static, CatMask::ALL, 50_000, CLUSTER_STREAM_BUDGET);
+        let total: usize = unbounded.iter().map(|(_, evs)| evs.len()).sum();
+        assert!(total > 100, "capture must be big enough to truncate");
+        let budget = total / 2;
+        let (capped, _) = capture_flight(&p, Policy::Static, CatMask::ALL, 50_000, budget);
+        let capped_total: usize = capped.iter().map(|(_, evs)| evs.len()).sum();
+        assert_eq!(capped_total, budget, "budget must bind exactly");
+        assert_eq!(
+            capped[0].1.len(),
+            unbounded[0].1.len().min(budget),
+            "host 0 is admitted first"
+        );
+        for (h, evs) in &capped {
+            assert!(
+                evs.iter().zip(unbounded[*h].1.iter()).all(|(a, b)| a.t == b.t),
+                "truncation keeps each stream's time-ordered prefix"
+            );
+        }
+        asman_sim::trace::set_overflow_warnings(true);
     }
 }

@@ -14,7 +14,7 @@
 //! doubles as a determinism cross-check and refuses to report a speedup
 //! obtained by computing something different.
 
-use asman_cluster::{scenario, Cluster, ClusterConfig, Policy};
+use asman_cluster::{scenario, Cluster, ClusterConfig, EpochProfile, Policy};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -69,6 +69,22 @@ pub struct BenchCell {
     /// `epochs_per_sec` relative to this row's `jobs = 1` cell
     /// (`1.0` when this is the baseline).
     pub speedup_vs_jobs1: f64,
+    /// Parallel host-advance wall seconds of the median run, summed
+    /// over epochs.
+    pub parallel_wall_secs: f64,
+    /// Worker-idle time at the epoch barrier of the median run, summed
+    /// over epochs (`jobs × parallel_wall − worker_busy` per epoch).
+    pub barrier_stall_secs: f64,
+    /// Serial balancer-section wall seconds of the median run, summed
+    /// over epochs.
+    pub serial_wall_secs: f64,
+    /// Median wall-time cost of arming the telemetry layer (series
+    /// sampler + latency histograms), relative to the telemetry-off
+    /// median; floored at zero. The telemetry run's digest is asserted
+    /// equal to the telemetry-off digest before this is reported.
+    pub telemetry_overhead_pct: f64,
+    /// Per-epoch wall-time attribution of the median telemetry-off run.
+    pub profile: Vec<EpochProfile>,
 }
 
 /// The full bench artifact (`BENCH_cluster.json`).
@@ -87,9 +103,17 @@ pub struct ClusterBench {
 }
 
 /// Build-and-run one timed sample; returns (wall seconds, events,
-/// digest). Cluster construction is setup, not measurement — only
-/// `Cluster::run` is inside the clock.
-fn sample(hosts: usize, jobs: usize, epochs: u64, seed: u64) -> (f64, u64, String) {
+/// digest, per-epoch profile). Cluster construction is setup, not
+/// measurement — only `Cluster::run` is inside the clock. `telemetry`
+/// arms the series sampler and latency histograms, which must not
+/// change the digest (asserted by the caller).
+fn sample(
+    hosts: usize,
+    jobs: usize,
+    epochs: u64,
+    seed: u64,
+    telemetry: bool,
+) -> (f64, u64, String, Vec<EpochProfile>) {
     let cfg = ClusterConfig {
         policy: Policy::VcrdAware,
         epochs,
@@ -97,11 +121,16 @@ fn sample(hosts: usize, jobs: usize, epochs: u64, seed: u64) -> (f64, u64, Strin
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(cfg, scenario::uniform(hosts, seed));
+    cluster.enable_profiling();
+    if telemetry {
+        cluster.enable_series(epochs as usize);
+        cluster.enable_sched_latency();
+    }
     let t0 = std::time::Instant::now();
     let report = cluster.run();
     let wall = t0.elapsed().as_secs_f64();
     let events: u64 = cluster.hosts().iter().map(|m| m.events_processed()).sum();
-    (wall, events, digest_report(&report))
+    (wall, events, digest_report(&report), cluster.profile().to_vec())
 }
 
 /// Run the whole grid.
@@ -114,17 +143,35 @@ pub fn run(p: &BenchParams) -> ClusterBench {
         let mut baseline_rate = None;
         for &jobs in &p.jobs_grid {
             // Warmup: one full, untimed run.
-            let (_, events, digest) = sample(hosts, jobs, p.epochs, p.seed);
-            let mut walls: Vec<f64> = (0..p.samples.max(1))
+            let (_, events, digest, _) = sample(hosts, jobs, p.epochs, p.seed, false);
+            let mut timed: Vec<(f64, Vec<EpochProfile>)> = (0..p.samples.max(1))
                 .map(|_| {
-                    let (wall, ev, d) = sample(hosts, jobs, p.epochs, p.seed);
+                    let (wall, ev, d, prof) = sample(hosts, jobs, p.epochs, p.seed, false);
                     assert_eq!(ev, events, "bench runs must be deterministic");
                     assert_eq!(d, digest, "bench runs must be deterministic");
-                    wall
+                    (wall, prof)
                 })
                 .collect();
-            walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
-            let wall = walls[walls.len() / 2];
+            timed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("wall times are finite"));
+            let (wall, profile) = timed[timed.len() / 2].clone();
+            // Telemetry overhead: the same cell with the series sampler
+            // and latency histograms armed must reproduce the digest
+            // bit for bit; the wall-time delta is the telemetry cost.
+            let mut tel_walls: Vec<f64> = (0..p.samples.max(1))
+                .map(|_| {
+                    let (tw, ev, d, _) = sample(hosts, jobs, p.epochs, p.seed, true);
+                    assert_eq!(ev, events, "telemetry must not change the simulation");
+                    assert_eq!(d, digest, "telemetry must not change the report digest");
+                    tw
+                })
+                .collect();
+            tel_walls.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+            let tel_wall = tel_walls[tel_walls.len() / 2];
+            let telemetry_overhead_pct = if wall > 0.0 {
+                ((tel_wall - wall) / wall * 100.0).max(0.0)
+            } else {
+                0.0
+            };
             let epochs_per_sec = if wall > 0.0 { p.epochs as f64 / wall } else { 0.0 };
             let rate = if wall > 0.0 { events as f64 / wall } else { 0.0 };
             if jobs == 1 {
@@ -142,6 +189,7 @@ pub fn run(p: &BenchParams) -> ClusterBench {
                     "digest drift at hosts={hosts} jobs={jobs} — worker count leaked into results"
                 );
             }
+            let ns = 1e-9;
             grid.push(BenchCell {
                 hosts,
                 jobs,
@@ -155,6 +203,11 @@ pub fn run(p: &BenchParams) -> ClusterBench {
                     Some(base) if base > 0.0 => epochs_per_sec / base,
                     _ => 1.0,
                 },
+                parallel_wall_secs: profile.iter().map(|e| e.parallel_wall_ns as f64 * ns).sum(),
+                barrier_stall_secs: profile.iter().map(|e| e.barrier_stall_ns as f64 * ns).sum(),
+                serial_wall_secs: profile.iter().map(|e| e.serial_wall_ns as f64 * ns).sum(),
+                telemetry_overhead_pct,
+                profile,
             });
         }
     }
@@ -180,20 +233,46 @@ impl ClusterBench {
         .unwrap();
         writeln!(
             s,
-            "{:>6} {:>5} {:>9} {:>11} {:>14} {:>8} {:>18}",
-            "hosts", "jobs", "wall(s)", "epochs/s", "guest ev/s", "speedup", "digest"
+            "{:>6} {:>5} {:>9} {:>11} {:>14} {:>8} {:>7} {:>7} {:>6} {:>18}",
+            "hosts",
+            "jobs",
+            "wall(s)",
+            "epochs/s",
+            "guest ev/s",
+            "speedup",
+            "stall%",
+            "serial%",
+            "tel%",
+            "digest"
         )
         .unwrap();
         for c in &self.grid {
+            // Stall is idle worker-time as a share of the parallel
+            // phase's total worker-time; serial is the barrier section
+            // as a share of the whole run.
+            let worker_secs = c.parallel_wall_secs * c.effective_jobs as f64;
+            let stall_pct = if worker_secs > 0.0 {
+                c.barrier_stall_secs / worker_secs * 100.0
+            } else {
+                0.0
+            };
+            let serial_pct = if c.wall_secs_median > 0.0 {
+                c.serial_wall_secs / c.wall_secs_median * 100.0
+            } else {
+                0.0
+            };
             writeln!(
                 s,
-                "{:>6} {:>5} {:>9.4} {:>11.1} {:>14.0} {:>7.2}x {:>18}",
+                "{:>6} {:>5} {:>9.4} {:>11.1} {:>14.0} {:>7.2}x {:>6.1}% {:>6.1}% {:>5.1}% {:>18}",
                 c.hosts,
                 c.jobs,
                 c.wall_secs_median,
                 c.epochs_per_sec,
                 c.guest_events_per_sec,
                 c.speedup_vs_jobs1,
+                stall_pct,
+                serial_pct,
+                c.telemetry_overhead_pct,
                 c.digest,
             )
             .unwrap();
@@ -221,5 +300,21 @@ mod tests {
         assert_eq!(bench.grid[0].digest, bench.grid[1].digest);
         assert!(bench.grid.iter().all(|c| c.events > 0));
         assert!((bench.grid[0].speedup_vs_jobs1 - 1.0).abs() < 1e-9);
+        // Every epoch of the median run is attributed, and attribution
+        // is internally consistent (stall derives from the other two).
+        for c in &bench.grid {
+            assert_eq!(c.profile.len(), 2, "one profile row per epoch");
+            for (i, e) in c.profile.iter().enumerate() {
+                assert_eq!(e.epoch, i as u64);
+                assert_eq!(
+                    e.barrier_stall_ns,
+                    (c.effective_jobs as u64)
+                        .saturating_mul(e.parallel_wall_ns)
+                        .saturating_sub(e.worker_busy_ns)
+                );
+            }
+            assert!(c.parallel_wall_secs > 0.0);
+            assert!(c.telemetry_overhead_pct >= 0.0);
+        }
     }
 }

@@ -32,7 +32,7 @@ use asman_sim::lhp::{detect_lhp, LhpEpisode, LhpSummary};
 use asman_sim::registry::MetricsRegistry;
 use asman_sim::{Clock, Cycles};
 use asman_workloads::{NasBenchmark, NasSpec};
-use serde::Value;
+use serde::{Serialize, Value};
 
 use crate::figures::FigureParams;
 use crate::scenario::{Sched, SingleVmScenario};
@@ -106,6 +106,8 @@ impl Topo {
 // them, and LHP episode rows live in their own per-VM process.
 const TID_VMM_VCPU_BASE: u64 = 5_000;
 const TID_VMM_ROW: u64 = 4_999;
+/// Cluster migration lifecycle spans live on their own pid-0 row.
+const TID_MIG_ROW: u64 = 4_998;
 const PID_LHP_BASE: u64 = 1_000;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -193,6 +195,7 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
     // Guest thread rows discovered from the stream; named below once the
     // per-VM thread population is known.
     let mut guest_threads: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    let mut has_migrations = false;
     for e in events {
         match e.ev {
             FlightEv::LockContend { vm, thread, .. }
@@ -204,8 +207,16 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
             | FlightEv::BarrierRelease { vm, thread, .. } => {
                 guest_threads.insert((vm, thread));
             }
+            FlightEv::MigratePrepare { .. }
+            | FlightEv::MigrateCopy { .. }
+            | FlightEv::MigrateCommit { .. }
+            | FlightEv::MigrateAbort { .. }
+            | FlightEv::MigrateRetry { .. } => has_migrations = true,
             _ => {}
         }
+    }
+    if has_migrations {
+        out.push(meta_name("thread_name", 0, Some(TID_MIG_ROW), "migrations"));
     }
     for &(vm, thread) in &guest_threads {
         out.push(meta_name(
@@ -221,6 +232,8 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
     let mut running: HashMap<u32, (Cycles, u32)> = HashMap::new(); // vcpu -> (t0, pcpu)
     let mut spinning: HashMap<(u32, u32), (Cycles, u32)> = HashMap::new(); // (vm,thread) -> (t0, lock)
     let mut holding: HashMap<(u32, u32, u32), Cycles> = HashMap::new(); // (vm,thread,lock) -> t0
+    // span id -> (t0, vm, from, to, attempt, pages); one slice per attempt.
+    let mut mig_open: HashMap<u32, (Cycles, u32, u32, u32, u32, u64)> = HashMap::new();
 
     let vcpu_label = |vcpu: u32| {
         let (vm, slot) = topo.locate(vcpu);
@@ -399,22 +412,73 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
                     obj(vec![("pct", Value::U64(pct as u64))]),
                 ));
             }
-            FlightEv::MigrateAbort { vm, attempt } => {
-                out.push(instant(
-                    format!("migration abort (attempt {attempt})"),
-                    0,
-                    TID_VMM_ROW,
-                    topo.us(t),
-                    obj(vec![("cluster_vm", Value::U64(vm as u64))]),
-                ));
+            // The migration lifecycle renders as causal duration spans:
+            // each attempt's prepare opens a slice on the migration row,
+            // closed by its commit (duration == injected pause) or abort
+            // (duration == abort penalty). The span id ties a retry
+            // chain's slices together across host streams.
+            FlightEv::MigratePrepare { span: sp, vm, from, to, attempt } => {
+                mig_open.insert(sp, (t, vm, from, to, attempt, 0));
             }
-            FlightEv::MigrateRetry { vm, attempt } => {
+            FlightEv::MigrateCopy { span: sp, pages, .. } => {
+                if let Some(o) = mig_open.get_mut(&sp) {
+                    o.5 += pages;
+                }
+            }
+            FlightEv::MigrateCommit { span: sp, vm, to, pause } => {
+                if let Some((t0, _, from, _, attempt, pages)) = mig_open.remove(&sp) {
+                    out.push(span(
+                        format!("migrate vm{vm} {from}->{to}"),
+                        0,
+                        TID_MIG_ROW,
+                        topo.us(t0),
+                        topo.us(t.saturating_sub(t0)),
+                        obj(vec![
+                            ("span", Value::U64(sp as u64)),
+                            ("attempt", Value::U64(attempt as u64)),
+                            ("pages", Value::U64(pages)),
+                            ("pause_cycles", Value::U64(pause)),
+                        ]),
+                    ));
+                }
+            }
+            FlightEv::MigrateAbort { span: sp, vm, attempt } => {
+                if let Some((t0, _, from, to, _, pages)) = mig_open.remove(&sp) {
+                    out.push(span(
+                        format!("migrate ABORT vm{vm} {from}->{to} (attempt {attempt})"),
+                        0,
+                        TID_MIG_ROW,
+                        topo.us(t0),
+                        topo.us(t.saturating_sub(t0)),
+                        obj(vec![
+                            ("span", Value::U64(sp as u64)),
+                            ("attempt", Value::U64(attempt as u64)),
+                            ("pages", Value::U64(pages)),
+                        ]),
+                    ));
+                } else {
+                    out.push(instant(
+                        format!("migration abort (attempt {attempt})"),
+                        0,
+                        TID_VMM_ROW,
+                        topo.us(t),
+                        obj(vec![
+                            ("span", Value::U64(sp as u64)),
+                            ("cluster_vm", Value::U64(vm as u64)),
+                        ]),
+                    ));
+                }
+            }
+            FlightEv::MigrateRetry { span: sp, vm, attempt } => {
                 out.push(instant(
                     format!("migration retry (attempt {attempt})"),
                     0,
-                    TID_VMM_ROW,
+                    TID_MIG_ROW,
                     topo.us(t),
-                    obj(vec![("cluster_vm", Value::U64(vm as u64))]),
+                    obj(vec![
+                        ("span", Value::U64(sp as u64)),
+                        ("cluster_vm", Value::U64(vm as u64)),
+                    ]),
                 ));
             }
             FlightEv::Evacuate { vm, from, to } => {
@@ -445,6 +509,22 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
             topo.us(t0),
             topo.us(end.saturating_sub(t0)),
             Value::Null,
+        ));
+    }
+    let mut open_migs: Vec<_> = mig_open.into_iter().collect();
+    open_migs.sort_by_key(|&(sp, _)| sp);
+    for (sp, (t0, vm, from, to, attempt, pages)) in open_migs {
+        out.push(span(
+            format!("migrate vm{vm} {from}->{to} (open)"),
+            0,
+            TID_MIG_ROW,
+            topo.us(t0),
+            topo.us(end.saturating_sub(t0)),
+            obj(vec![
+                ("span", Value::U64(sp as u64)),
+                ("attempt", Value::U64(attempt as u64)),
+                ("pages", Value::U64(pages)),
+            ]),
         ));
     }
 
@@ -486,6 +566,91 @@ fn chrome_trace(events: &[FlightEvent], episodes: &[LhpEpisode], topo: &Topo, en
         ("displayTimeUnit", Value::Str("ms".to_string())),
         ("traceEvents", Value::Array(out)),
     ])
+}
+
+// -------------------------------------------------- migration cost table
+
+/// Per-span cost row of one causal migration chain: everything the
+/// cluster charged for it, summed over attempts. Derived entirely from
+/// the flight stream, so the table covers exactly what the trace shows
+/// (events dropped at capacity drop out of both together).
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationSpan {
+    /// Causal span id minted at the chain's first `prepare`.
+    pub span: u32,
+    /// Cluster-wide VM id being moved.
+    pub vm: u32,
+    /// Source host of the first attempt.
+    pub from: u32,
+    /// Destination host.
+    pub to: u32,
+    /// Attempts observed (1 = committed first try).
+    pub attempts: u32,
+    /// Dirty pages copied, summed over every attempt.
+    pub pages_copied: u64,
+    /// Guest-visible pause of the committing attempt, in cycles.
+    pub pause_cycles: u64,
+    /// Guest-visible dead time of failed attempts, in cycles.
+    pub penalty_cycles: u64,
+    /// Whether the chain eventually committed.
+    pub committed: bool,
+    /// Timestamp of the first `prepare`, in cycles.
+    pub start: u64,
+    /// Timestamp of the final `commit`/`abort`, in cycles.
+    pub end: u64,
+}
+
+/// Fold a merged (or per-host) event stream into its migration cost
+/// table, one row per span id, in span order. Abort penalties re-derive
+/// from the stream's timestamps: each abort is stamped at the end of
+/// its penalty window, so `abort.t - prepare.t` is the dead time.
+pub fn migration_spans(events: &[FlightEvent]) -> Vec<MigrationSpan> {
+    use std::collections::BTreeMap;
+    let mut spans: BTreeMap<u32, MigrationSpan> = BTreeMap::new();
+    let mut last_prepare: BTreeMap<u32, Cycles> = BTreeMap::new();
+    for e in events {
+        match e.ev {
+            FlightEv::MigratePrepare { span, vm, from, to, attempt } => {
+                let s = spans.entry(span).or_insert(MigrationSpan {
+                    span,
+                    vm,
+                    from,
+                    to,
+                    attempts: 0,
+                    pages_copied: 0,
+                    pause_cycles: 0,
+                    penalty_cycles: 0,
+                    committed: false,
+                    start: e.t.as_u64(),
+                    end: e.t.as_u64(),
+                });
+                s.attempts = s.attempts.max(attempt);
+                last_prepare.insert(span, e.t);
+            }
+            FlightEv::MigrateCopy { span, pages, .. } => {
+                if let Some(s) = spans.get_mut(&span) {
+                    s.pages_copied += pages;
+                }
+            }
+            FlightEv::MigrateCommit { span, pause, .. } => {
+                if let Some(s) = spans.get_mut(&span) {
+                    s.pause_cycles = pause;
+                    s.committed = true;
+                    s.end = e.t.as_u64();
+                }
+            }
+            FlightEv::MigrateAbort { span, .. } => {
+                if let Some(s) = spans.get_mut(&span) {
+                    if let Some(&t0) = last_prepare.get(&span) {
+                        s.penalty_cycles += e.t.saturating_sub(t0).as_u64();
+                    }
+                    s.end = e.t.as_u64();
+                }
+            }
+            _ => {}
+        }
+    }
+    spans.into_values().collect()
 }
 
 // ------------------------------------------------------------ the bundle
@@ -836,6 +1001,97 @@ mod tests {
             "merged stream must stay time-ordered past capacity"
         );
         asman_sim::trace::set_overflow_warnings(true);
+    }
+
+    /// One abort-then-commit retry chain: the chrome trace must carry
+    /// one slice per attempt on the migration row (abort slice spans
+    /// the penalty window, commit slice spans the pause), and the cost
+    /// table must fold both attempts into one span row.
+    #[test]
+    fn migration_chain_renders_spans_and_cost_table() {
+        let clk = Clock::default();
+        let t = |ms: u64| clk.ms(ms);
+        let sp = 7u32;
+        let evs = vec![
+            FlightEvent {
+                t: t(1),
+                ev: FlightEv::MigratePrepare { span: sp, vm: 3, from: 0, to: 2, attempt: 1 },
+            },
+            FlightEvent { t: t(1), ev: FlightEv::MigrateCopy { span: sp, vm: 3, pages: 100 } },
+            FlightEvent { t: t(3), ev: FlightEv::MigrateAbort { span: sp, vm: 3, attempt: 1 } },
+            FlightEvent { t: t(5), ev: FlightEv::MigrateRetry { span: sp, vm: 3, attempt: 2 } },
+            FlightEvent {
+                t: t(5),
+                ev: FlightEv::MigratePrepare { span: sp, vm: 3, from: 0, to: 2, attempt: 2 },
+            },
+            FlightEvent { t: t(5), ev: FlightEv::MigrateCopy { span: sp, vm: 3, pages: 40 } },
+            FlightEvent {
+                t: t(6),
+                ev: FlightEv::MigrateCommit {
+                    span: sp,
+                    vm: 3,
+                    to: 2,
+                    pause: clk.ms(1).as_u64(),
+                },
+            },
+        ];
+        let doc = chrome_trace(&evs, &[], &topo2(), t(10));
+        let events = events_of(&doc);
+        let slices: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                *field(e, "ph") == Value::Str("X".to_string())
+                    && *field(e, "tid") == Value::U64(TID_MIG_ROW)
+            })
+            .collect();
+        assert_eq!(slices.len(), 2, "one slice per attempt");
+        let abort = slices
+            .iter()
+            .find(|s| *field(s, "name") == Value::Str("migrate ABORT vm3 0->2 (attempt 1)".into()))
+            .expect("abort slice");
+        let Value::F64(dur) = field(abort, "dur") else { panic!("dur not f64") };
+        assert!((dur - 2_000.0).abs() < 1.0, "abort spans 1ms..3ms = 2000us, got {dur}");
+        assert!(slices
+            .iter()
+            .any(|s| *field(s, "name") == Value::Str("migrate vm3 0->2".into())));
+        assert!(
+            events.iter().any(|e| *field(e, "ph") == Value::Str("M".into())
+                && format!("{:?}", field(e, "args")).contains("migrations")),
+            "migration row must be named"
+        );
+
+        let table = migration_spans(&evs);
+        assert_eq!(table.len(), 1);
+        let row = &table[0];
+        assert_eq!((row.span, row.vm, row.from, row.to), (sp, 3, 0, 2));
+        assert_eq!(row.attempts, 2);
+        assert_eq!(row.pages_copied, 140, "pages sum over attempts");
+        assert_eq!(row.pause_cycles, clk.ms(1).as_u64());
+        assert_eq!(row.penalty_cycles, t(3).saturating_sub(t(1)).as_u64());
+        assert!(row.committed);
+        assert_eq!((row.start, row.end), (t(1).as_u64(), t(6).as_u64()));
+    }
+
+    /// A prepare cut off by the recording window closes at `end` and an
+    /// uncommitted chain reads as such in the cost table.
+    #[test]
+    fn open_migration_span_closes_at_window_end() {
+        let clk = Clock::default();
+        let evs = vec![FlightEvent {
+            t: clk.ms(2),
+            ev: FlightEv::MigratePrepare { span: 0, vm: 1, from: 1, to: 0, attempt: 1 },
+        }];
+        let doc = chrome_trace(&evs, &[], &topo2(), clk.ms(4));
+        let open = events_of(&doc)
+            .iter()
+            .find(|e| *field(e, "name") == Value::Str("migrate vm1 1->0 (open)".into()))
+            .expect("open slice");
+        let Value::F64(dur) = field(open, "dur") else { panic!("dur not f64") };
+        assert!((dur - 2_000.0).abs() < 1.0);
+        let table = migration_spans(&evs);
+        assert_eq!(table.len(), 1);
+        assert!(!table[0].committed);
+        assert_eq!(table[0].pause_cycles, 0);
     }
 
     #[test]

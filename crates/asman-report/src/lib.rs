@@ -31,6 +31,7 @@ pub mod jbb;
 pub mod logger;
 pub mod multivm;
 pub mod scenario;
+pub mod series;
 pub mod timeline;
 pub mod window;
 

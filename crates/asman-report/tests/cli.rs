@@ -130,6 +130,41 @@ fn usage_documents_bench_flags() {
 }
 
 #[test]
+fn bad_series_flags_exit_two() {
+    assert_usage_error(&["series", "--window"], "--window needs a value");
+    assert_usage_error(&["series", "--window", "banana"], "`banana` is not a number");
+    assert_usage_error(&["series", "--window", "0"], "at least 1");
+    assert_usage_error(&["series", "--nsigma"], "--nsigma needs a value");
+    assert_usage_error(&["series", "--nsigma", "3x"], "`3x` is not a number");
+    assert_usage_error(&["series", "--nsigma", "0"], "positive finite");
+    assert_usage_error(&["series", "--nsigma", "-2.5"], "positive finite");
+}
+
+#[test]
+fn usage_documents_series_target_and_flags() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("series"), "usage lists the series target");
+    for flag in ["--window", "--nsigma"] {
+        assert!(stdout.contains(flag), "usage documents {flag}");
+    }
+}
+
+#[test]
+fn series_runs_and_renders_the_timeline() {
+    let out = repro(&["series", "--epochs", "2", "--policy", "static", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "series must run\nstderr: {}",
+        stderr(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Cluster series"), "series prints its header:\n{stdout}");
+    assert!(stdout.contains("reaction:"), "series prints the reaction line:\n{stdout}");
+}
+
+#[test]
 fn bad_fault_plans_exit_two() {
     assert_usage_error(&["cluster", "--faults"], "--faults needs a plan");
     assert_usage_error(&["cluster", "--faults", "explode@3"], "unknown fault");

@@ -7,16 +7,20 @@
 //!
 //! * the serialized [`ClusterExperiment`] (every policy's full
 //!   `ClusterReport` plus its digest),
-//! * the merged flight-recorder streams of every host, and
+//! * the merged flight-recorder streams of every host,
 //! * the merged metrics registries (per-host scheduler counters and
-//!   the cluster recovery counters).
+//!   the cluster recovery counters),
+//! * the telemetry series report (`repro series`: epoch samples,
+//!   anomaly flags, latency quantiles), and
+//! * the migration-span cost table derived from the flight streams.
 //!
 //! Any divergence means worker scheduling leaked into simulation
 //! results — the one thing the epoch-barrier design must never allow.
 
 use asman_cluster::Policy;
-use asman_report::cluster::{self, ClusterParams};
-use asman_sim::{CatMask, FaultPlan};
+use asman_report::cluster::{self, ClusterParams, CLUSTER_STREAM_BUDGET};
+use asman_report::{flightrec, series};
+use asman_sim::{merge_streams, CatMask, FaultPlan};
 
 const JOBS_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -45,7 +49,13 @@ fn experiment_json(jobs: usize, faults: FaultPlan) -> String {
 /// Flight streams and metrics for one (jobs, policy) cell, rendered to
 /// comparable bytes.
 fn flight_and_metrics(jobs: usize, policy: Policy, faults: FaultPlan) -> (Vec<u8>, Vec<String>) {
-    let (streams, metrics) = cluster::capture_flight(&params(jobs, faults), policy, CatMask::ALL, 100_000);
+    let (streams, metrics) = cluster::capture_flight(
+        &params(jobs, faults),
+        policy,
+        CatMask::ALL,
+        100_000,
+        CLUSTER_STREAM_BUDGET,
+    );
     let flight = serde_json::to_vec(&streams.into_iter().collect::<Vec<_>>()).expect("serialize");
     let counters: Vec<String> = metrics
         .counters()
@@ -80,6 +90,59 @@ fn faulted_experiment_bit_identical_across_jobs() {
             baseline,
             experiment_json(*jobs, faulted_plan()),
             "faulted cluster experiment differs between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+/// Serialized telemetry series report for one jobs count.
+fn series_json(jobs: usize, faults: FaultPlan) -> String {
+    let rep = series::run(&series::SeriesParams {
+        cluster: params(jobs, faults),
+        ..series::SeriesParams::default()
+    });
+    String::from_utf8(serde_json::to_vec_pretty(&rep).expect("serialize")).expect("utf8")
+}
+
+#[test]
+fn series_artifact_bit_identical_across_jobs_clean_and_faulted() {
+    for faults in [FaultPlan::empty(), faulted_plan()] {
+        let baseline = series_json(1, faults.clone());
+        assert!(baseline.contains("\"samples\""));
+        for jobs in &JOBS_SWEEP[1..] {
+            assert_eq!(
+                baseline,
+                series_json(*jobs, faults.clone()),
+                "series artifact differs between jobs=1 and jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// Migration-span cost table for one (jobs, policy) cell.
+fn spans_json(jobs: usize, policy: Policy, faults: FaultPlan) -> Vec<u8> {
+    let (streams, _) = cluster::capture_flight(
+        &params(jobs, faults),
+        policy,
+        CatMask::ALL,
+        100_000,
+        CLUSTER_STREAM_BUDGET,
+    );
+    let merged = merge_streams(streams.into_iter().map(|(_, events)| events).collect());
+    serde_json::to_vec_pretty(&flightrec::migration_spans(&merged)).expect("serialize")
+}
+
+#[test]
+fn migration_span_table_bit_identical_across_jobs() {
+    let spans_1 = spans_json(1, Policy::VcrdAware, faulted_plan());
+    assert!(
+        String::from_utf8_lossy(&spans_1).contains("\"span\""),
+        "faulted vcrd-aware run must produce migration spans"
+    );
+    for jobs in &JOBS_SWEEP[1..] {
+        assert_eq!(
+            spans_1,
+            spans_json(*jobs, Policy::VcrdAware, faulted_plan()),
+            "span cost table differs between jobs=1 and jobs={jobs}"
         );
     }
 }

@@ -117,11 +117,19 @@ impl CatMask {
     }
 
     /// Parse a comma-separated category list (`"sched,lock,futex"`).
-    /// Returns `None` if any name is unknown.
+    ///
+    /// Strict: returns `None` for an unknown name, an empty name (so
+    /// `""`, `"sched,"` and `"a,,b"` are all rejected), or a repeated
+    /// category — each of those almost always signals a typo'd
+    /// invocation, and silently collapsing it would mask the mistake.
     pub fn parse(list: &str) -> Option<CatMask> {
         let mut m = CatMask::NONE;
-        for part in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            m = m.with(TraceCat::from_name(part)?);
+        for part in list.split(',').map(str::trim) {
+            let cat = TraceCat::from_name(part)?;
+            if m.contains(cat) {
+                return None;
+            }
+            m = m.with(cat);
         }
         Some(m)
     }
@@ -336,8 +344,47 @@ pub enum FlightEv {
         /// Advertised capacity reduction in percent.
         pct: u32,
     },
+    /// A live migration attempt began: the causal span id is minted
+    /// here (attempt 1) or inherited from the chain (retries), and
+    /// threads through every copy/commit/abort/retry event so
+    /// exporters can reconstruct the prepare→…→commit|abort lifetime.
+    MigratePrepare {
+        /// Causal span id shared by the whole migration chain.
+        span: u32,
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+        /// Attempt number (1-based; >1 for retries).
+        attempt: u32,
+    },
+    /// The stop-and-copy page transfer of one migration attempt.
+    MigrateCopy {
+        /// Causal span id shared by the whole migration chain.
+        span: u32,
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// Dirty pages copied by this attempt.
+        pages: u64,
+    },
+    /// A live migration committed: the VM restarts on the destination.
+    MigrateCommit {
+        /// Causal span id shared by the whole migration chain.
+        span: u32,
+        /// Cluster-wide VM id.
+        vm: u32,
+        /// Destination host.
+        to: u32,
+        /// Guest-visible pause injected by the final stop-and-copy,
+        /// in cycles.
+        pause: u64,
+    },
     /// A live migration aborted mid-copy and rolled back to the source.
     MigrateAbort {
+        /// Causal span id shared by the whole migration chain.
+        span: u32,
         /// Cluster-wide VM id.
         vm: u32,
         /// Attempt number (1-based) that aborted.
@@ -345,6 +392,8 @@ pub enum FlightEv {
     },
     /// An aborted migration was re-attempted after backoff.
     MigrateRetry {
+        /// Causal span id shared by the whole migration chain.
+        span: u32,
         /// Cluster-wide VM id.
         vm: u32,
         /// Attempt number (1-based) of the retry.
@@ -387,6 +436,9 @@ impl FlightEv {
             FlightEv::BarrierArrive { .. } | FlightEv::BarrierRelease { .. } => TraceCat::Barrier,
             FlightEv::HostCrash { .. }
             | FlightEv::HostDerate { .. }
+            | FlightEv::MigratePrepare { .. }
+            | FlightEv::MigrateCopy { .. }
+            | FlightEv::MigrateCommit { .. }
             | FlightEv::MigrateAbort { .. }
             | FlightEv::MigrateRetry { .. }
             | FlightEv::Evacuate { .. } => TraceCat::Fault,
@@ -416,6 +468,9 @@ impl FlightEv {
             FlightEv::BarrierRelease { .. } => "barrier_release",
             FlightEv::HostCrash { .. } => "host_crash",
             FlightEv::HostDerate { .. } => "host_derate",
+            FlightEv::MigratePrepare { .. } => "migrate_prepare",
+            FlightEv::MigrateCopy { .. } => "migrate_copy",
+            FlightEv::MigrateCommit { .. } => "migrate_commit",
             FlightEv::MigrateAbort { .. } => "migrate_abort",
             FlightEv::MigrateRetry { .. } => "migrate_retry",
             FlightEv::Evacuate { .. } => "evacuate",
@@ -646,6 +701,68 @@ pub fn merge_streams(streams: Vec<Vec<FlightEvent>>) -> Vec<FlightEvent> {
     all
 }
 
+/// A cross-stream retention budget for multi-host captures.
+///
+/// Per-category recorder capacities bound each *host*, but a cluster
+/// capture holds every host's drained stream at once, so total memory
+/// grows linearly with host count. [`StreamBudget::admit`] truncates
+/// each stream to whatever budget remains (keeping its time-ordered
+/// prefix), counts the drops, and emits the usual warn-once stderr
+/// notice on the first truncation. Streams are admitted serially in
+/// host order, so the result is deterministic for any `--jobs` count.
+#[derive(Clone, Debug)]
+pub struct StreamBudget {
+    capacity: usize,
+    remaining: usize,
+    dropped: u64,
+    warned: bool,
+}
+
+impl StreamBudget {
+    /// A budget of `capacity` events across all admitted streams.
+    pub fn new(capacity: usize) -> Self {
+        StreamBudget {
+            capacity,
+            remaining: capacity,
+            dropped: 0,
+            warned: false,
+        }
+    }
+
+    /// Truncate `events` to the remaining budget, counting the excess
+    /// as dropped. The first truncation latches a single warning.
+    pub fn admit(&mut self, events: &mut Vec<FlightEvent>) {
+        if events.len() > self.remaining {
+            self.dropped += (events.len() - self.remaining) as u64;
+            events.truncate(self.remaining);
+            if !self.warned {
+                self.warned = true;
+                overflow_warning(&format!(
+                    "cluster flight-stream budget of {} events exhausted; \
+                     further host events are counted but not retained",
+                    self.capacity
+                ));
+            }
+        }
+        self.remaining -= events.len();
+    }
+
+    /// Events admitted so far.
+    pub fn retained(&self) -> usize {
+        self.capacity - self.remaining
+    }
+
+    /// Events truncated because the budget ran out.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the once-per-budget truncation warning has fired.
+    pub fn warned(&self) -> bool {
+        self.warned
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,6 +920,52 @@ mod tests {
         assert!(m.contains(TraceCat::Futex));
         assert!(!m.contains(TraceCat::Credit));
         assert!(CatMask::parse("sched,bogus").is_none());
-        assert!(CatMask::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn cat_mask_parse_rejects_empty_duplicate_unknown() {
+        // Empty lists and empty names are rejected, not collapsed.
+        assert_eq!(CatMask::parse(""), None);
+        assert_eq!(CatMask::parse("  "), None);
+        assert_eq!(CatMask::parse("sched,"), None);
+        assert_eq!(CatMask::parse("sched,,lock"), None);
+        // Duplicates signal a typo'd invocation.
+        assert_eq!(CatMask::parse("sched,sched"), None);
+        assert_eq!(CatMask::parse("lock, futex, lock"), None);
+        // Unknown names keep failing as before.
+        assert_eq!(CatMask::parse("nope"), None);
+        // A valid single name still parses.
+        assert_eq!(CatMask::parse("fault"), Some(CatMask::only(TraceCat::Fault)));
+    }
+
+    #[test]
+    fn stream_budget_truncates_and_warns_exactly_once() {
+        crate::trace::set_overflow_warnings(false);
+        let mk = |n: u64| -> Vec<FlightEvent> {
+            (0..n).map(|i| FlightEvent { t: Cycles(i), ev: dispatch(0) }).collect()
+        };
+        let mut budget = StreamBudget::new(5);
+        assert!(!budget.warned());
+
+        let mut a = mk(3);
+        budget.admit(&mut a);
+        assert_eq!(a.len(), 3, "within budget: untouched");
+        assert!(!budget.warned(), "no truncation yet");
+
+        let mut b = mk(4);
+        budget.admit(&mut b);
+        assert_eq!(b.len(), 2, "truncated to the remaining budget");
+        assert_eq!(budget.dropped(), 2);
+        assert!(budget.warned(), "first truncation latches the warning");
+
+        // Further overflowing admits keep counting but the latch stays
+        // set — the warning fires exactly once per budget.
+        let mut c = mk(7);
+        budget.admit(&mut c);
+        assert!(c.is_empty(), "budget exhausted: everything dropped");
+        assert_eq!(budget.dropped(), 9);
+        assert_eq!(budget.retained(), 5);
+        assert!(budget.warned());
+        crate::trace::set_overflow_warnings(true);
     }
 }

@@ -29,6 +29,9 @@
 //!   stream so faults never perturb workload draws.
 //! * [`registry`] — a unified registry of named counters, gauges and
 //!   quantile histograms serialized into per-run artifacts.
+//! * [`telemetry`] — deterministic per-epoch time-series sampling
+//!   ([`SeriesSampler`]) with trailing-window Nσ anomaly detection,
+//!   captured in the cluster driver's serial barrier.
 //! * [`audit`] — the [`SimQueue`] trait shared by the optimized queue
 //!   and the naive [`OracleQueue`] used for differential auditing.
 //! * [`exec`] — the [`SweepRunner`] scoped-thread pool that executes
@@ -47,6 +50,7 @@ pub mod quantile;
 pub mod registry;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -54,11 +58,16 @@ pub use audit::{OracleQueue, SimQueue};
 pub use event::{EventQueue, ScheduledAt};
 pub use exec::SweepRunner;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
-pub use flight::{merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
+pub use flight::{
+    merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, StreamBudget, TraceCat,
+};
 pub use lhp::{check_episode_invariants, detect_lhp, LhpEpisode, LhpSummary};
 pub use quantile::P2Quantile;
 pub use registry::{MetricsRegistry, QuantileHist};
 pub use rng::SimRng;
 pub use stats::{Log2Histogram, OnlineStats};
+pub use telemetry::{
+    detect_anomalies, sparkline, Anomaly, EpochSample, HostMetric, HostSample, SeriesSampler,
+};
 pub use time::{Clock, Cycles};
 pub use trace::TraceBuffer;

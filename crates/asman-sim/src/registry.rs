@@ -134,6 +134,36 @@ impl MetricsRegistry {
         self.hists.entry(name.to_string()).or_default().observe(x);
     }
 
+    /// Install a fully-built histogram under `name` (last write wins).
+    ///
+    /// P² estimators cannot be merged observation-by-observation, so
+    /// layers that already own a [`QuantileHist`] (e.g. the hypervisor's
+    /// scheduler-latency telemetry) export it wholesale instead of
+    /// replaying samples.
+    pub fn set_hist(&mut self, name: &str, hist: QuantileHist) {
+        self.hists.insert(name.to_string(), hist);
+    }
+
+    /// Merge every metric of `other` into `self` under `prefix`.
+    ///
+    /// Counters accumulate (a name collision adds, matching [`Self::inc`]),
+    /// gauges overwrite (last write wins, matching [`Self::gauge`]), and
+    /// histograms are cloned wholesale — P² quantile state cannot be
+    /// re-merged, so a histogram name collision is also last-write-wins.
+    /// Used to fold per-host registries into one cluster-wide dump
+    /// (`host0.`, `host1.`, … prefixes keep the namespaces disjoint).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            self.inc(&format!("{prefix}{name}"), *value);
+        }
+        for (name, value) in &other.gauges {
+            self.gauge(&format!("{prefix}{name}"), *value);
+        }
+        for (name, hist) in &other.hists {
+            self.set_hist(&format!("{prefix}{name}"), hist.clone());
+        }
+    }
+
     /// Current value of a counter, if registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
@@ -244,6 +274,136 @@ mod tests {
             panic!("histograms must be an object");
         };
         assert_eq!(hists.len(), 1);
+    }
+
+    #[test]
+    fn merged_registry_serializes_in_sorted_key_order() {
+        // Host registries folded in descending host order (the worst
+        // case for insertion-ordered maps) must still serialize with
+        // every section's keys sorted — the cluster metrics artifact
+        // relies on this for byte-identity across worker counts.
+        let mut host = MetricsRegistry::new();
+        host.inc("sched.dispatches", 1);
+        host.gauge("load", 0.5);
+        host.observe("lat", 2.0);
+        let mut merged = MetricsRegistry::new();
+        merged.inc("cluster.migrations", 1);
+        for h in [2usize, 0, 1] {
+            merged.merge_prefixed(&format!("host{h}."), &host);
+        }
+        let Value::Object(top) = merged.to_value() else {
+            panic!("registry must serialize to an object");
+        };
+        for (section, value) in &top {
+            let Value::Object(entries) = value else {
+                panic!("{section} must be an object");
+            };
+            let names: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            let mut sorted = names.clone();
+            sorted.sort_unstable();
+            assert_eq!(names, sorted, "{section} keys must serialize sorted");
+        }
+        let Value::Object(counters) = &top[0].1 else { unreachable!() };
+        assert_eq!(
+            counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec![
+                "cluster.migrations",
+                "host0.sched.dispatches",
+                "host1.sched.dispatches",
+                "host2.sched.dispatches"
+            ]
+        );
+    }
+
+    #[test]
+    fn quantiles_at_tiny_sample_counts() {
+        // n = 0: everything is None.
+        let empty = QuantileHist::default();
+        for q in [0.50, 0.90, 0.99] {
+            assert_eq!(empty.quantile(q), None, "empty hist must estimate nothing");
+        }
+        assert_eq!(empty.mean(), None);
+
+        // n = 1: every quantile is the single observation.
+        let mut one = QuantileHist::default();
+        one.observe(7.0);
+        for q in [0.50, 0.90, 0.99] {
+            assert_eq!(one.quantile(q), Some(7.0), "q={q} of a single sample");
+        }
+
+        // n = 2: estimates must stay inside [min, max].
+        let mut two = QuantileHist::default();
+        two.observe(1.0);
+        two.observe(9.0);
+        for q in [0.50, 0.90, 0.99] {
+            let v = two.quantile(q).unwrap();
+            assert!((1.0..=9.0).contains(&v), "q={q} estimate {v} outside [1, 9]");
+        }
+
+        // n = 4: still below the 5-marker P² warm-up; estimates must be
+        // finite, within range, and monotone across quantiles.
+        let mut four = QuantileHist::default();
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            four.observe(x);
+        }
+        let (p50, p90, p99) = (
+            four.quantile(0.50).unwrap(),
+            four.quantile(0.90).unwrap(),
+            four.quantile(0.99).unwrap(),
+        );
+        for v in [p50, p90, p99] {
+            assert!(v.is_finite() && (2.0..=8.0).contains(&v), "estimate {v} out of range");
+        }
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone: {p50} {p90} {p99}");
+    }
+
+    #[test]
+    fn merge_prefixed_accumulates_collisions() {
+        let mut dst = MetricsRegistry::new();
+        dst.inc("host0.hits", 3);
+        dst.gauge("host0.temp", 1.0);
+
+        let mut src = MetricsRegistry::new();
+        src.inc("hits", 4);
+        src.gauge("temp", 9.5);
+        src.observe("lat", 2.0);
+        src.observe("lat", 6.0);
+
+        dst.merge_prefixed("host0.", &src);
+        assert_eq!(dst.counter("host0.hits"), Some(7), "counter collision accumulates");
+        assert_eq!(dst.gauge_value("host0.temp"), Some(9.5), "gauge collision overwrites");
+        let h = dst.hist("host0.lat").expect("hist cloned under prefix");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(4.0));
+        // The source registry is untouched.
+        assert_eq!(src.counter("hits"), Some(4));
+    }
+
+    #[test]
+    fn merge_prefixed_empty_registry_is_a_noop() {
+        let mut dst = MetricsRegistry::new();
+        dst.inc("kept", 1);
+        dst.merge_prefixed("host9.", &MetricsRegistry::new());
+        assert_eq!(dst.len(), 1);
+        assert_eq!(dst.counter("kept"), Some(1));
+
+        // And merging into an empty registry lands everything prefixed.
+        let mut src = MetricsRegistry::new();
+        src.inc("c", 2);
+        let mut fresh = MetricsRegistry::new();
+        fresh.merge_prefixed("hostA.", &src);
+        assert_eq!(fresh.counter("hostA.c"), Some(2));
+        assert_eq!(fresh.counter("c"), None, "unprefixed name must not leak");
+    }
+
+    #[test]
+    fn set_hist_installs_wholesale() {
+        let mut h = QuantileHist::default();
+        h.observe(5.0);
+        let mut r = MetricsRegistry::new();
+        r.set_hist("lat", h);
+        assert_eq!(r.hist("lat").unwrap().count(), 1);
+        assert_eq!(r.hist("lat").unwrap().quantile(0.50), Some(5.0));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Validate flight-recorder Chrome trace JSON (stdlib only).
+"""Validate telemetry artifacts (stdlib only).
 
     scripts/check_trace.py TRACE.json [TRACE.json ...]
+    scripts/check_trace.py --series CLUSTER_series_P.json [...]
+    scripts/check_trace.py --spans CLUSTER_flight_P.json [...]
 
-Checks the structural contract the Perfetto/Chrome trace-event viewer
-relies on, so CI catches exporter regressions without a browser:
+Default mode checks the structural contract the Perfetto/Chrome
+trace-event viewer relies on, so CI catches exporter regressions
+without a browser:
 
 * top level is an object with a non-empty ``traceEvents`` list and a
   ``displayTimeUnit``;
@@ -15,6 +18,17 @@ relies on, so CI catches exporter regressions without a browser:
   ``args.name``;
 * at least one metadata event and one span are present, and every
   (pid, tid) used by a span or instant has a thread/process name.
+
+``--series`` mode validates the per-epoch telemetry series artifact
+(`repro series --json DIR`): epochs are contiguous from 0, every
+sample carries the full per-host schema (host indices in order, all
+counters non-negative), and anomaly/latency rows are well-formed.
+
+``--spans`` mode validates causal migration-span pairing in the
+host-tagged flight streams (`repro cluster --json DIR`): every
+``MigratePrepare`` of a span chain is closed by exactly one
+``MigrateCommit`` or ``MigrateAbort``, attempts count up from 1, a
+commit is final, and retries follow an abort.
 
 Exits non-zero with a message on the first violation.
 """
@@ -86,11 +100,139 @@ def check(path):
     print(f"ok: {path}: {len(events)} events ({spans} spans, {metas} metadata)")
 
 
+HOST_FIELDS = {
+    "host": int,
+    "resident_vms": int,
+    "resident_vcpus": int,
+    "runnable_vcpus": int,
+    "online_delta": int,
+    "spin_delta": int,
+    "vcrd_high_delta": int,
+    "derate_pct": int,
+    "crashed": bool,
+}
+
+SAMPLE_FIELDS = {
+    "epoch": int,
+    "migrations_in_flight": int,
+    "migrations": int,
+    "aborts": int,
+    "retries_committed": int,
+    "gave_up": int,
+    "evacuations": int,
+}
+
+
+def check_series(path):
+    """Validate one ``CLUSTER_series_<policy>.json`` artifact."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: top level must be an object")
+    for key in ("policy", "sampled_epochs", "dropped_epochs", "samples",
+                "anomalies", "latency"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key {key!r}")
+    samples = doc["samples"]
+    if not isinstance(samples, list) or not samples:
+        sys.exit(f"{path}: samples must be a non-empty list")
+    n_hosts = None
+    for i, s in enumerate(samples):
+        for field, ty in SAMPLE_FIELDS.items():
+            v = s.get(field)
+            if not isinstance(v, ty) or isinstance(v, bool) or v < 0:
+                sys.exit(f"{path}: samples[{i}].{field} must be a non-negative {ty.__name__}, got {v!r}")
+        # The ring drops oldest-first, so epochs are contiguous and end
+        # at sampled_epochs - 1 even when early epochs were evicted.
+        want = doc["sampled_epochs"] - len(samples) + i
+        if s["epoch"] != want:
+            sys.exit(f"{path}: samples[{i}].epoch = {s['epoch']}, want {want} (contiguous)")
+        hosts = s.get("hosts")
+        if not isinstance(hosts, list) or not hosts:
+            sys.exit(f"{path}: samples[{i}].hosts must be a non-empty list")
+        if n_hosts is None:
+            n_hosts = len(hosts)
+        if len(hosts) != n_hosts:
+            sys.exit(f"{path}: samples[{i}] has {len(hosts)} hosts, first sample had {n_hosts}")
+        for h, row in enumerate(hosts):
+            for field, ty in HOST_FIELDS.items():
+                v = row.get(field)
+                if ty is bool:
+                    ok = isinstance(v, bool)
+                else:
+                    ok = isinstance(v, int) and not isinstance(v, bool) and v >= 0
+                if not ok:
+                    sys.exit(f"{path}: samples[{i}].hosts[{h}].{field} malformed: {v!r}")
+            if row["host"] != h:
+                sys.exit(f"{path}: samples[{i}].hosts[{h}] reports host {row['host']}")
+    for i, a in enumerate(doc["anomalies"]):
+        for field in ("epoch", "host", "metric", "value", "mean", "sigma"):
+            if field not in a:
+                sys.exit(f"{path}: anomalies[{i}] missing {field!r}")
+        if not 0 <= a["host"] < n_hosts:
+            sys.exit(f"{path}: anomalies[{i}] names host {a['host']} of {n_hosts}")
+    lat = doc["latency"]
+    if not isinstance(lat, list) or len(lat) != n_hosts:
+        sys.exit(f"{path}: latency must list all {n_hosts} hosts")
+    for h, row in enumerate(lat):
+        if row.get("host") != h:
+            sys.exit(f"{path}: latency[{h}] reports host {row.get('host')!r}")
+        for field in ("wake_count", "wake_p50", "wake_p99",
+                      "preempt_count", "preempt_p50", "preempt_p99"):
+            if not isinstance(row.get(field), (int, float)):
+                sys.exit(f"{path}: latency[{h}].{field} must be numeric")
+    print(f"ok: {path}: {len(samples)} samples x {n_hosts} hosts, "
+          f"{len(doc['anomalies'])} anomalies")
+
+
+def check_spans(path):
+    """Validate migration-span pairing in ``CLUSTER_flight_<policy>.json``."""
+    with open(path, encoding="utf-8") as f:
+        streams = json.load(f)
+    if not isinstance(streams, list):
+        sys.exit(f"{path}: top level must be a list of host streams")
+    merged = []
+    for s in streams:
+        if not isinstance(s, dict) or "host" not in s or "events" not in s:
+            sys.exit(f"{path}: each stream must be {{host, events}}")
+        merged.extend(s["events"])
+    merged.sort(key=lambda e: e["t"])
+    spans = {}  # span id -> list of (kind, attempt)
+    for e in merged:
+        (kind, payload), = e["ev"].items() if isinstance(e["ev"], dict) else [(e["ev"], {})]
+        if kind in ("MigratePrepare", "MigrateCommit", "MigrateAbort", "MigrateRetry"):
+            spans.setdefault(payload["span"], []).append((kind, payload.get("attempt")))
+    for span, evs in sorted(spans.items()):
+        prepares = [a for k, a in evs if k == "MigratePrepare"]
+        commits = [a for k, a in evs if k == "MigrateCommit"]
+        aborts = [a for k, a in evs if k == "MigrateAbort"]
+        retries = [a for k, a in evs if k == "MigrateRetry"]
+        if prepares != list(range(1, len(prepares) + 1)):
+            sys.exit(f"{path}: span {span} attempts not 1..n in order: {prepares}")
+        if len(commits) > 1:
+            sys.exit(f"{path}: span {span} committed {len(commits)} times")
+        if len(commits) + len(aborts) != len(prepares):
+            sys.exit(f"{path}: span {span}: {len(prepares)} prepares but "
+                     f"{len(commits)} commits + {len(aborts)} aborts")
+        if commits and evs[-1][0] != "MigrateCommit":
+            sys.exit(f"{path}: span {span}: commit is not the final event")
+        for a in retries:
+            if a < 2 or (a - 1) not in aborts:
+                sys.exit(f"{path}: span {span}: retry attempt {a} without abort of attempt {a - 1}")
+    print(f"ok: {path}: {len(spans)} migration span(s), all prepare/close paired")
+
+
 def main(argv):
     if len(argv) < 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
-    for path in argv[1:]:
-        check(path)
+    checker = check
+    for arg in argv[1:]:
+        if arg == "--series":
+            checker = check_series
+        elif arg == "--spans":
+            checker = check_spans
+        else:
+            checker(arg)
 
 
 if __name__ == "__main__":
