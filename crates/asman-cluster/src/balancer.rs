@@ -166,9 +166,7 @@ fn decide_least_loaded(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
         .vms
         .iter()
         .enumerate()
-        .filter(|(_, v)| {
-            v.host == hmax && !v.cooling && v.vcpus <= snap.hosts[hmin].pcpus
-        })
+        .filter(|(_, v)| v.host == hmax && !v.cooling && v.vcpus <= snap.hosts[hmin].pcpus)
         .max_by_key(|(i, v)| (v.vcpus, std::cmp::Reverse(*i)))
         .map(|(i, _)| i)?;
     // Strict improvement only: simulate the move and demand the spread
@@ -198,13 +196,7 @@ fn decide_vcrd_aware(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
         .iter()
         .enumerate()
         .filter(|(i, v)| v.host == src && !v.cooling && snap.concurrent(*i))
-        .max_by_key(|(i, v)| {
-            (
-                v.spin_delta,
-                v.vcrd_high_delta,
-                std::cmp::Reverse(*i),
-            )
-        })
+        .max_by_key(|(i, v)| (v.spin_delta, v.vcrd_high_delta, std::cmp::Reverse(*i)))
         .map(|(i, _)| i)?;
     let need = snap.vms[vm].vcpus as u64;
     // Best destination: lowest gang pressure (then overcommit, then
@@ -282,11 +274,7 @@ mod tests {
         // move the spinnier gang to the gang-free host.
         let s = snap(
             vec![4, 4],
-            vec![
-                (0, 3, 900_000, 0),
-                (0, 3, 400_000, 0),
-                (1, 4, 0, 0),
-            ],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0), (1, 4, 0, 0)],
         );
         let mv = decide(Policy::VcrdAware, &s).expect("should separate gangs");
         assert_eq!(mv, Move { vm: 0, to: 1 });
@@ -326,10 +314,7 @@ mod tests {
     fn derated_capacity_shrinks_the_destination() {
         // A 4-PCPU host advertising only 2 effective PCPUs cannot take
         // a 3-VCPU gang even though it admits.
-        let s = snap(
-            vec![4, 2],
-            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0)],
-        );
+        let s = snap(vec![4, 2], vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0)]);
         assert_eq!(decide(Policy::VcrdAware, &s), None);
     }
 

@@ -51,10 +51,12 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod churn;
 pub mod migration;
 pub mod scenario;
 
 pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
+pub use churn::{ChurnKind, ChurnPlan, ChurnSpec, ShapeKind, VmShape};
 pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
 
 use asman_hypervisor::{Machine, VmCounters};
@@ -83,6 +85,15 @@ pub struct ClusterConfig {
     /// Maximum migration attempts per retry chain before the balancer
     /// gives up on the VM for the rest of the run.
     pub retry_cap: u32,
+    /// Deterministic VM arrival/departure schedule (empty = static
+    /// population).
+    pub churn: ChurnPlan,
+    /// Run the (O(registry + records)) invariant auditor only every
+    /// this many epochs. `1` (the default) audits every boundary; soak
+    /// runs amortize it so the audit's record re-derivation does not
+    /// dominate a 100k-epoch run. The end-of-run audit in
+    /// [`Cluster::run`] is unconditional.
+    pub audit_every: u64,
     /// Worker threads for intra-epoch host advancement; `0` selects
     /// [`std::thread::available_parallelism`] (the
     /// [`SweepRunner::new`] convention). Results are bit-identical for
@@ -100,6 +111,8 @@ impl Default for ClusterConfig {
             cooldown_epochs: 3,
             faults: FaultPlan::empty(),
             retry_cap: 3,
+            churn: ChurnPlan::empty(),
+            audit_every: 1,
             jobs: 0,
         }
     }
@@ -159,6 +172,28 @@ pub struct EpochProfile {
     pub serial_wall_ns: u64,
 }
 
+/// Memory-occupancy proxy of the cluster driver, from
+/// [`Cluster::occupancy`]. Every component is a piece of state that
+/// could silently grow with run length if a lifetime bug leaked it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Occupancy {
+    /// Registry entries (one per VM that ever lived; grows only with
+    /// arrivals, never with epochs).
+    pub registry: usize,
+    /// Registered VMs currently resident.
+    pub resident: usize,
+    /// Host VM-slot tables, summed (with slot reuse, bounded by peak
+    /// residency plus a few stranded shapes; without it, grows with
+    /// every arrival).
+    pub slots: usize,
+    /// Evacuated slots awaiting reuse.
+    pub tombstones: usize,
+    /// In-flight migration retry chains (the driver serializes on one).
+    pub pending_retries: usize,
+    /// Epoch samples held by the series ring (bounded by its capacity).
+    pub series_len: usize,
+}
+
 /// What the parallel advance hands back to the serial section: every
 /// worker-captured per-host payload plus wall-time attribution. Only
 /// `counters` and `runnable` are deterministic; the `*_ns` fields are
@@ -191,6 +226,16 @@ struct VmEntry {
     /// The retry chain exhausted its cap; the balancer leaves the VM
     /// alone for the rest of the run.
     gave_up: bool,
+    /// The VM shut down and left the cluster. The entry stays in the
+    /// registry (cluster ids are stable for the whole run) but is
+    /// skipped by the balancer, delta collection, evacuation and the
+    /// auditor; its `host`/`local` fields are frozen at the departure
+    /// location and must not be dereferenced — with slot reuse enabled
+    /// a later arrival may live there.
+    departed: bool,
+    /// Final report row, captured from the travelling counters at the
+    /// moment of departure.
+    final_row: Option<VmRow>,
 }
 
 /// Per-VM row of the final report.
@@ -261,6 +306,10 @@ pub struct ClusterReport {
     /// Fault/recovery outcome; `None` for clean runs (and then omitted
     /// from serialization entirely).
     pub recovery: Option<RecoveryReport>,
+    /// Churn outcome; `None` for static-population runs (and then
+    /// omitted from serialization entirely, keeping churn-free digests
+    /// byte-identical to the pre-churn format).
+    pub churn: Option<ChurnReport>,
 }
 
 impl Serialize for ClusterReport {
@@ -291,8 +340,30 @@ impl Serialize for ClusterReport {
         if let Some(rec) = &self.recovery {
             fields.push(("recovery".to_string(), rec.to_value()));
         }
+        if let Some(ch) = &self.churn {
+            fields.push(("churn".to_string(), ch.to_value()));
+        }
         serde::Value::Object(fields)
     }
+}
+
+/// Churn outcome of a run with a non-empty [`ClusterConfig::churn`].
+#[derive(Clone, Debug, Serialize)]
+pub struct ChurnReport {
+    /// The churn plan that was armed.
+    pub plan: ChurnPlan,
+    /// VMs that arrived and were admitted.
+    pub arrivals: u64,
+    /// VMs that departed.
+    pub departures: u64,
+    /// Arrivals rejected because no healthy host could fit them.
+    pub arrivals_rejected: u64,
+    /// Departures skipped because the named host held no live VM.
+    pub departures_skipped: u64,
+    /// VMs resident (live, non-departed) at the end of the run.
+    pub resident_end: u64,
+    /// Departed VMs whose guest program had run to completion.
+    pub departed_finished: u64,
 }
 
 /// Fault and recovery outcome of a faulted run.
@@ -336,6 +407,11 @@ pub struct Cluster {
     retries_committed: u64,
     retries_abandoned: u64,
     gave_up: u64,
+    arrivals: u64,
+    departures: u64,
+    arrivals_rejected: u64,
+    departures_skipped: u64,
+    departed_finished: u64,
     epochs_run: u64,
     /// Per-epoch time-series sampler; `None` (zero cost, digest
     /// unchanged) unless [`Cluster::enable_series`] was called.
@@ -376,6 +452,8 @@ impl Cluster {
                     online_delta: 0,
                     attempts: 0,
                     gave_up: false,
+                    departed: false,
+                    final_row: None,
                 });
             }
         }
@@ -386,6 +464,14 @@ impl Cluster {
                 hosts.len()
             );
         }
+        if let Some(h) = cfg.churn.max_host() {
+            assert!(
+                h < hosts.len(),
+                "churn plan departs from host {h} but the cluster has {}",
+                hosts.len()
+            );
+        }
+        assert!(cfg.audit_every >= 1, "audit_every must be at least 1");
         let health = vec![HostHealth::Healthy; hosts.len()];
         let runner = SweepRunner::new(cfg.jobs);
         Cluster {
@@ -401,6 +487,11 @@ impl Cluster {
             retries_committed: 0,
             retries_abandoned: 0,
             gave_up: 0,
+            arrivals: 0,
+            departures: 0,
+            arrivals_rejected: 0,
+            departures_skipped: 0,
+            departed_finished: 0,
             epochs_run: 0,
             series: None,
             prof: None,
@@ -427,9 +518,56 @@ impl Cluster {
         self.vms[vm].host
     }
 
-    /// Registered VM count (conserved across migrations).
+    /// Registered VM count: every VM that ever lived in the cluster,
+    /// including departed ones (cluster ids are stable for the run).
     pub fn vm_count(&self) -> usize {
         self.vms.len()
+    }
+
+    /// VMs currently resident (registered and not departed).
+    pub fn resident_vm_count(&self) -> usize {
+        self.vms.iter().filter(|e| !e.departed).count()
+    }
+
+    /// Enable tombstone slot reuse on every host: a departing VM's slot
+    /// becomes eligible for a later arrival of the same VCPU count, and
+    /// the slot's generation counter invalidates any stale timers or
+    /// wakes armed for the previous occupant. Without this, a long
+    /// churned run grows each host's slot table with every arrival.
+    pub fn enable_slot_reuse(&mut self) {
+        for m in &mut self.hosts {
+            m.enable_slot_reuse();
+        }
+    }
+
+    /// Point-in-time memory-occupancy proxy of the cluster driver. A
+    /// soak run samples this at every audit checkpoint and asserts each
+    /// component stays bounded — the cheap stand-in for "RSS does not
+    /// grow with epochs".
+    pub fn occupancy(&self) -> Occupancy {
+        let slots: usize = self.hosts.iter().map(|m| m.vm_count()).sum();
+        let live_slots: usize = self.hosts.iter().map(|m| m.active_vm_count()).sum();
+        Occupancy {
+            registry: self.vms.len(),
+            resident: self.resident_vm_count(),
+            slots,
+            tombstones: slots - live_slots,
+            pending_retries: usize::from(self.pending.is_some()),
+            series_len: self.series.as_ref().map_or(0, |s| s.samples().count()),
+        }
+    }
+
+    /// Churn counters so far: `(arrivals, departures, arrivals_rejected,
+    /// departures_skipped)`. Readable mid-run, unlike the end-of-run
+    /// [`ChurnReport`], so a soak can cross-check the registry against
+    /// the admitted population at every checkpoint.
+    pub fn churn_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.arrivals,
+            self.departures,
+            self.arrivals_rejected,
+            self.departures_skipped,
+        )
     }
 
     /// Migrations executed so far.
@@ -471,8 +609,14 @@ impl Cluster {
             ("cluster.hosts.crashed", crashed),
             ("cluster.hosts.degraded", degraded),
             ("cluster.migration.aborts", self.aborts.len() as u64),
-            ("cluster.migration.retries_committed", self.retries_committed),
-            ("cluster.migration.retries_abandoned", self.retries_abandoned),
+            (
+                "cluster.migration.retries_committed",
+                self.retries_committed,
+            ),
+            (
+                "cluster.migration.retries_abandoned",
+                self.retries_abandoned,
+            ),
             ("cluster.migration.gave_up", self.gave_up),
             ("cluster.migration.abort_penalty_cycles", penalty),
             ("cluster.evacuations", self.evacuations.len() as u64),
@@ -586,8 +730,16 @@ impl Cluster {
         let adv = self.advance_hosts(end);
         let serial_t0 = Instant::now();
         self.collect_deltas(&adv.counters);
+        // Churn runs right after delta collection: departures fold the
+        // leaving VM's counter tail into this epoch's deltas (the slot
+        // indices captured by the workers are still valid), and
+        // arrivals are placed before faults can crash their host out of
+        // the candidate set at this same boundary.
+        self.apply_churn(epoch, end);
         self.apply_host_faults(epoch, end);
-        self.audit_check();
+        if epoch.is_multiple_of(self.cfg.audit_every) {
+            self.audit_check();
+        }
         let attempt = match self.pending {
             Some(p) if p.due <= epoch => {
                 self.pending = None;
@@ -684,8 +836,14 @@ impl Cluster {
             .collect();
         for e in &self.vms {
             let hs = &mut hosts[e.host];
-            hs.resident_vms += 1;
-            hs.resident_vcpus += e.vcpus as u32;
+            // A VM that departed at this boundary still contributes its
+            // final partial-epoch deltas (it burned them on this host),
+            // but no longer counts as resident; entries departed in
+            // earlier epochs carry zeroed deltas.
+            if !e.departed {
+                hs.resident_vms += 1;
+                hs.resident_vcpus += e.vcpus as u32;
+            }
             hs.online_delta += e.online_delta;
             hs.spin_delta += e.spin_delta;
             hs.vcrd_high_delta += e.vcrd_high_delta;
@@ -700,10 +858,7 @@ impl Cluster {
             evacuations: self.evacuations.len() as u64,
             hosts,
         };
-        self.series
-            .as_mut()
-            .expect("checked above")
-            .push(sample);
+        self.series.as_mut().expect("checked above").push(sample);
     }
 
     /// Apply this epoch's scheduled host faults: derate slow hosts,
@@ -740,6 +895,142 @@ impl Cluster {
         }
     }
 
+    /// Apply this epoch's scheduled churn events in plan order.
+    fn apply_churn(&mut self, epoch: u64, now: Cycles) {
+        if self.cfg.churn.is_empty() {
+            return;
+        }
+        let events: Vec<ChurnKind> = self.cfg.churn.events_at(epoch).collect();
+        for kind in events {
+            match kind {
+                ChurnKind::Arrive { shape } => self.apply_arrival(epoch, shape, now),
+                ChurnKind::Depart { host, slot } => self.apply_departure(host, slot),
+            }
+        }
+    }
+
+    /// Admit an arriving VM: place it on the healthy host with the
+    /// fewest resident VCPUs that fits it (ties: lowest index), create
+    /// it there and register it. Arrivals start their post-placement
+    /// cooldown immediately so the balancer cannot bounce a VM that
+    /// just landed. With no admitting host the arrival is rejected
+    /// (counted, not fatal — a full cluster is a legitimate state).
+    fn apply_arrival(&mut self, epoch: u64, shape: VmShape, now: Cycles) {
+        let dest = (0..self.hosts.len())
+            .filter(|&h| {
+                self.health[h] == HostHealth::Healthy && shape.vcpus <= self.hosts[h].config().pcpus
+            })
+            .min_by_key(|&h| {
+                let resident: usize = self
+                    .vms
+                    .iter()
+                    .filter(|e| !e.departed && e.host == h)
+                    .map(|e| e.vcpus)
+                    .sum();
+                (resident, h)
+            });
+        let Some(dest) = dest else {
+            self.arrivals_rejected += 1;
+            return;
+        };
+        // Names are minted from a global arrival sequence number, so
+        // they are unique for the run and independent of placement.
+        let name = format!("{}-c{}", shape.kind.prefix(), self.arrivals);
+        self.arrivals += 1;
+        let spec = scenario::arrival_spec(&shape, name.clone(), self.hosts[dest].config());
+        let local = self.hosts[dest].create_vm(spec, now);
+        self.vms.push(VmEntry {
+            name,
+            host: dest,
+            local,
+            vcpus: shape.vcpus,
+            last_migration: Some(epoch),
+            migrations: 0,
+            prev_spin: 0,
+            prev_vcrd_high: 0,
+            prev_online: 0,
+            spin_delta: 0,
+            vcrd_high_delta: 0,
+            online_delta: 0,
+            attempts: 0,
+            gave_up: false,
+            departed: false,
+            final_row: None,
+        });
+    }
+
+    /// Depart the `slot`-th live VM on `host` (cluster-id order,
+    /// wrapping modulo the live count): destroy it on its host, fold
+    /// its counter tail into this epoch's deltas, finalize its report
+    /// row, and abandon any retry chain that was moving it. A host with
+    /// no live VM (empty, or crashed and already evacuated) skips the
+    /// departure.
+    fn apply_departure(&mut self, host: usize, slot: usize) {
+        let candidates: Vec<usize> = (0..self.vms.len())
+            .filter(|&id| !self.vms[id].departed && self.vms[id].host == host)
+            .collect();
+        if candidates.is_empty() {
+            self.departures_skipped += 1;
+            return;
+        }
+        let id = candidates[slot % candidates.len()];
+        // A migration chain moving the departing VM has lost its
+        // subject: the chain is abandoned, never retried against a VM
+        // that no longer exists.
+        if let Some(p) = self.pending {
+            if p.vm == id {
+                self.pending = None;
+                self.retries_abandoned += 1;
+            }
+        }
+        let local = self.vms[id].local;
+        let ret = self.hosts[host].destroy_vm(local);
+        // The travelling counters are final at destruction; reconcile
+        // so the departure epoch's deltas (and this host's series
+        // sample) cover the VM's last partial epoch.
+        self.reconcile_extracted(id, ret.counters);
+        self.departures += 1;
+        if ret.finished {
+            self.departed_finished += 1;
+        }
+        let e = &mut self.vms[id];
+        e.departed = true;
+        e.final_row = Some(VmRow {
+            name: e.name.clone(),
+            host,
+            vcpus: e.vcpus,
+            migrations: e.migrations,
+            spin_cycles: ret.counters.spin,
+            useful_cycles: ret.useful_cycles,
+            vcrd_high_cycles: ret.counters.vcrd_high,
+            online_cycles: ret.counters.online,
+        });
+    }
+
+    /// Fold the counter tail of a just-extracted VM into its current
+    /// epoch deltas and advance the baselines to the travelling image's
+    /// values.
+    ///
+    /// The workers capture counters at the epoch boundary *before* the
+    /// serial section runs; extraction then closes every in-progress
+    /// accounting segment (a VCPU mid-spin is charged up to the
+    /// boundary when the kernel preempts it), so the image's counters
+    /// run ahead of the captured ones. Without this reconciliation the
+    /// tail leaks into the *next* epoch's delta — under-counting the
+    /// migration epoch (shrinking the dirty-page charge below what the
+    /// guest really ran) and mis-attributing the spin to the
+    /// destination host's series sample. On a departure the tail would
+    /// be dropped entirely.
+    fn reconcile_extracted(&mut self, vm: usize, c: VmCounters) {
+        let e = &mut self.vms[vm];
+        e.spin_delta += c.spin.saturating_sub(e.prev_spin);
+        e.vcrd_high_delta += c.vcrd_high.saturating_sub(e.prev_vcrd_high);
+        e.online_delta += c.online.saturating_sub(e.prev_online);
+        e.prev_spin = c.spin;
+        e.prev_vcrd_high = c.vcrd_high;
+        e.prev_online = c.online;
+    }
+
     /// Evacuate every VM registered on a crashed host and re-place it:
     /// healthy destinations before degraded ones, then fewest resident
     /// VCPUs, then lowest index. Each evacuation is charged like a
@@ -747,12 +1038,12 @@ impl Cluster {
     /// at-crash state; the full pause models the restore).
     fn evacuate_host(&mut self, host: usize, epoch: u64, now: Cycles) {
         let refugees: Vec<usize> = (0..self.vms.len())
-            .filter(|&id| self.vms[id].host == host)
+            .filter(|&id| !self.vms[id].departed && self.vms[id].host == host)
             .collect();
         for id in refugees {
-            let (local, vcpus, online_delta, name) = {
+            let (local, vcpus, name) = {
                 let e = &self.vms[id];
-                (e.local, e.vcpus, e.online_delta, e.name.clone())
+                (e.local, e.vcpus, e.name.clone())
             };
             let dest = (0..self.hosts.len())
                 .filter(|&h| {
@@ -765,7 +1056,7 @@ impl Cluster {
                     let resident: usize = self
                         .vms
                         .iter()
-                        .filter(|e| e.host == h)
+                        .filter(|e| !e.departed && e.host == h)
                         .map(|e| e.vcpus)
                         .sum();
                     (degraded, resident, h)
@@ -774,6 +1065,11 @@ impl Cluster {
                     panic!("evacuation failed: no live host can take vm {id} ({name})")
                 });
             let image = self.hosts[host].extract_vm(local);
+            // Extraction closed the VM's in-progress accounting
+            // segments; fold the tail into this epoch's deltas so the
+            // evacuation is charged for everything the guest ran.
+            self.reconcile_extracted(id, image.counters());
+            let online_delta = self.vms[id].online_delta;
             let dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
             let pause = self.cfg.model.pause(dirty);
             let new_local = self.hosts[dest].inject_vm(image, now + pause);
@@ -808,12 +1104,15 @@ impl Cluster {
         }
     }
 
-    /// Re-check a due retry against the current cluster state: the
-    /// destination must still admit and must not have become the VM's
-    /// home (a crash evacuation may have re-placed it meanwhile).
+    /// Re-check a due retry against the current cluster state: the VM
+    /// must still exist (departures abandon their chains eagerly, but
+    /// this is the backstop), the destination must still admit and must
+    /// not have become the VM's home (a crash evacuation may have
+    /// re-placed it meanwhile).
     fn revalidate_retry(&mut self, p: PendingRetry) -> Option<(Move, u32, Option<u32>)> {
-        let stale =
-            self.health[p.to] != HostHealth::Healthy || self.vms[p.vm].host == p.to;
+        let stale = self.vms[p.vm].departed
+            || self.health[p.to] != HostHealth::Healthy
+            || self.vms[p.vm].host == p.to;
         if stale {
             self.retries_abandoned += 1;
             return None;
@@ -829,6 +1128,15 @@ impl Cluster {
     /// across migrations.
     fn collect_deltas(&mut self, telemetry: &[Vec<VmCounters>]) {
         for e in &mut self.vms {
+            // A departed entry's slot may belong to someone else now;
+            // its deltas are zeroed so stale values cannot leak into a
+            // later epoch's series sample.
+            if e.departed {
+                e.spin_delta = 0;
+                e.vcrd_high_delta = 0;
+                e.online_delta = 0;
+                continue;
+            }
             let c = telemetry[e.host][e.local];
             e.spin_delta = c.spin.saturating_sub(e.prev_spin);
             e.vcrd_high_delta = c.vcrd_high.saturating_sub(e.prev_vcrd_high);
@@ -857,15 +1165,30 @@ impl Cluster {
             vms: self
                 .vms
                 .iter()
-                .map(|e| VmView {
-                    host: e.host,
-                    vcpus: e.vcpus,
-                    spin_delta: e.spin_delta,
-                    vcrd_high_delta: e.vcrd_high_delta,
-                    cooling: e.gave_up
-                        || e.last_migration.is_some_and(|m| {
-                            epoch.saturating_sub(m) < self.cfg.cooldown_epochs
-                        }),
+                .map(|e| {
+                    // Departed entries stay in the snapshot so cluster
+                    // ids keep indexing it, but read as weightless and
+                    // permanently cooling: no policy aggregates them
+                    // into a host's load or proposes moving them.
+                    if e.departed {
+                        return VmView {
+                            host: e.host,
+                            vcpus: 0,
+                            spin_delta: 0,
+                            vcrd_high_delta: 0,
+                            cooling: true,
+                        };
+                    }
+                    VmView {
+                        host: e.host,
+                        vcpus: e.vcpus,
+                        spin_delta: e.spin_delta,
+                        vcrd_high_delta: e.vcrd_high_delta,
+                        cooling: e.gave_up
+                            || e.last_migration.is_some_and(|m| {
+                                epoch.saturating_sub(m) < self.cfg.cooldown_epochs
+                            }),
+                    }
                 })
                 .collect(),
             epoch_cycles: self.epoch_cycles().as_u64(),
@@ -893,9 +1216,9 @@ impl Cluster {
         attempt: u32,
         span: Option<u32>,
     ) {
-        let (from, local, online_delta, name) = {
+        let (from, local, name) = {
             let e = &self.vms[mv.vm];
-            (e.host, e.local, e.online_delta, e.name.clone())
+            (e.host, e.local, e.name.clone())
         };
         assert_ne!(from, mv.to, "balancer proposed a no-op move");
         // A fresh decision mints a new span; a retry inherits the
@@ -922,6 +1245,13 @@ impl Cluster {
             attempt,
         });
         let image = self.hosts[from].extract_vm(local);
+        // Extraction closes the VM's in-progress accounting segments, so
+        // the travelling image's counters run ahead of the worker capture
+        // this epoch's deltas were built from. Fold that tail in *before*
+        // deriving the copy cost: the dirty-page charge (and the audit's
+        // re-derivation of it) must see everything the guest ran online.
+        self.reconcile_extracted(mv.vm, image.counters());
+        let online_delta = self.vms[mv.vm].online_delta;
         #[allow(unused_mut)]
         let mut dirty = self.cfg.model.dirty_pages(Cycles(online_delta));
         #[cfg(feature = "audit")]
@@ -1029,6 +1359,17 @@ impl Cluster {
     ///   rollback that forgot to clear the source tombstone).
     pub fn audit_check(&self) {
         for (id, e) in self.vms.iter().enumerate() {
+            if e.departed {
+                // A departed entry's host/local are frozen history; its
+                // slot may have been reused. The only invariant left is
+                // that departure captured its final accounting row.
+                assert!(
+                    e.final_row.is_some(),
+                    "cluster audit: departed vm {} has no final row",
+                    id
+                );
+                continue;
+            }
             let m = &self.hosts[e.host];
             assert!(
                 !m.vm_evacuated(e.local),
@@ -1062,12 +1403,11 @@ impl Cluster {
             );
         }
         let live: usize = self.hosts.iter().map(|m| m.active_vm_count()).sum();
+        let resident = self.vms.iter().filter(|e| !e.departed).count();
         assert_eq!(
-            live,
-            self.vms.len(),
-            "cluster audit: VM count not conserved ({} live vs {} registered)",
-            live,
-            self.vms.len()
+            live, resident,
+            "cluster audit: VM count not conserved ({} live vs {} resident)",
+            live, resident
         );
         for r in self.records.iter().chain(&self.evacuations) {
             let dirty = self.cfg.model.dirty_pages(Cycles(r.online_delta));
@@ -1080,7 +1420,8 @@ impl Cluster {
                 self.cfg.model.pause(r.dirty_pages).as_u64(),
                 r.pause,
                 "cluster audit: migration pause not conserved (vm {} epoch {})",
-                r.vm, r.epoch
+                r.vm,
+                r.epoch
             );
         }
         for a in &self.aborts {
@@ -1094,7 +1435,8 @@ impl Cluster {
                 self.cfg.model.abort_penalty(a.dirty_pages).as_u64(),
                 a.penalty,
                 "cluster audit: abort penalty not conserved (vm {} epoch {})",
-                a.vm, a.epoch
+                a.vm,
+                a.epoch
             );
             assert!(
                 a.attempt >= 1 && a.attempt <= self.cfg.retry_cap,
@@ -1116,6 +1458,11 @@ impl Cluster {
             .vms
             .iter()
             .map(|e| {
+                // Departed VMs report the row frozen at departure; a
+                // live lookup would read a dead (or reused) slot.
+                if let Some(row) = &e.final_row {
+                    return row.clone();
+                }
                 let m = &self.hosts[e.host];
                 let st = m.vm_kernel(e.local).stats();
                 let acct = m.vm_accounting(e.local);
@@ -1144,13 +1491,13 @@ impl Cluster {
                 vms: self
                     .vms
                     .iter()
-                    .filter(|e| e.host == h)
+                    .filter(|e| !e.departed && e.host == h)
                     .map(|e| e.name.clone())
                     .collect(),
                 resident_vcpus: self
                     .vms
                     .iter()
-                    .filter(|e| e.host == h)
+                    .filter(|e| !e.departed && e.host == h)
                     .map(|e| e.vcpus)
                     .sum(),
                 events_processed: m.events_processed(),
@@ -1168,11 +1515,20 @@ impl Cluster {
                 retries_abandoned: self.retries_abandoned,
                 gave_up: self.gave_up,
                 total_abort_penalty_cycles: self.aborts.iter().map(|a| a.penalty).sum(),
-                total_evacuation_pause_cycles: self
-                    .evacuations
-                    .iter()
-                    .map(|r| r.pause)
-                    .sum(),
+                total_evacuation_pause_cycles: self.evacuations.iter().map(|r| r.pause).sum(),
+            })
+        };
+        let churn = if self.cfg.churn.is_empty() {
+            None
+        } else {
+            Some(ChurnReport {
+                plan: self.cfg.churn.clone(),
+                arrivals: self.arrivals,
+                departures: self.departures,
+                arrivals_rejected: self.arrivals_rejected,
+                departures_skipped: self.departures_skipped,
+                resident_end: self.resident_vm_count() as u64,
+                departed_finished: self.departed_finished,
             })
         };
         ClusterReport {
@@ -1187,6 +1543,112 @@ impl Cluster {
             vm_rows,
             migrations: self.records.clone(),
             recovery,
+            churn,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{consolidation_cluster, ConsolidationSpec};
+
+    fn migrating_cfg() -> ClusterConfig {
+        ClusterConfig {
+            epoch_ms: 50,
+            epochs: 20,
+            policy: Policy::VcrdAware,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Drive one epoch with the Static policy (so no spontaneous move
+    /// competes with the forced one), then return the boundary time.
+    /// At this boundary, gang1 on host 0 of the default consolidation
+    /// scenario provably has an *open guest spin segment*: `settle()`
+    /// closes online/VCRD accrual at the deadline, but an in-progress
+    /// spin only reaches the kernel's cumulative stats when extraction
+    /// preempts the spinning VCPU — so the travelling image's `spin`
+    /// counter runs ahead of the worker-side barrier capture.
+    fn one_epoch_with_spin_tail(c: &mut Cluster) -> Cycles {
+        c.run_epoch();
+        let end = c.epoch_cycles();
+        let e = &c.vms[GANG1];
+        let live = c.hosts[e.host].vm_counters(e.local);
+        // Baseline sanity for the regression below: the tail exists at
+        // this boundary only as an *open* segment — capture == stats.
+        assert_eq!(e.prev_spin, live.spin, "capture should match lazy stats");
+        end
+    }
+
+    /// Cluster id of host 0's second gang VM (registry order: gang0,
+    /// gang1, bg0, bg1, bg2 for the default consolidation scenario).
+    const GANG1: usize = 1;
+
+    /// Regression (per-VM delta reconciliation, commit path): extraction
+    /// closes the travelling VM's in-progress guest spin segment, so the
+    /// image's `spin` counter runs *ahead* of the worker-side barrier
+    /// capture this epoch's deltas came from. The migration must fold
+    /// that tail into the current epoch's delta and advance the registry
+    /// baseline to the image — otherwise `prev_spin` stays at the stale
+    /// capture and the tail is smeared into the *next* epoch's delta,
+    /// mis-attributed to the destination host's series sample.
+    #[test]
+    fn migration_reconciles_spin_tail_against_the_travelling_image() {
+        let mut c = consolidation_cluster(migrating_cfg(), &ConsolidationSpec::default());
+        let now = one_epoch_with_spin_tail(&mut c);
+        let delta_before = c.vms[GANG1].spin_delta;
+        c.execute_migration(1, Move { vm: GANG1, to: 1 }, now, 1, None);
+        let e = &c.vms[GANG1];
+        assert_eq!(e.host, 1, "forced move must have committed");
+        let live = c.hosts[e.host].vm_counters(e.local);
+        // Post-commit the destination slot holds exactly the image;
+        // reconciliation must have advanced the baseline to it
+        // (pre-fix: baseline == stale worker capture).
+        assert_eq!(
+            (e.prev_spin, e.prev_vcrd_high, e.prev_online),
+            (live.spin, live.vcrd_high, live.online),
+            "registry baseline diverges from the migrated VM's counters"
+        );
+        assert!(
+            e.spin_delta > delta_before,
+            "the extraction-closed spin tail must land in this epoch's delta"
+        );
+    }
+
+    /// Regression (per-VM delta reconciliation, abort path): a rolled-back
+    /// migration also extracts an image — the rollback restores it to the
+    /// source slot with its spin segment closed, so the same
+    /// baseline-equals-counters invariant must hold on the source.
+    #[test]
+    fn aborted_migration_reconciles_spin_tail_on_the_source() {
+        let mut c = consolidation_cluster(
+            ClusterConfig {
+                faults: FaultPlan {
+                    events: vec![asman_sim::FaultEvent {
+                        epoch: 1,
+                        kind: FaultKind::Abort,
+                    }],
+                },
+                ..migrating_cfg()
+            },
+            &ConsolidationSpec::default(),
+        );
+        let now = one_epoch_with_spin_tail(&mut c);
+        let delta_before = c.vms[GANG1].spin_delta;
+        c.execute_migration(1, Move { vm: GANG1, to: 1 }, now, 1, None);
+        let e = &c.vms[GANG1];
+        assert_eq!(e.host, 0, "move must have aborted back to the source");
+        assert_eq!(c.aborts.len(), 1);
+        let live = c.hosts[e.host].vm_counters(e.local);
+        assert_eq!(
+            (e.prev_spin, e.prev_vcrd_high, e.prev_online),
+            (live.spin, live.vcrd_high, live.online),
+            "registry baseline diverges after rollback"
+        );
+        assert!(
+            e.spin_delta > delta_before,
+            "the extraction-closed spin tail must land in this epoch's delta"
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! [`random_mix`] builds arbitrary heterogeneous clusters from a seed;
 //! the fuzz smoke tests drive it with random tuples.
 
+use crate::churn::{ShapeKind, VmShape};
 use crate::{Cluster, ClusterConfig};
 use asman_core::AsmanConfig;
 use asman_hypervisor::{Machine, MachineConfig, VmSpec};
@@ -81,12 +82,27 @@ fn background_program(name: String, vcpus: usize, cfg: &MachineConfig) -> Script
     .looping()
 }
 
+/// Build the [`VmSpec`] for a churn arrival of the given shape, using
+/// the destination host's clock. Arrivals run the same gang/background
+/// programs the seeded scenarios use, so a churned cluster stays
+/// workload-homogeneous with its static twin.
+pub(crate) fn arrival_spec(shape: &VmShape, name: String, cfg: &MachineConfig) -> VmSpec {
+    let program: Box<dyn asman_workloads::Program> = match shape.kind {
+        ShapeKind::Gang => Box::new(gang_program(name.clone(), shape.vcpus, cfg)),
+        ShapeKind::Background => Box::new(background_program(name.clone(), shape.vcpus, cfg)),
+    };
+    VmSpec::new(name, shape.vcpus, program).weight(shape.weight)
+}
+
 /// Build the consolidation hosts: host 0 carries `gangs` lock-heavy
 /// 3-VCPU VMs plus a 4-VCPU background VM; every other host carries one
 /// background VM. All hosts run the full ASMan stack (Adaptive policy +
 /// per-VM Monitoring Modules).
 pub fn consolidation(spec: &ConsolidationSpec) -> Vec<Machine> {
-    assert!(spec.hosts >= 2, "consolidation needs somewhere to migrate to");
+    assert!(
+        spec.hosts >= 2,
+        "consolidation needs somewhere to migrate to"
+    );
     assert!(spec.gangs >= 1, "need at least one gang");
     let mcfg = MachineConfig {
         pcpus: spec.pcpus,

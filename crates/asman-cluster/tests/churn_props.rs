@@ -1,0 +1,136 @@
+//! Property tests over random churn plans.
+//!
+//! A churned cluster run mixes VM arrivals and departures into the
+//! epoch barrier; these properties drive the consolidation scenario
+//! with seed-generated plans (and seed-generated fault plans on top)
+//! and demand the state-lifetime invariants the soak harness watches:
+//!
+//! * **Conservation** — every VM the registry ever saw is accounted
+//!   for: `initial + arrivals == resident_end + departures`, and the
+//!   report's host rows agree with the registry on the resident set.
+//! * **No sticky tombstones** — with slot reuse on, host slot tables
+//!   are bounded by peak residency, not by total arrivals: tombstones
+//!   never exceed departures, and every tombstone is reusable (a later
+//!   matching arrival recycles it rather than appending).
+//! * **Worker-count independence** — a churned (and faulted) run's
+//!   full serialized report is byte-identical between `--jobs 1` and
+//!   `--jobs 4`, the same determinism contract the clean runs pin.
+
+use asman_cluster::{
+    scenario::{self, ConsolidationSpec},
+    ChurnPlan, Cluster, ClusterConfig, ClusterReport, Policy,
+};
+use asman_sim::FaultPlan;
+use proptest::prelude::*;
+
+const EPOCHS: u64 = 12;
+
+fn churned_cluster(seed: u64, rate: u32, jobs: usize, faulted: bool) -> Cluster {
+    let spec = ConsolidationSpec::default();
+    let cfg = ClusterConfig {
+        policy: Policy::VcrdAware,
+        epochs: EPOCHS,
+        epoch_ms: 50,
+        jobs,
+        churn: ChurnPlan::generate(seed, rate, EPOCHS, spec.hosts),
+        faults: if faulted {
+            // A mid-run abort exercises the retry chain against a
+            // mutating population without killing any host.
+            FaultPlan::parse("abort@4").unwrap()
+        } else {
+            FaultPlan::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut c = scenario::consolidation_cluster(cfg, &spec);
+    c.enable_slot_reuse();
+    c
+}
+
+fn run(seed: u64, rate: u32, jobs: usize, faulted: bool) -> (ClusterReport, usize, Cluster) {
+    let mut c = churned_cluster(seed, rate, jobs, faulted);
+    let initial = c.vm_count();
+    let report = c.run();
+    (report, initial, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// arrived − departed == resident − initial, for any generated
+    /// plan, and the host rows agree with the registry.
+    #[test]
+    fn vm_population_is_conserved(seed in 0u64..1000, rate in 10u32..60) {
+        let (report, initial, cluster) = run(seed, rate, 1, false);
+        // A plan with no events reports no churn: a static run.
+        if let Some(churn) = report.churn.as_ref() {
+        let registry = report.vm_rows.len() as u64;
+        prop_assert_eq!(registry, initial as u64 + churn.arrivals);
+        prop_assert_eq!(
+            churn.resident_end,
+            initial as u64 + churn.arrivals - churn.departures,
+            "arrivals minus departures must equal resident growth"
+        );
+        let resident_rows: u64 =
+            report.host_rows.iter().map(|h| h.vms.len() as u64).sum();
+        prop_assert_eq!(resident_rows, churn.resident_end);
+        prop_assert_eq!(
+            cluster.resident_vm_count() as u64, churn.resident_end
+        );
+        // Every scheduled departure either fired or was skipped
+        // against an empty host — none vanish.
+        prop_assert_eq!(
+            churn.departures + churn.departures_skipped,
+            churn.plan.departures() as u64
+        );
+        }
+    }
+
+    /// With slot reuse enabled, host slot tables stay bounded: the
+    /// cluster never holds more tombstones than it saw departures, and
+    /// total slots never exceed initial + arrivals (they are strictly
+    /// fewer as soon as any tombstone is recycled).
+    #[test]
+    fn slot_reuse_leaves_no_sticky_tombstones(seed in 0u64..1000, rate in 10u32..60) {
+        let (report, initial, cluster) = run(seed, rate, 1, false);
+        let occ = cluster.occupancy();
+        let (arrivals, departures) = report
+            .churn
+            .as_ref()
+            .map_or((0, 0), |c| (c.arrivals, c.departures));
+        prop_assert_eq!(occ.registry as u64, initial as u64 + arrivals);
+        prop_assert_eq!(
+            occ.resident as u64,
+            initial as u64 + arrivals - departures
+        );
+        // Tombstones come from departures *and* from migration
+        // extractions (the source host keeps an emptied slot); both are
+        // bounded by plan-scale counts, never by the epoch horizon.
+        let moved = report.migrations.len() as u64;
+        prop_assert!(
+            (occ.tombstones as u64) <= departures + moved,
+            "tombstones {} exceed departures {} + migrations {}",
+            occ.tombstones, departures, moved
+        );
+        prop_assert_eq!(
+            occ.slots, occ.resident + occ.tombstones,
+            "every slot is either resident or a tombstone"
+        );
+        prop_assert_eq!(occ.pending_retries, 0, "no chain survives the run");
+    }
+
+    /// Byte-identical serialized reports between jobs=1 and jobs=4,
+    /// clean and faulted, for any generated churn plan.
+    #[test]
+    fn churned_runs_are_jobs_invariant(seed in 0u64..1000, rate in 10u32..60) {
+        for faulted in [false, true] {
+            let (a, _, _) = run(seed, rate, 1, faulted);
+            let (b, _, _) = run(seed, rate, 4, faulted);
+            prop_assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "faulted={} run must not depend on worker count", faulted
+            );
+        }
+    }
+}

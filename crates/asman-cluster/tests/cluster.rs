@@ -4,7 +4,7 @@
 
 use asman_cluster::{
     scenario::{self, ConsolidationSpec},
-    Cluster, ClusterConfig, ClusterReport, HostHealth, Policy,
+    ChurnPlan, Cluster, ClusterConfig, ClusterReport, HostHealth, Policy,
 };
 use asman_sim::FaultPlan;
 
@@ -73,10 +73,7 @@ fn same_seed_reruns_are_bit_identical() {
     );
     let c = run_policy(
         Policy::VcrdAware,
-        &ConsolidationSpec {
-            seed: 43,
-            ..spec
-        },
+        &ConsolidationSpec { seed: 43, ..spec },
         6,
     );
     assert_ne!(
@@ -106,7 +103,11 @@ fn migration_counters_and_placement_agree() {
         let moves = report.migrations.iter().filter(|r| r.vm == id).count() as u64;
         assert_eq!(row.migrations, moves, "vm {} migration count", row.name);
         if let Some(last) = report.migrations.iter().rfind(|r| r.vm == id) {
-            assert_eq!(row.host, last.to, "vm {} must live where it last moved", row.name);
+            assert_eq!(
+                row.host, last.to,
+                "vm {} must live where it last moved",
+                row.name
+            );
         }
     }
     // Pause totals re-derive from the records.
@@ -164,9 +165,16 @@ fn aborted_migration_rolls_back_and_commits_on_retry() {
     let clean = scenario::consolidation_cluster(faulted_cfg(""), &spec).run();
     let mut cluster = scenario::consolidation_cluster(faulted_cfg("abort@0"), &spec);
     let report = cluster.run();
-    let rec = report.recovery.as_ref().expect("faulted run reports recovery");
+    let rec = report
+        .recovery
+        .as_ref()
+        .expect("faulted run reports recovery");
 
-    assert_eq!(rec.aborts.len(), 1, "abort@0 fails exactly the first attempt");
+    assert_eq!(
+        rec.aborts.len(),
+        1,
+        "abort@0 fails exactly the first attempt"
+    );
     let a = &rec.aborts[0];
     assert_eq!((a.epoch, a.attempt), (0, 1));
     assert_eq!(rec.retries_committed, 1, "the retry chain must commit");
@@ -204,7 +212,11 @@ fn exhausted_retry_chain_gives_up_and_bars_the_vm() {
         "a gave-up VM must never migrate again"
     );
     let resident: usize = report.host_rows.iter().map(|h| h.vms.len()).sum();
-    assert_eq!(resident, report.vm_rows.len(), "every rollback conserved the VM");
+    assert_eq!(
+        resident,
+        report.vm_rows.len(),
+        "every rollback conserved the VM"
+    );
 }
 
 #[test]
@@ -216,7 +228,10 @@ fn crashed_host_is_evacuated_with_every_vm_conserved() {
     let rec = report.recovery.as_ref().unwrap();
 
     assert_eq!(cluster.host_health()[1], HostHealth::Crashed);
-    assert!(!rec.evacuations.is_empty(), "host 1 held VMs; they must move");
+    assert!(
+        !rec.evacuations.is_empty(),
+        "host 1 held VMs; they must move"
+    );
     assert!(rec.evacuations.iter().all(|e| e.from == 1));
     // Nothing lives on the crashed host, and nothing was lost: the
     // host rows of live hosts cover the whole registry.
@@ -286,4 +301,173 @@ fn sticky_tombstone_fault_is_caught_by_the_auditor() {
         scenario::consolidation_cluster(faulted_cfg("abort@0"), &ConsolidationSpec::default());
     cluster.audit_inject_sticky_tombstone();
     cluster.run();
+}
+
+// ---------------------------------------------------------------------
+// Churn: deterministic VM arrival/departure at epoch boundaries.
+// ---------------------------------------------------------------------
+
+fn churned_cfg(policy: Policy, plan: &str, epochs: u64) -> ClusterConfig {
+    ClusterConfig {
+        policy,
+        epochs,
+        epoch_ms: 50,
+        churn: ChurnPlan::parse(plan).unwrap(),
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn churn_arrivals_and_departures_update_the_population() {
+    let spec = ConsolidationSpec::default();
+    let mut cluster = scenario::consolidation_cluster(
+        churned_cfg(
+            Policy::VcrdAware,
+            "arrive@2:gang2,arrive@3:bg1:w100,depart@5:h0:v0",
+            8,
+        ),
+        &spec,
+    );
+    let initial = cluster.vm_count();
+    let report = cluster.run();
+    let churn = report.churn.as_ref().expect("churned run reports churn");
+    assert_eq!(churn.arrivals, 2);
+    assert_eq!(churn.departures, 1);
+    assert_eq!(churn.arrivals_rejected, 0);
+    assert_eq!(churn.departures_skipped, 0);
+    // Conservation: arrivals - departures == resident growth.
+    assert_eq!(
+        churn.resident_end as usize,
+        initial + 2 - 1,
+        "resident population must track arrivals minus departures"
+    );
+    // The registry keeps a frozen row for the departed VM and live rows
+    // for the arrivals.
+    assert_eq!(report.vm_rows.len(), initial + 2);
+    assert!(report.vm_rows.iter().any(|r| r.name == "gang-c0"));
+    assert!(report.vm_rows.iter().any(|r| r.name == "bg-c1"));
+    // Exactly one registry row is absent from every host's resident
+    // list: the departed VM. (Which VM `v0` picks depends on how the
+    // balancer reshaped host 0 by epoch 5, so identify it by absence.)
+    let resident_names: Vec<&String> = report.host_rows.iter().flat_map(|h| h.vms.iter()).collect();
+    let departed: Vec<_> = report
+        .vm_rows
+        .iter()
+        .filter(|r| !resident_names.contains(&&r.name))
+        .collect();
+    assert_eq!(departed.len(), 1, "exactly one VM departed");
+    // Departed rows carry real (frozen) accounting, not zeros.
+    assert!(departed[0].online_cycles > 0);
+    // Host rows and registry agree on the resident set.
+    let resident: usize = report.host_rows.iter().map(|h| h.vms.len()).sum();
+    assert_eq!(resident, churn.resident_end as usize);
+}
+
+#[test]
+fn departure_abandons_the_pending_migration_chain() {
+    let spec = ConsolidationSpec::default();
+    // First find which VM the balancer moves (and aborts) at epoch 0.
+    let probe = scenario::consolidation_cluster(faulted_cfg("abort@0"), &spec).run();
+    let victim = probe.recovery.as_ref().unwrap().aborts[0].vm;
+    assert!(victim < 3, "the mover lives on host 0");
+    // Now rerun, but depart the victim at epoch 1 — exactly when its
+    // retry chain comes due. Churn runs before chain revalidation in
+    // the barrier, so the departure must abandon the chain.
+    let cfg = ClusterConfig {
+        churn: ChurnPlan::parse(&format!("depart@1:h0:v{victim}")).unwrap(),
+        ..faulted_cfg("abort@0")
+    };
+    let mut cluster = scenario::consolidation_cluster(cfg, &spec);
+    let report = cluster.run();
+    let rec = report.recovery.as_ref().unwrap();
+    assert_eq!(rec.retries_abandoned, 1, "the chain must be abandoned");
+    assert_eq!(rec.retries_committed, 0);
+    assert!(
+        report.migrations.iter().all(|m| m.vm != victim),
+        "a departed VM must never commit a migration"
+    );
+    assert_eq!(report.churn.as_ref().unwrap().departures, 1);
+}
+
+#[test]
+fn departing_an_empty_host_is_skipped_and_counted() {
+    let spec = ConsolidationSpec::default();
+    // Depart host 1's only VM at epoch 1, then ask host 1 for another
+    // departure at epoch 2: nothing lives there, so it is skipped.
+    // Static policy: no balancer migration can repopulate host 1
+    // between the two departures.
+    let mut cluster = scenario::consolidation_cluster(
+        churned_cfg(Policy::Static, "depart@1:h1:v0,depart@2:h1:v0", 4),
+        &spec,
+    );
+    let report = cluster.run();
+    let churn = report.churn.as_ref().unwrap();
+    assert_eq!(churn.departures, 1);
+    assert_eq!(churn.departures_skipped, 1);
+    assert!(report.host_rows[1].vms.is_empty());
+}
+
+#[test]
+fn churned_runs_are_bit_identical_across_jobs_and_reruns() {
+    let spec = ConsolidationSpec::default();
+    let run = |jobs: usize| {
+        let cfg = ClusterConfig {
+            jobs,
+            faults: FaultPlan::parse("abort@2,slow@3:h2:30").unwrap(),
+            churn: ChurnPlan::generate(42, 25, 10, spec.hosts),
+            policy: Policy::VcrdAware,
+            epochs: 10,
+            epoch_ms: 50,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = scenario::consolidation_cluster(cfg, &spec);
+        cluster.enable_slot_reuse();
+        serde_json::to_string(&cluster.run()).unwrap()
+    };
+    let a = run(1);
+    assert_eq!(a, run(4), "churned runs must not depend on worker count");
+    assert_eq!(a, run(1), "churned runs must be deterministic");
+}
+
+#[test]
+fn slot_reuse_bounds_slot_growth_under_sustained_churn() {
+    let spec = ConsolidationSpec::default();
+    // Three arrive/depart cycles of the same 2-VCPU background shape.
+    // Arrivals land on host 1 (least loaded, lowest index at ties); the
+    // departure token picks them back off in id order.
+    let plan =
+        "arrive@1:bg2,depart@2:h1:v1,arrive@3:bg2,depart@4:h1:v1,arrive@5:bg2,depart@6:h1:v1";
+    // Static policy keeps placement deterministic: every bg2 arrival
+    // lands on host 1 (fewest resident VCPUs, lowest index at ties), so
+    // the `v1` departure token always picks the arrival back off.
+    let run = |reuse: bool| {
+        let mut cluster =
+            scenario::consolidation_cluster(churned_cfg(Policy::Static, plan, 8), &spec);
+        let initial = cluster.occupancy().slots;
+        if reuse {
+            cluster.enable_slot_reuse();
+        }
+        cluster.run();
+        (initial, cluster.occupancy())
+    };
+    let (initial, with_reuse) = run(true);
+    let (_, without) = run(false);
+    assert_eq!(
+        with_reuse.slots,
+        initial + 1,
+        "reuse must recycle the tombstone instead of appending"
+    );
+    assert_eq!(
+        without.slots,
+        initial + 3,
+        "without reuse every arrival appends"
+    );
+    assert!(with_reuse.tombstones <= 1);
+    assert_eq!(
+        with_reuse.resident, initial,
+        "population returns to baseline"
+    );
+    // The registry itself grows with total arrivals by design — that is
+    // bounded by the churn plan, not the horizon.
+    assert_eq!(with_reuse.registry, initial + 3);
 }

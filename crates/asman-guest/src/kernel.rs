@@ -221,7 +221,12 @@ impl GuestKernel {
     /// Off by default: the charge path then pays a single branch and no
     /// observation is ever taken, so results are unchanged.
     pub fn enable_spin_episodes(&mut self) {
-        self.stats.spin_episodes = Some(Default::default());
+        // Idempotent: a kernel that live-migrated in already carries its
+        // histogram, and re-enabling on the destination must not erase
+        // the episodes observed on the source host.
+        if self.stats.spin_episodes.is_none() {
+            self.stats.spin_episodes = Some(Default::default());
+        }
     }
 
     /// The guest-layer flight recorder.
@@ -379,7 +384,7 @@ impl GuestKernel {
                     let mut dur = remaining;
                     if !self.vcpus[v].pending_warmup.is_zero() {
                         let w = std::mem::take(&mut self.vcpus[v].pending_warmup);
-                        self.stats.warmup_cycles += w;
+                        self.stats.warmup_cycles = self.stats.warmup_cycles.saturating_add(w);
                         if let TState::Work { remaining, .. } = &mut self.threads[t].state {
                             *remaining += w;
                         }
@@ -510,21 +515,28 @@ impl GuestKernel {
             TState::Work { remaining, then } => {
                 let used = el.min(*remaining);
                 *remaining -= used;
+                // Cumulative counters saturate: a soak horizon must pin
+                // them at the ceiling, not panic (debug) or wrap
+                // (release) after enough simulated days.
                 match then {
                     AfterWork::TryFutexEnqueue { .. } => {
-                        self.stats.spin_barrier_cycles += used;
+                        self.stats.spin_barrier_cycles =
+                            self.stats.spin_barrier_cycles.saturating_add(used);
                         self.stats.note_spin(used);
                     }
                     AfterWork::TryPeerEnqueue { .. } => {
-                        self.stats.spin_pipeline_cycles += used;
+                        self.stats.spin_pipeline_cycles =
+                            self.stats.spin_pipeline_cycles.saturating_add(used);
                         self.stats.note_spin(used);
                     }
-                    _ => self.stats.useful_cycles += used,
+                    _ => {
+                        self.stats.useful_cycles = self.stats.useful_cycles.saturating_add(used)
+                    }
                 }
                 self.vcpus[v].quantum_used += el;
             }
             TState::SpinKernel { .. } => {
-                self.stats.spin_kernel_cycles += el;
+                self.stats.spin_kernel_cycles = self.stats.spin_kernel_cycles.saturating_add(el);
                 self.stats.note_spin(el);
             }
             _ => {}
@@ -1310,6 +1322,28 @@ mod tests {
         );
         // Spin burn was charged.
         assert_eq!(g.stats().spin_kernel_cycles, Cycles(900));
+    }
+
+    /// The clean-after half of the long-horizon hardening: a cumulative
+    /// spin counter sitting near the ceiling saturates at `Cycles::MAX`
+    /// instead of overflowing. Pre-fix (plain `+=`), this test died in
+    /// debug builds with "attempt to add with overflow" when the 900
+    /// spin cycles landed.
+    #[test]
+    fn spin_counters_saturate_near_the_ceiling() {
+        let cs = |hold| Op::CriticalSection {
+            lock: 0,
+            hold: Cycles(hold),
+        };
+        let p = ScriptProgram::new("t", vec![vec![cs(1_000)], vec![cs(500)]]);
+        let mut g = GuestKernel::new(Box::new(p), 2, costs(), Box::new(NullObserver));
+        g.stats_mut().spin_kernel_cycles = Cycles(u64::MAX - 10);
+        let mut e = fx();
+        g.dispatch(0, Cycles(0), Cycles(0), &mut e);
+        g.dispatch(1, Cycles(100), Cycles(0), &mut e); // contender spins
+        e.clear();
+        g.work_complete(0, Cycles(1_000), &mut e); // charges 900 spin cycles
+        assert_eq!(g.stats().spin_kernel_cycles, Cycles::MAX, "pinned, not wrapped");
     }
 
     /// Lock-holder preemption: holder goes offline mid-hold; the waiter's

@@ -39,5 +39,5 @@ pub mod machine;
 pub mod metrics;
 
 pub use config::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
-pub use machine::{Ev, Machine, OracleMachine, PerfSnapshot, VmCounters, VmImage};
+pub use machine::{Ev, Machine, OracleMachine, PerfSnapshot, VmCounters, VmImage, VmRetirement};
 pub use metrics::{SchedEvent, SchedEventKind, VmAccounting};

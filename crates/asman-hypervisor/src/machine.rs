@@ -114,6 +114,14 @@ struct Vm {
     /// VM/VCPU indices remain stable) but it holds a zero-thread stub
     /// kernel, carries no weight, and never schedules again.
     evacuated: bool,
+    /// Incarnation counter of this slot. Bumped only when a tombstone
+    /// is *reused* for a different VM (never on extraction alone, so an
+    /// aborted migration's rollback keeps its in-flight events valid).
+    /// Wake and sleep-timer events carry the generation they were armed
+    /// for and are dropped on mismatch; external holders of a
+    /// `(vm, generation)` pair can detect staleness via
+    /// [`Machine::vm_generation`].
+    generation: u32,
 }
 
 /// A VM lifted off its host for live migration: everything needed to
@@ -142,6 +150,39 @@ impl VmImage {
     pub fn vcpus(&self) -> usize {
         self.kernel.vcpu_count()
     }
+
+    /// Cumulative spin/VCRD/online counters carried by this image, in
+    /// exactly [`Machine::vm_counters`]' units. An image's counters are
+    /// *later* than the worker-captured barrier snapshot: extraction
+    /// closes in-progress spin segments (via the final preempts), so the
+    /// cluster reconciles its per-VM baselines against this value when a
+    /// VM migrates or departs — otherwise the closing tail is smeared
+    /// into the next epoch on the destination, or lost with the VM.
+    pub fn counters(&self) -> VmCounters {
+        let st = self.kernel.stats();
+        VmCounters {
+            spin: (st.spin_kernel_cycles + st.spin_barrier_cycles + st.spin_pipeline_cycles)
+                .as_u64(),
+            vcrd_high: self.acct.vcrd_high_cycles.as_u64(),
+            online: self.acct.total_online().as_u64(),
+        }
+    }
+}
+
+/// Final accounting of a VM destroyed with [`Machine::destroy_vm`]: the
+/// numbers a cluster report needs after the kernel itself is gone.
+#[derive(Clone, Debug)]
+pub struct VmRetirement {
+    /// VM name.
+    pub name: String,
+    /// VCPU count the VM had.
+    pub vcpus: usize,
+    /// Cumulative spin/VCRD/online counters at destruction.
+    pub counters: VmCounters,
+    /// Cycles of useful (non-spin) guest work completed.
+    pub useful_cycles: u64,
+    /// Whether a finite program had run to completion.
+    pub finished: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -179,6 +220,9 @@ pub enum Ev {
         vm: u32,
         /// VM-local thread index.
         thread: u32,
+        /// Slot generation the timer was armed for; invalidates the
+        /// event if the slot has been reused by a different VM since.
+        gen: u32,
     },
     /// Expiry of a VCRD HIGH period raised with a deadline.
     VcrdTimer {
@@ -196,6 +240,9 @@ pub enum Ev {
     Wake {
         /// Target VCPU.
         vcpu: u32,
+        /// Slot generation the wake was armed for; invalidates the
+        /// event if the slot has been reused by a different VM since.
+        gen: u32,
     },
 }
 
@@ -251,6 +298,17 @@ pub struct Machine<Q: SimQueue<Ev> = EventQueue<Ev>> {
     /// `None` by default: the stamp sites then cost a single branch and
     /// no VCPU timestamps are ever taken, so artifacts are unchanged.
     lat: Option<Box<SchedLatency>>,
+    /// When set, [`Machine::inject_vm`] reuses the lowest-index
+    /// tombstone slot of matching VCPU count (bumping its generation)
+    /// instead of appending a new slot. Off by default so static-
+    /// population experiments keep their exact slot layout and digests;
+    /// churned soaks enable it to bound slot growth.
+    reuse_slots: bool,
+    /// Flight-recorder arming spec (`mask`, per-category capacity),
+    /// remembered so guests injected or created *after*
+    /// [`Machine::enable_flight`] get recorders too — enablement at one
+    /// instant must not silently exempt later arrivals.
+    flight_spec: Option<(CatMask, usize)>,
     /// Invariant-auditor state (shadow ledgers, injected mutations).
     /// Costs nothing unless the `audit` feature is compiled in.
     #[cfg(feature = "audit")]
@@ -420,6 +478,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 online_count: 0,
                 co_last: Cycles::ZERO,
                 evacuated: false,
+                generation: 0,
             });
         }
         // All PCPUs start idle; the initial runqueues are all non-empty
@@ -459,6 +518,8 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             adopted_streams: Vec::new(),
             derate_pct: 0,
             lat: None,
+            reuse_slots: false,
+            flight_spec: None,
             cfg,
         };
         // Initial credit: one assignment interval's worth, so the first
@@ -723,6 +784,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// retains at most `capacity` events per layer.
     pub fn enable_flight(&mut self, mask: CatMask, capacity: usize) {
         self.flight = FlightRecorder::labeled(mask, capacity, "hypervisor");
+        self.flight_spec = Some((mask, capacity));
         for vm in &mut self.vms {
             vm.kernel.enable_flight(mask, capacity);
         }
@@ -930,6 +992,24 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         self.vms[vm].evacuated
     }
 
+    /// Incarnation counter of a VM slot: bumped each time the tombstone
+    /// is reused for a different VM (see [`Machine::enable_slot_reuse`]).
+    /// Holders of a `(vm, generation)` pair can compare against this to
+    /// detect that their reference now names a different VM.
+    pub fn vm_generation(&self, vm: usize) -> u32 {
+        self.vms[vm].generation
+    }
+
+    /// Let [`Machine::inject_vm`] recycle tombstone slots of matching
+    /// VCPU count instead of appending forever. Off by default (static-
+    /// population experiments keep their exact slot layout); long
+    /// churned soaks enable it so slot count — and with it VCPU arrays,
+    /// audit ledgers and telemetry captures — stays bounded by the peak
+    /// concurrent population instead of growing with total arrivals.
+    pub fn enable_slot_reuse(&mut self) {
+        self.reuse_slots = true;
+    }
+
     /// Credit-scheduler weight of a VM.
     pub fn vm_weight(&self, vm: usize) -> u32 {
         self.vms[vm].weight
@@ -1094,6 +1174,11 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             "a VM cannot have more VCPUs than the destination has PCPUs"
         );
         assert!(vcpu_count > 0, "cannot inject a VM with no VCPUs");
+        if self.reuse_slots {
+            if let Some(slot) = self.reusable_tombstone(vcpu_count) {
+                return self.inject_into_tombstone(slot, image, resume_at);
+            }
+        }
         let vm_idx = self.vms.len();
         let resume = resume_at.max(self.now);
         let mut vcpu_ids = Vec::with_capacity(vcpu_count);
@@ -1132,7 +1217,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         // fell inside the pause — migration dead time is guest-visible).
         for (slot, &vcpu) in vcpu_ids.iter().enumerate() {
             if image.kernel.vcpu_runnable(slot) {
-                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32 });
+                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32, gen: 0 });
             }
         }
         for (thread, until) in image.kernel.sleeping_threads() {
@@ -1141,6 +1226,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 Ev::SleepTimer {
                     vm: vm_idx as u32,
                     thread: thread as u32,
+                    gen: 0,
                 },
             );
         }
@@ -1160,8 +1246,104 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             online_count: 0,
             co_last: self.now,
             evacuated: false,
+            generation: 0,
         });
+        self.arm_late_guest_telemetry(vm_idx);
         vm_idx
+    }
+
+    /// Lowest-index tombstone slot whose VCPU count matches, if any.
+    fn reusable_tombstone(&self, vcpus: usize) -> Option<usize> {
+        self.vms
+            .iter()
+            .position(|v| v.evacuated && v.vcpu_ids.len() == vcpus)
+    }
+
+    /// Resume `image` in a reused tombstone slot: the slot-recycling arm
+    /// of [`Machine::inject_vm`]. The slot's generation is bumped first,
+    /// so every wake or sleep timer still in flight for the previous
+    /// occupant dies at delivery — a wake for VM A must never start
+    /// VM B. VCPU scheduler state is reset to exactly what a freshly
+    /// appended slot would get (home PCPU by slot index, cold caches, no
+    /// latency stamps or spin residue); `epoch` and `vcrd_epoch` stay
+    /// monotone so events from older incarnations remain dead.
+    fn inject_into_tombstone(&mut self, vm: usize, image: VmImage, resume_at: Cycles) -> usize {
+        debug_assert!(self.vms[vm].evacuated, "reuse target must be a tombstone");
+        let resume = resume_at.max(self.now);
+        self.vms[vm].generation = self.vms[vm].generation.wrapping_add(1);
+        let gen = self.vms[vm].generation;
+        for i in 0..self.vms[vm].vcpu_ids.len() {
+            let v = self.vms[vm].vcpu_ids[i];
+            let slot = self.vcpus[v].slot;
+            let vc = &mut self.vcpus[v];
+            debug_assert_eq!(vc.state, VState::Blocked);
+            debug_assert_eq!(vc.runq_pos, NOT_QUEUED);
+            vc.assigned = slot % self.cfg.pcpus;
+            vc.credit = 0;
+            vc.boost = false;
+            vc.parked = false;
+            // First dispatch pays warm-up: the working set did not
+            // travel, and the previous occupant's footprint is gone.
+            vc.cold = true;
+            vc.last_ran = None;
+            vc.spinning_since = None;
+            vc.skew = Cycles::ZERO;
+            vc.last_charge = self.now;
+            vc.blocked_since = Some(self.now);
+            vc.blocked_accum = Cycles::ZERO;
+            // Stale stamps from the previous occupant must not be
+            // consumed by this VM's first dispatches.
+            vc.wake_at = None;
+            vc.preempt_at = None;
+        }
+        self.total_weight += image.weight as u64;
+        #[cfg(feature = "audit")]
+        {
+            self.audit.ledger[vm] = 0;
+        }
+        for (slot, &vcpu) in self.vms[vm].vcpu_ids.iter().enumerate() {
+            if image.kernel.vcpu_runnable(slot) {
+                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32, gen });
+            }
+        }
+        for (thread, until) in image.kernel.sleeping_threads() {
+            self.events.schedule(
+                until.max(resume),
+                Ev::SleepTimer { vm: vm as u32, thread: thread as u32, gen },
+            );
+        }
+        let v = &mut self.vms[vm];
+        debug_assert_eq!(v.online_count, 0, "a tombstone cannot have online VCPUs");
+        v.name = image.name;
+        v.weight = image.weight;
+        v.cap = image.cap;
+        v.concurrent_hint = image.concurrent_hint;
+        v.finite = image.finite;
+        v.kernel = image.kernel;
+        v.acct = image.acct;
+        // The VMM view restarts LOW, exactly as on an appended slot.
+        v.vcrd = Vcrd::Low;
+        v.vcrd_high_since = self.now;
+        v.last_cosched = None;
+        v.co_last = self.now;
+        v.evacuated = false;
+        self.arm_late_guest_telemetry(vm);
+        vm
+    }
+
+    /// Arm flight recording and spin-episode telemetry on a VM injected
+    /// or created after the machine-wide enables ran. Guarded so a
+    /// travelling kernel that already carries a recorder or histogram
+    /// keeps it — late arming must fill gaps, never clobber history.
+    fn arm_late_guest_telemetry(&mut self, vm: usize) {
+        if let Some((mask, capacity)) = self.flight_spec {
+            if !self.vms[vm].kernel.flight().is_enabled() {
+                self.vms[vm].kernel.enable_flight(mask, capacity);
+            }
+        }
+        if self.lat.is_some() && self.vms[vm].kernel.stats().spin_episodes.is_none() {
+            self.vms[vm].kernel.enable_spin_episodes();
+        }
     }
 
     /// Roll back an aborted migration: re-inject `image` into the
@@ -1186,12 +1368,16 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         );
         let resume = resume_at.max(self.now);
         let weight = image.weight as u64;
+        // The generation is NOT bumped on a rollback: the slot was never
+        // reused, so pre-extraction wakes and timers stay valid — the
+        // guest never actually stopped being resident.
+        let gen = self.vms[vm].generation;
         // Re-arm what inject_vm would have armed on a destination:
         // wakes for runnable VCPUs at the penalty's end, one timer per
         // sleeping thread.
         for (slot, &vcpu) in self.vms[vm].vcpu_ids.iter().enumerate() {
             if image.kernel.vcpu_runnable(slot) {
-                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32 });
+                self.events.schedule(resume, Ev::Wake { vcpu: vcpu as u32, gen });
             }
         }
         for (thread, until) in image.kernel.sleeping_threads() {
@@ -1200,6 +1386,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                 Ev::SleepTimer {
                     vm: vm as u32,
                     thread: thread as u32,
+                    gen,
                 },
             );
         }
@@ -1222,6 +1409,49 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         self.total_weight += weight;
         // Credits were zeroed at extraction and stay zero (the shadow
         // ledger already agrees); the next assignment funds the VM.
+    }
+
+    /// Boot a brand-new VM on this host at an epoch boundary. The spec
+    /// is materialized into a fresh guest kernel and admitted through
+    /// the [`Machine::inject_vm`] path (reusing a tombstone slot when
+    /// [`Machine::enable_slot_reuse`] is armed), so a created VM behaves
+    /// exactly like a migrated-in VM with zero history: VCPUs wake at
+    /// `start_at`, first dispatches pay the cold-cache penalty, and the
+    /// next credit assignment funds it. Must be called between run
+    /// drivers. Returns the VM's slot index.
+    pub fn create_vm(&mut self, spec: VmSpec, start_at: Cycles) -> usize {
+        let finite = spec.program.finite();
+        let vcpus = spec.vcpus;
+        let kernel = GuestKernel::new(spec.program, vcpus, spec.costs, spec.observer);
+        let image = VmImage {
+            name: spec.name,
+            weight: spec.weight,
+            cap: spec.cap,
+            concurrent_hint: spec.concurrent_hint,
+            finite,
+            kernel,
+            acct: VmAccounting::new(vcpus),
+        };
+        self.inject_vm(image, start_at)
+    }
+
+    /// Permanently remove a VM from the simulation at an epoch boundary:
+    /// the "departure" half of cluster churn. The VM is extracted like a
+    /// migration source — VCPUs frozen, accounting closed exactly, slot
+    /// left as a reusable tombstone, flight history adopted into this
+    /// host's stream — but instead of travelling, the image is finalized
+    /// into a [`VmRetirement`] and dropped. Must be called between run
+    /// drivers.
+    pub fn destroy_vm(&mut self, vm: usize) -> VmRetirement {
+        let image = self.extract_vm(vm);
+        let counters = image.counters();
+        VmRetirement {
+            vcpus: image.vcpus(),
+            counters,
+            useful_cycles: image.kernel.stats().useful_cycles.as_u64(),
+            finished: image.kernel.is_finished(),
+            name: image.name,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1396,13 +1626,14 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                     self.maybe_cosched(vm);
                 }
             }
-            Ev::SleepTimer { vm, thread } => {
+            Ev::SleepTimer { vm, thread, gen } => {
                 let (vm, thread) = (vm as usize, thread as usize);
-                if self.vms[vm].evacuated {
-                    // The VM migrated away; its stub kernel has no
-                    // threads, so the stale timer must not be delivered.
-                    // The destination host re-armed the sleep from the
-                    // kernel's thread state at injection time.
+                if self.vms[vm].evacuated || gen != self.vms[vm].generation {
+                    // The VM migrated away (or its slot has since been
+                    // reused by a different VM); the stale timer must
+                    // not be delivered. The destination host re-armed
+                    // the sleep from the kernel's thread state at
+                    // injection time.
                     return;
                 }
                 let mut fx = std::mem::take(&mut self.scratch_fx);
@@ -1439,7 +1670,15 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
                     self.schedule_pcpu(p);
                 }
             }
-            Ev::Wake { vcpu } => self.deliver_wake(vcpu as usize),
+            Ev::Wake { vcpu, gen } => {
+                let vcpu = vcpu as usize;
+                if gen != self.vms[self.vcpus[vcpu].vm].generation {
+                    // Armed for a previous incarnation of a since-reused
+                    // slot: a wake for VM A must never start VM B.
+                    return;
+                }
+                self.deliver_wake(vcpu);
+            }
         }
     }
 
@@ -1957,8 +2196,10 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
     /// jitter), deliver VCRD hypercalls, and refresh online VCPUs whose
     /// work changed (lock grants, barrier releases).
     fn apply_effects(&mut self, vm: usize, fx: &mut Effects) {
+        let gen = self.vms[vm].generation;
         for (thread, at) in fx.sleep_timers.drain(..) {
-            self.events.schedule(at, Ev::SleepTimer { vm: vm as u32, thread: thread as u32 });
+            self.events
+                .schedule(at, Ev::SleepTimer { vm: vm as u32, thread: thread as u32, gen });
         }
         for slot in fx.wake_vcpus.drain(..) {
             let vcpu = self.vms[vm].vcpu_ids[slot];
@@ -1969,7 +2210,7 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             } else {
                 Cycles::ZERO
             };
-            self.events.schedule(self.now + jitter, Ev::Wake { vcpu: vcpu as u32 });
+            self.events.schedule(self.now + jitter, Ev::Wake { vcpu: vcpu as u32, gen });
         }
         if let Some(update) = fx.vcrd.take() {
             self.handle_vcrd(vm, update);

@@ -38,7 +38,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use asman_cluster::Policy;
+use asman_cluster::{ChurnSpec, Policy};
 use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
 };
@@ -58,6 +58,9 @@ struct Args {
     cluster_epochs: u64,
     cluster_policy: Option<Policy>,
     cluster_faults: FaultPlan,
+    cluster_churn: ChurnSpec,
+    cluster_epochs_set: bool,
+    audit_every: u64,
     cluster_bench: bool,
     bench_hosts: Vec<usize>,
     bench_jobs: Vec<usize>,
@@ -65,7 +68,7 @@ struct Args {
     series_nsigma: f64,
 }
 
-const KNOWN_TARGETS: [&str; 15] = [
+const KNOWN_TARGETS: [&str; 16] = [
     "fig1",
     "fig2",
     "fig7",
@@ -81,6 +84,7 @@ const KNOWN_TARGETS: [&str; 15] = [
     "audit",
     "cluster",
     "series",
+    "soak",
 ];
 
 fn usage() -> String {
@@ -109,6 +113,12 @@ fn usage() -> String {
          --faults PLAN   cluster target: inject faults. PLAN is either a\n                  \
          comma list of crash@E:hH | slow@E:hH:P | abort@E tokens,\n                  \
          or rand:SEED for a generated plan\n  \
+         --churn PLAN    soak target: VM arrival/departure schedule. PLAN is\n                  \
+         a comma list of arrive@E:gangN[:wW] | arrive@E:bgN[:wW] |\n                  \
+         depart@E:hH:vV tokens, or rand:SEED:RATE for a generated\n                  \
+         plan (RATE%% arrival + RATE%% departure chance per epoch)\n  \
+         --audit-every N soak target: audit + occupancy-checkpoint cadence\n                  \
+         in epochs (default 1000; the end-of-run audit always runs)\n  \
          --bench         cluster target: run the hosts x jobs performance\n                  \
          grid instead of the consolidation experiment and write\n                  \
          BENCH_cluster.json (warmup + median-of-3 per cell)\n  \
@@ -143,6 +153,9 @@ fn parse_args() -> Args {
     let mut cluster_epochs = 8u64;
     let mut cluster_policy = None;
     let mut cluster_faults: Option<FaultSpec> = None;
+    let mut cluster_churn: Option<ChurnSpec> = None;
+    let mut cluster_epochs_set = false;
+    let mut audit_every = 1_000u64;
     let mut cluster_bench = false;
     let mut bench_hosts = vec![2usize, 4, 8];
     let mut bench_jobs = vec![1usize, 2, 4, 8];
@@ -252,12 +265,28 @@ fn parse_args() -> Args {
                 if cluster_epochs < 1 {
                     fail("--epochs must be at least 1");
                 }
+                cluster_epochs_set = true;
             }
             "--faults" => {
                 let v = it.next().unwrap_or_else(|| fail("--faults needs a plan"));
                 cluster_faults = Some(
                     FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--faults {e}"))),
                 );
+            }
+            "--churn" => {
+                let v = it.next().unwrap_or_else(|| fail("--churn needs a plan"));
+                cluster_churn = Some(
+                    ChurnSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--churn {e}"))),
+                );
+            }
+            "--audit-every" => {
+                let v = it.next().unwrap_or_else(|| fail("--audit-every needs a value"));
+                audit_every = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--audit-every `{v}` is not a number")));
+                if audit_every < 1 {
+                    fail("--audit-every must be at least 1");
+                }
             }
             "--window" => {
                 let v = it.next().unwrap_or_else(|| fail("--window needs a value"));
@@ -339,6 +368,16 @@ fn parse_args() -> Args {
         }
         None => FaultPlan::empty(),
     };
+    // A soak with no explicit --epochs runs the full default horizon,
+    // not the 8-epoch cluster-experiment default.
+    let cluster_churn = cluster_churn.unwrap_or_default();
+    if let Some(h) = cluster_churn.resolve(1, hosts).max_host() {
+        if h >= hosts {
+            fail(&format!(
+                "--churn names host {h} but the cluster only has {hosts} hosts"
+            ));
+        }
+    }
     Args {
         which,
         params,
@@ -351,6 +390,9 @@ fn parse_args() -> Args {
         cluster_epochs,
         cluster_policy,
         cluster_faults,
+        cluster_churn,
+        cluster_epochs_set,
+        audit_every,
         cluster_bench,
         bench_hosts,
         bench_jobs,
@@ -764,6 +806,39 @@ fn run_series(args: &Args) {
     }
 }
 
+/// The long-horizon soak (`repro soak`): the consolidation cluster
+/// driven for `--epochs` boundaries (default 100k) under `--churn`,
+/// with amortized audits, occupancy checkpoints asserting the
+/// bounded-memory invariant, and a jobs-1-vs-4 determinism prefix.
+/// Exits non-zero when the cross-check digests diverge.
+fn run_soak(args: &Args) {
+    use asman_report::soak;
+
+    let defaults = soak::SoakParams::default();
+    // A soak with no explicit --epochs runs its own long-horizon
+    // default, not the 8-epoch cluster-experiment default.
+    let epochs = if args.cluster_epochs_set {
+        args.cluster_epochs
+    } else {
+        defaults.epochs
+    };
+    let p = soak::SoakParams {
+        hosts: args.hosts,
+        gangs: args.cluster_vms,
+        epochs,
+        seed: args.params.seed,
+        jobs: args.params.jobs,
+        churn: args.cluster_churn.resolve(epochs, args.hosts),
+        audit_every: args.audit_every.min(epochs),
+        ..defaults
+    };
+    let rep = soak::run(&p);
+    emit(args, "SOAK_report", rep.render(), rep.shape_checks(), &rep);
+    if !rep.jobs_identical() {
+        std::process::exit(1);
+    }
+}
+
 /// The cluster performance grid (`repro cluster --bench`): hosts × jobs
 /// cells on the uniform scaling scenario, warmup + median-of-3 each,
 /// written to `BENCH_cluster.json` (into `--json` DIR, or the working
@@ -839,6 +914,7 @@ fn main() {
             "audit" => run_audit(&args),
             "cluster" => run_cluster(&args),
             "series" => run_series(&args),
+            "soak" => run_soak(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);

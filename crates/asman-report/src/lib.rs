@@ -32,6 +32,7 @@ pub mod logger;
 pub mod multivm;
 pub mod scenario;
 pub mod series;
+pub mod soak;
 pub mod timeline;
 pub mod window;
 

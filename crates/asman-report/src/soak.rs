@@ -1,0 +1,342 @@
+//! The long-horizon soak harness (`repro soak`).
+//!
+//! A soak run drives the consolidation cluster for a horizon two to
+//! three orders of magnitude past the other targets — `>= 100_000`
+//! epochs — with a deterministic VM-churn plan layered on top, hunting
+//! the class of bug that only surfaces when state outlives the window
+//! it was designed for: stale slot references after tombstone reuse,
+//! counter baselines that drift across migrate/depart epochs, rings or
+//! retry chains that grow without bound.
+//!
+//! Three mechanisms keep a 100k-epoch run honest *and* affordable:
+//!
+//! * **Amortized auditing** — the cluster's O(registry + records)
+//!   invariant auditor runs every [`SoakParams::audit_every`] epochs
+//!   (plus unconditionally at the end) instead of every boundary.
+//! * **Occupancy checkpoints** — at every audit boundary the driver
+//!   samples [`Cluster::occupancy`], the RSS proxy: host slot tables,
+//!   series-ring fill, pending retry chains. Each checkpoint asserts
+//!   the bounded-memory invariant (ring fill never exceeds capacity,
+//!   at most one retry chain, slots fully accounted as resident +
+//!   tombstones, registry exactly tracks admissions) and the report
+//!   keeps the peaks so a slow leak is visible even when no assert
+//!   fires.
+//! * **Worker cross-check** — a prefix of the horizon is re-run under
+//!   `jobs = 1` and `jobs = 4` and the serialized reports' digests
+//!   must match byte-for-byte, extending the repo's determinism
+//!   contract to churned long-horizon runs.
+
+use asman_cluster::{
+    scenario::{self, ConsolidationSpec},
+    ChurnPlan, Cluster, ClusterConfig, Occupancy, Policy,
+};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+use crate::cluster::digest_report;
+use crate::figures::ShapeCheck;
+
+/// Capacity of the series ring a soak run arms: large enough to hold a
+/// meaningful trailing window, small enough that "ring fill is bounded"
+/// is a real assertion long before the horizon ends.
+pub const SOAK_SERIES_CAPACITY: usize = 4096;
+
+/// Parameters of a soak run.
+#[derive(Clone, Debug)]
+pub struct SoakParams {
+    /// Host count.
+    pub hosts: usize,
+    /// Gang VMs consolidated on host 0 at the start.
+    pub gangs: usize,
+    /// Epochs to run (the soak horizon).
+    pub epochs: u64,
+    /// Epoch length in milliseconds. The soak default is much shorter
+    /// than the experiment targets': a soak exercises epoch-boundary
+    /// *logic* per unit of wall time, not per-epoch guest behavior.
+    pub epoch_ms: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads for the main run (0 = one per core).
+    pub jobs: usize,
+    /// Resolved churn plan (may be empty for a churn-free soak).
+    pub churn: ChurnPlan,
+    /// Audit + occupancy-checkpoint cadence in epochs.
+    pub audit_every: u64,
+    /// Epochs of the jobs-1-vs-4 determinism cross-check prefix
+    /// (clamped to the horizon).
+    pub crosscheck_epochs: u64,
+}
+
+impl Default for SoakParams {
+    fn default() -> Self {
+        SoakParams {
+            hosts: 3,
+            gangs: 2,
+            epochs: 100_000,
+            epoch_ms: 5,
+            seed: 42,
+            jobs: 0,
+            churn: ChurnPlan::empty(),
+            audit_every: 1_000,
+            crosscheck_epochs: 2_000,
+        }
+    }
+}
+
+impl SoakParams {
+    fn cluster(&self, epochs: u64, jobs: usize) -> Cluster {
+        let spec = ConsolidationSpec {
+            hosts: self.hosts,
+            gangs: self.gangs,
+            seed: self.seed,
+            ..ConsolidationSpec::default()
+        };
+        let cfg = ClusterConfig {
+            policy: Policy::VcrdAware,
+            epochs,
+            epoch_ms: self.epoch_ms,
+            jobs,
+            churn: self.churn.clone(),
+            audit_every: self.audit_every,
+            ..ClusterConfig::default()
+        };
+        let mut c = scenario::consolidation_cluster(cfg, &spec);
+        // A soak is exactly the workload slot reuse exists for: without
+        // it, host slot tables grow with every arrival of the plan.
+        c.enable_slot_reuse();
+        c.enable_series(SOAK_SERIES_CAPACITY);
+        c
+    }
+}
+
+/// One occupancy checkpoint, taken at an audit boundary.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SoakCheckpoint {
+    /// Epochs completed when the sample was taken.
+    pub epoch: u64,
+    /// The occupancy sample.
+    pub occupancy: Occupancy,
+}
+
+/// The soak run's full result.
+#[derive(Clone, Debug, Serialize)]
+pub struct SoakReport {
+    /// Horizon actually run.
+    pub epochs: u64,
+    /// Epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// The churn plan's event counts (the plan itself is in the
+    /// embedded cluster report when churn was armed).
+    pub churn_arrivals_planned: usize,
+    /// Planned departures.
+    pub churn_departures_planned: usize,
+    /// Every occupancy checkpoint, in epoch order.
+    pub checkpoints: Vec<SoakCheckpoint>,
+    /// Peak host-slot-table total over all checkpoints.
+    pub peak_slots: usize,
+    /// Peak resident VM count over all checkpoints.
+    pub peak_resident: usize,
+    /// Peak tombstone count over all checkpoints.
+    pub peak_tombstones: usize,
+    /// Digest of the main run's cluster report.
+    pub digest: String,
+    /// Digest of the `jobs = 1` cross-check prefix.
+    pub crosscheck_digest_jobs1: String,
+    /// Digest of the `jobs = 4` cross-check prefix.
+    pub crosscheck_digest_jobs4: String,
+    /// Epochs the cross-check prefix covered.
+    pub crosscheck_epochs: u64,
+    /// The main run's cluster report (migrations, churn outcome,
+    /// per-VM rows with departed VMs' frozen accounting).
+    pub report: asman_cluster::ClusterReport,
+}
+
+impl SoakReport {
+    /// True when the determinism cross-check held.
+    pub fn jobs_identical(&self) -> bool {
+        self.crosscheck_digest_jobs1 == self.crosscheck_digest_jobs4
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "soak: {} epochs x {} ms, seed {}, {} hosts",
+            self.epochs,
+            self.epoch_ms,
+            self.seed,
+            self.report.hosts,
+        );
+        if let Some(ch) = &self.report.churn {
+            let _ = writeln!(
+                s,
+                "churn: {} arrivals ({} rejected), {} departures ({} skipped), \
+                 {} resident at end, {} departed having finished",
+                ch.arrivals,
+                ch.arrivals_rejected,
+                ch.departures,
+                ch.departures_skipped,
+                ch.resident_end,
+                ch.departed_finished,
+            );
+        } else {
+            let _ = writeln!(s, "churn: none (static population)");
+        }
+        let _ = writeln!(
+            s,
+            "occupancy: {} checkpoints; peak slots {}, peak resident {}, \
+             peak tombstones {}, series ring <= {}",
+            self.checkpoints.len(),
+            self.peak_slots,
+            self.peak_resident,
+            self.peak_tombstones,
+            SOAK_SERIES_CAPACITY,
+        );
+        let _ = writeln!(
+            s,
+            "migrations: {} committed over the horizon",
+            self.report.migrations.len(),
+        );
+        let _ = writeln!(
+            s,
+            "jobs cross-check over {} epochs: {}",
+            self.crosscheck_epochs,
+            if self.jobs_identical() {
+                "1 and 4 workers bit-identical"
+            } else {
+                "FAILED — digests depend on worker count"
+            },
+        );
+        let _ = write!(s, "digest: {}", self.digest);
+        s
+    }
+
+    /// Shape checks in the repo's standard pass/fail form.
+    pub fn shape_checks(&self) -> Vec<ShapeCheck> {
+        let last = self.checkpoints.last();
+        vec![
+            ShapeCheck::new(
+                "soak horizon completed",
+                self.report.epochs == self.epochs,
+                format!("{} of {} epochs", self.report.epochs, self.epochs),
+            ),
+            ShapeCheck::new(
+                "series ring bounded",
+                self.checkpoints
+                    .iter()
+                    .all(|c| c.occupancy.series_len <= SOAK_SERIES_CAPACITY),
+                format!(
+                    "max fill {} of {}",
+                    self.checkpoints
+                        .iter()
+                        .map(|c| c.occupancy.series_len)
+                        .max()
+                        .unwrap_or(0),
+                    SOAK_SERIES_CAPACITY,
+                ),
+            ),
+            ShapeCheck::new(
+                "slot tables bounded by population",
+                last.is_none_or(|c| {
+                    c.occupancy.slots == c.occupancy.resident + c.occupancy.tombstones
+                }),
+                format!(
+                    "final slots {} = resident {} + tombstones {}",
+                    last.map_or(0, |c| c.occupancy.slots),
+                    last.map_or(0, |c| c.occupancy.resident),
+                    last.map_or(0, |c| c.occupancy.tombstones),
+                ),
+            ),
+            ShapeCheck::new(
+                "jobs 1 vs 4 bit-identical",
+                self.jobs_identical(),
+                format!(
+                    "{} vs {}",
+                    self.crosscheck_digest_jobs1, self.crosscheck_digest_jobs4
+                ),
+            ),
+        ]
+    }
+}
+
+/// Run the soak: the full horizon under the requested worker count with
+/// amortized audits and occupancy checkpoints, then the jobs-1-vs-4
+/// determinism prefix. Panics (with the offending epoch) the moment a
+/// bounded-memory invariant breaks — a soak that limps on after a leak
+/// would bury the first failure under a hundred thousand more epochs.
+pub fn run(p: &SoakParams) -> SoakReport {
+    let mut c = p.cluster(p.epochs, p.jobs);
+    let initial = c.vm_count() as u64;
+    let mut checkpoints = Vec::new();
+    let take = |c: &Cluster, epoch: u64, checkpoints: &mut Vec<SoakCheckpoint>| {
+        let occ = c.occupancy();
+        let (arrivals, ..) = c.churn_counts();
+        // The bounded-memory invariant, checked while the run is still
+        // cheap to bisect. Registry growth tracks admissions exactly;
+        // everything else must be flat in the horizon.
+        assert_eq!(
+            occ.registry as u64,
+            initial + arrivals,
+            "epoch {epoch}: registry leaked entries"
+        );
+        assert_eq!(
+            occ.slots,
+            occ.resident + occ.tombstones,
+            "epoch {epoch}: slot table holds unaccounted slots"
+        );
+        assert!(
+            occ.pending_retries <= 1,
+            "epoch {epoch}: retry chains accumulated"
+        );
+        assert!(
+            occ.series_len <= SOAK_SERIES_CAPACITY,
+            "epoch {epoch}: series ring overflowed its capacity"
+        );
+        checkpoints.push(SoakCheckpoint { epoch, occupancy: occ });
+    };
+    for epoch in 0..p.epochs {
+        c.run_epoch();
+        if (epoch + 1) % p.audit_every == 0 {
+            take(&c, epoch + 1, &mut checkpoints);
+        }
+    }
+    // End-of-run audit is unconditional, as in [`Cluster::run`].
+    c.audit_check();
+    let report = c.report();
+    if checkpoints.last().is_none_or(|ck| ck.epoch != p.epochs) {
+        take(&c, p.epochs, &mut checkpoints);
+    }
+    let digest = digest_report(&report);
+
+    // Determinism prefix: the same soak under 1 and 4 workers.
+    let crosscheck_epochs = p.crosscheck_epochs.min(p.epochs);
+    let prefix = |jobs: usize| {
+        let mut c = p.cluster(crosscheck_epochs, jobs);
+        digest_report(&c.run())
+    };
+    let crosscheck_digest_jobs1 = prefix(1);
+    let crosscheck_digest_jobs4 = prefix(4);
+
+    let peak = |f: fn(&Occupancy) -> usize| {
+        checkpoints.iter().map(|c| f(&c.occupancy)).max().unwrap_or(0)
+    };
+    SoakReport {
+        epochs: p.epochs,
+        epoch_ms: p.epoch_ms,
+        seed: p.seed,
+        churn_arrivals_planned: p.churn.arrivals(),
+        churn_departures_planned: p.churn.departures(),
+        peak_slots: peak(|o| o.slots),
+        peak_resident: peak(|o| o.resident),
+        peak_tombstones: peak(|o| o.tombstones),
+        checkpoints,
+        digest,
+        crosscheck_digest_jobs1,
+        crosscheck_digest_jobs4,
+        crosscheck_epochs,
+        report,
+    }
+}

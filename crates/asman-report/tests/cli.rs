@@ -165,6 +165,56 @@ fn series_runs_and_renders_the_timeline() {
 }
 
 #[test]
+fn usage_documents_soak_target_and_flags() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("soak"), "usage lists the soak target");
+    for flag in ["--churn", "--audit-every"] {
+        assert!(stdout.contains(flag), "usage documents {flag}");
+    }
+}
+
+#[test]
+fn bad_churn_plans_exit_two() {
+    assert_usage_error(&["soak", "--churn"], "--churn needs a plan");
+    assert_usage_error(&["soak", "--churn", "explode@3"], "unknown churn kind");
+    assert_usage_error(&["soak", "--churn", "rand:42"], "want rand:SEED:RATE");
+    assert_usage_error(&["soak", "--churn", "rand:42:0"], "churn rate must be 1..=100");
+    assert_usage_error(
+        &["soak", "--churn", "depart@1:h9:v0", "--hosts", "3"],
+        "names host 9",
+    );
+    assert_usage_error(&["soak", "--audit-every", "0"], "at least 1");
+}
+
+#[test]
+fn soak_runs_asserts_and_renders_the_summary() {
+    let out = repro(&[
+        "soak",
+        "--epochs",
+        "40",
+        "--churn",
+        "arrive@2:bg1,depart@5:h1:v0",
+        "--audit-every",
+        "10",
+        "-q",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "soak must run\nstderr: {}",
+        stderr(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("soak: 40 epochs"), "soak prints its header:\n{stdout}");
+    assert!(stdout.contains("churn: 1 arrivals"), "soak prints churn outcome:\n{stdout}");
+    assert!(
+        stdout.contains("[PASS] jobs 1 vs 4 bit-identical"),
+        "soak prints the determinism check:\n{stdout}"
+    );
+}
+
+#[test]
 fn bad_fault_plans_exit_two() {
     assert_usage_error(&["cluster", "--faults"], "--faults needs a plan");
     assert_usage_error(&["cluster", "--faults", "explode@3"], "unknown fault");

@@ -17,7 +17,9 @@
 //! share state; see `jobs_bitident.rs`), so the runs here use all
 //! available parallelism.
 
+use asman_cluster::ChurnPlan;
 use asman_report::cluster::{self, ClusterParams};
+use asman_report::soak::{self, SoakParams};
 use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams,
 };
@@ -50,7 +52,7 @@ fn digest<T: Serialize>(artifact: &T) -> String {
 }
 
 /// Every figure target and its pinned class-S digest.
-const GOLDEN: [(&str, &str); 9] = [
+const GOLDEN: [(&str, &str); 10] = [
     ("fig1", "82af5c9243647087"),
     ("fig2", "73707e33e0ece968"),
     ("fig7", "e78fc80a04d78280"),
@@ -60,6 +62,7 @@ const GOLDEN: [(&str, &str); 9] = [
     ("fig11", "d43218a300fe0ab0"),
     ("fig12", "399e7ab0f4dc7f8f"),
     ("cluster", "4ae12ea99738a6a4"),
+    ("soak", "bab5c163a43c7001"),
 ];
 
 fn actual_digests() -> Vec<(&'static str, String)> {
@@ -78,6 +81,18 @@ fn actual_digests() -> Vec<(&'static str, String)> {
             digest(&cluster::run(&ClusterParams {
                 epochs: 6,
                 ..ClusterParams::default()
+            })),
+        ),
+        // A miniature churned soak: long enough to cross several audit
+        // checkpoints and slot-reuse cycles, short enough for CI.
+        (
+            "soak",
+            digest(&soak::run(&SoakParams {
+                epochs: 800,
+                churn: ChurnPlan::generate(42, 5, 800, 3),
+                audit_every: 200,
+                crosscheck_epochs: 200,
+                ..SoakParams::default()
             })),
         ),
     ]

@@ -511,6 +511,12 @@ pub struct FlightEvent {
 struct CatBuf {
     events: Vec<FlightEvent>,
     seen: u64,
+    /// Events rejected because the buffer was at capacity. Counted
+    /// explicitly: deriving drops as `seen - events.len()` silently
+    /// re-classifies every *drained* event as dropped, which made drop
+    /// counts inflate monotonically across live migrations (each
+    /// extraction drains the guest's stream).
+    dropped: u64,
     warned: bool,
 }
 
@@ -623,8 +629,11 @@ impl FlightRecorder {
         buf.seen += 1;
         if buf.events.len() < self.capacity {
             buf.events.push(FlightEvent { t, ev });
-        } else if !buf.warned {
-            self.warn_overflow(cat);
+        } else {
+            buf.dropped += 1;
+            if !buf.warned {
+                self.warn_overflow(cat);
+            }
         }
     }
 
@@ -641,12 +650,11 @@ impl FlightRecorder {
         self.bufs.get(cat as usize).map(|b| b.seen).unwrap_or(0)
     }
 
-    /// Events dropped by `cat` due to the capacity cap.
+    /// Events dropped by `cat` due to the capacity cap. Draining does
+    /// not count as dropping: after [`FlightRecorder::drain_events`] the
+    /// counter keeps reporting only genuine capacity rejections.
     pub fn dropped(&self, cat: TraceCat) -> u64 {
-        self.bufs
-            .get(cat as usize)
-            .map(|b| b.seen - b.events.len() as u64)
-            .unwrap_or(0)
+        self.bufs.get(cat as usize).map(|b| b.dropped).unwrap_or(0)
     }
 
     /// Total dropped events across categories.
@@ -665,6 +673,7 @@ impl FlightRecorder {
         for b in &mut self.bufs {
             b.events.clear();
             b.seen = 0;
+            b.dropped = 0;
             b.warned = false;
         }
     }
@@ -817,6 +826,32 @@ mod tests {
         assert_eq!(r.dropped(TraceCat::Sched), 3);
         assert_eq!(r.dropped(TraceCat::Lock), 0);
         assert_eq!(r.total_dropped(), 3);
+        crate::trace::set_overflow_warnings(true);
+    }
+
+    /// Regression: `dropped()` used to be derived as `seen - retained`,
+    /// so draining a buffer (which empties `events` but not `seen`)
+    /// re-classified every drained event as dropped. Live migration
+    /// drains the guest stream at each extraction, so on long churned
+    /// runs the drop counters inflated monotonically without a single
+    /// genuine capacity rejection.
+    #[test]
+    fn drain_does_not_count_as_dropping() {
+        crate::trace::set_overflow_warnings(false);
+        let mut r = FlightRecorder::new(CatMask::ALL, 4);
+        r.record(Cycles(1), dispatch(0));
+        r.record(Cycles(2), dispatch(1));
+        assert_eq!(r.drain_events().len(), 2);
+        assert_eq!(r.seen(TraceCat::Sched), 2, "seen stays cumulative");
+        assert_eq!(r.dropped(TraceCat::Sched), 0, "drained events were not dropped");
+        assert_eq!(r.total_dropped(), 0);
+        // Genuine capacity rejections still count after a drain.
+        for i in 0..6 {
+            r.record(Cycles(10 + i), dispatch(0));
+        }
+        assert_eq!(r.dropped(TraceCat::Sched), 2);
+        assert_eq!(r.drain_events().len(), 4);
+        assert_eq!(r.dropped(TraceCat::Sched), 2, "unchanged by the second drain");
         crate::trace::set_overflow_warnings(true);
     }
 

@@ -19,7 +19,10 @@ pub struct P2Quantile {
     np: [f64; 5],
     /// Desired position increments.
     dn: [f64; 5],
-    count: usize,
+    /// Observations so far. `u64` explicitly (not `usize`): soak runs
+    /// observe billions of samples and the counter must not depend on
+    /// the platform's pointer width.
+    count: u64,
 }
 
 impl P2Quantile {
@@ -37,7 +40,7 @@ impl P2Quantile {
     }
 
     /// Number of observations so far.
-    pub fn count(&self) -> usize {
+    pub fn count(&self) -> u64 {
         self.count
     }
 
@@ -49,7 +52,7 @@ impl P2Quantile {
             return;
         }
         if self.count < 5 {
-            self.q[self.count] = x;
+            self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
                 self.q.sort_by(f64::total_cmp);
@@ -115,7 +118,7 @@ impl P2Quantile {
             0 => None,
             c if c < 5 => {
                 // Exact small-sample quantile.
-                let mut v = self.q[..c].to_vec();
+                let mut v = self.q[..c as usize].to_vec();
                 v.sort_by(f64::total_cmp);
                 let idx = ((c as f64 - 1.0) * self.p).round() as usize;
                 Some(v[idx])

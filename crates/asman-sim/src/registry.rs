@@ -59,6 +59,18 @@ impl QuantileHist {
         self.count
     }
 
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty). Exact, not estimated — a
+    /// single absurd sample (e.g. a stale latency stamp consumed by a
+    /// reused VM slot) is visible here when every quantile hides it.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
     /// Mean of the observations (`None` if empty).
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)

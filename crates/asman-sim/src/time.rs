@@ -57,6 +57,15 @@ impl Cycles {
         Cycles(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: `self + rhs`, clamped at [`Cycles::MAX`].
+    /// For cumulative counters on unbounded horizons (soak runs), where
+    /// pinning at the ceiling beats the debug-build panic (or silent
+    /// release-build wrap) of plain `+`.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked subtraction.
     #[inline]
     pub fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
@@ -272,6 +281,23 @@ mod tests {
     fn saturating_sub_clamps() {
         assert_eq!(Cycles(5).saturating_sub(Cycles(9)), Cycles::ZERO);
         assert_eq!(Cycles(9).saturating_sub(Cycles(5)), Cycles(4));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        assert_eq!(Cycles(u64::MAX - 3).saturating_add(Cycles(10)), Cycles::MAX);
+        assert_eq!(Cycles(7).saturating_add(Cycles(5)), Cycles(12));
+    }
+
+    /// The should-overflow-before half of the long-horizon hardening:
+    /// plain `+` on a counter at the ceiling blows up in debug builds —
+    /// which is exactly why cumulative accumulators must use
+    /// [`Cycles::saturating_add`].
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn plain_add_overflow_panics_in_debug() {
+        let _ = Cycles(u64::MAX) + Cycles(1);
     }
 
     #[test]
