@@ -51,11 +51,13 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod checkpoint;
 pub mod churn;
 pub mod migration;
 pub mod scenario;
 
 pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
+pub use checkpoint::{diff_states, Checkpoint, CheckpointConfig, ClusterState};
 pub use churn::{ChurnKind, ChurnPlan, ChurnSpec, ShapeKind, VmShape};
 pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
 
@@ -239,7 +241,7 @@ struct VmEntry {
 }
 
 /// Per-VM row of the final report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct VmRow {
     /// VM name.
     pub name: String,
@@ -644,6 +646,15 @@ impl Cluster {
     #[cfg(feature = "audit")]
     pub fn audit_inject_sticky_tombstone(&mut self) {
         self.fault_sticky_tombstone = true;
+    }
+
+    /// Injected mutation for the divergence bisector's self-tests:
+    /// `host`'s scheduler silently skips the BOOST priority tier, a
+    /// subtle behavioral change whose first observable divergence the
+    /// bisector must pinpoint.
+    #[cfg(feature = "audit")]
+    pub fn audit_inject_boost_skip(&mut self, host: usize) {
+        self.hosts[host].audit_inject_boost_skip();
     }
 
     /// Enable flight recording on every host (host streams are kept

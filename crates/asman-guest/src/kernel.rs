@@ -301,6 +301,115 @@ impl GuestKernel {
             .collect()
     }
 
+    /// Fold the kernel's complete execution state into a fingerprint:
+    /// every thread's state machine, every lock/barrier/semaphore wait
+    /// queue, every guest-VCPU runqueue, and the measurement counters
+    /// that feed artifacts. Two kernels with equal folds behave
+    /// identically from here on (the program and cost model are part of
+    /// the configuration, not the state), so the checkpoint subsystem
+    /// uses this to prove a restored kernel matches its
+    /// straight-through twin.
+    pub fn fold_state(&self, h: &mut asman_sim::Fnv) {
+        h.write_usize(self.threads.len());
+        for t in &self.threads {
+            h.write_usize(t.vcpu);
+            h.write_opt_u64(t.held.map(u64::from));
+            fold_tstate(&t.state, h);
+            h.write_u64(t.rounds);
+            h.write_u64(t.progress);
+            match &t.resume {
+                Some((remaining, then)) => {
+                    h.write_bool(true);
+                    h.write_u64(remaining.as_u64());
+                    fold_afterwork(then, h);
+                }
+                None => h.write_bool(false),
+            }
+            h.write_usize(t.spin_waiters.len());
+            for &w in &t.spin_waiters {
+                h.write_usize(w);
+            }
+            h.write_usize(t.blocked_waiters.len());
+            for &(w, target) in &t.blocked_waiters {
+                h.write_usize(w);
+                h.write_u64(target);
+            }
+        }
+        h.write_usize(self.locks.len());
+        for l in &self.locks {
+            h.write_opt_u64(l.holder.map(|t| t as u64));
+            h.write_usize(l.waiters.len());
+            for &w in &l.waiters {
+                h.write_usize(w);
+            }
+        }
+        h.write_usize(self.barriers.len());
+        for b in &self.barriers {
+            h.write_u32(b.arrived);
+            h.write_u64(b.generation);
+            h.write_usize(b.blocked.len());
+            for &t in &b.blocked {
+                h.write_usize(t);
+            }
+            h.write_usize(b.spinners.len());
+            for &t in &b.spinners {
+                h.write_usize(t);
+            }
+        }
+        h.write_usize(self.semaphores.len());
+        for s in &self.semaphores {
+            h.write_u64(s.tokens);
+            h.write_usize(s.waiters.len());
+            for &w in &s.waiters {
+                h.write_usize(w);
+            }
+        }
+        h.write_usize(self.vcpus.len());
+        for v in &self.vcpus {
+            h.write_bool(v.online);
+            h.write_u64(v.work_started.as_u64());
+            h.write_opt_u64(v.current.map(|t| t as u64));
+            h.write_usize(v.runq.len());
+            for &t in &v.runq {
+                h.write_usize(t);
+            }
+            h.write_u64(v.quantum_used.as_u64());
+            h.write_u64(v.tick_debt.as_u64());
+            h.write_u64(v.pending_warmup.as_u64());
+        }
+        h.write_u32(self.workload_locks);
+        h.write_usize(self.threads_done);
+        let s = &self.stats;
+        h.write_u64(s.wait_hist.count());
+        h.write_u64(s.sem_wait_hist.count());
+        h.write_usize(s.wait_trace.samples().len());
+        h.write_u64(s.spin_kernel_cycles.as_u64());
+        h.write_u64(s.spin_barrier_cycles.as_u64());
+        h.write_u64(s.spin_pipeline_cycles.as_u64());
+        h.write_u64(s.timer_ticks);
+        h.write_u64(s.warmup_cycles.as_u64());
+        h.write_u64(s.useful_cycles.as_u64());
+        h.write_u64(s.transactions);
+        h.write_usize(s.round_times.len());
+        for rt in &s.round_times {
+            h.write_usize(rt.len());
+            for &t in rt {
+                h.write_u64(t.as_u64());
+            }
+        }
+        h.write_u64(s.barriers_completed);
+        h.write_u64(s.lock_acquisitions);
+        h.write_u64(s.holder_preemptions);
+        match s.spin_episodes.as_ref() {
+            Some(q) => {
+                h.write_bool(true);
+                h.write_u64(q.count());
+            }
+            None => h.write_bool(false),
+        }
+        h.write_opt_u64(s.finished_at.map(|c| c.as_u64()));
+    }
+
     /// Whether VCPU `v` has anything runnable (used by the hypervisor to
     /// decide whether a blocked VCPU should wake).
     pub fn vcpu_runnable(&self, v: usize) -> bool {
@@ -1214,6 +1323,111 @@ impl GuestKernel {
             // Online but idle-transitioning; let the VMM re-query.
             fx.refresh_vcpus.push(v);
         }
+    }
+}
+
+/// Fold a [`TState`] with a distinct discriminant per variant plus every
+/// payload field, so no two states can ever alias in the fingerprint.
+fn fold_tstate(s: &TState, h: &mut asman_sim::Fnv) {
+    match s {
+        TState::Fetch => h.write_u32(0),
+        TState::Work { remaining, then } => {
+            h.write_u32(1);
+            h.write_u64(remaining.as_u64());
+            fold_afterwork(then, h);
+        }
+        TState::SpinKernel {
+            lock,
+            since,
+            purpose,
+        } => {
+            h.write_u32(2);
+            h.write_u32(*lock);
+            h.write_u64(since.as_u64());
+            fold_purpose(purpose, h);
+        }
+        TState::BlockedBarrier { id } => {
+            h.write_u32(3);
+            h.write_u32(*id);
+        }
+        TState::BlockedSem { id, since } => {
+            h.write_u32(4);
+            h.write_u32(*id);
+            h.write_u64(since.as_u64());
+        }
+        TState::BlockedPeer { peer, target } => {
+            h.write_u32(5);
+            h.write_usize(*peer);
+            h.write_u64(*target);
+        }
+        TState::Sleep { until } => {
+            h.write_u32(6);
+            h.write_u64(until.as_u64());
+        }
+        TState::Done => h.write_u32(7),
+    }
+}
+
+/// Fold an [`AfterWork`] continuation (discriminant + payload).
+fn fold_afterwork(a: &AfterWork, h: &mut asman_sim::Fnv) {
+    match a {
+        AfterWork::Fetch => h.write_u32(0),
+        AfterWork::ReleaseThenFetch => h.write_u32(1),
+        AfterWork::ReleaseThenSpin { id } => {
+            h.write_u32(2);
+            h.write_u32(*id);
+        }
+        AfterWork::ReleaseThenWake { id } => {
+            h.write_u32(3);
+            h.write_u32(*id);
+        }
+        AfterWork::ReleaseThenBlock { id } => {
+            h.write_u32(4);
+            h.write_u32(*id);
+        }
+        AfterWork::TryFutexEnqueue { id, gen } => {
+            h.write_u32(5);
+            h.write_u32(*id);
+            h.write_u64(*gen);
+        }
+        AfterWork::TryPeerEnqueue { peer, target } => {
+            h.write_u32(6);
+            h.write_usize(*peer);
+            h.write_u64(*target);
+        }
+        AfterWork::ReleaseThenBlockPeer { peer, target } => {
+            h.write_u32(7);
+            h.write_usize(*peer);
+            h.write_u64(*target);
+        }
+        AfterWork::ReleaseThenWakePeers => h.write_u32(8),
+        AfterWork::ReleaseThenResume => h.write_u32(9),
+    }
+}
+
+/// Fold a [`LockPurpose`] (discriminant + payload).
+fn fold_purpose(p: &LockPurpose, h: &mut asman_sim::Fnv) {
+    match p {
+        LockPurpose::Critical { hold } => {
+            h.write_u32(0);
+            h.write_u64(hold.as_u64());
+        }
+        LockPurpose::BarrierEnter { id } => {
+            h.write_u32(1);
+            h.write_u32(*id);
+        }
+        LockPurpose::FutexEnqueue { id, gen } => {
+            h.write_u32(2);
+            h.write_u32(*id);
+            h.write_u64(*gen);
+        }
+        LockPurpose::TimerTick => h.write_u32(3),
+        LockPurpose::PeerEnqueue { peer, target } => {
+            h.write_u32(4);
+            h.write_usize(*peer);
+            h.write_u64(*target);
+        }
+        LockPurpose::PeerWake => h.write_u32(5),
     }
 }
 

@@ -27,7 +27,7 @@ use asman_guest::{Effects, GuestKernel, GuestWork, Vcrd, VcrdUpdate};
 use asman_sim::audit::{OracleQueue, SimQueue};
 use asman_sim::flight::{CatMask, FlightEv, FlightEvent, FlightRecorder, TraceCat};
 use asman_sim::registry::{MetricsRegistry, QuantileHist};
-use asman_sim::{merge_streams, Cycles, EventQueue, SimRng, TraceBuffer};
+use asman_sim::{merge_streams, Cycles, EventQueue, Fnv, SimRng, TraceBuffer};
 
 use crate::config::{CapMode, CoschedPolicy, MachineConfig, VmSpec};
 use crate::metrics::{SchedEvent, SchedEventKind, VmAccounting};
@@ -2443,6 +2443,112 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
         }
     }
 
+    /// Fold the machine's complete deterministic state into a `u64`
+    /// fingerprint: the clock, the pending event set, the RNG words,
+    /// every PCPU runqueue, every VCPU's scheduler state, and every VM
+    /// including its guest kernel and accounting. Two machines with
+    /// equal fingerprints (built from the same configuration) produce
+    /// identical futures, so the checkpoint subsystem compares this
+    /// between a restored host and its straight-through twin. Wall-time
+    /// and telemetry-only state (run timers, flight buffers, schedule
+    /// traces, latency histograms) is deliberately excluded: it never
+    /// feeds back into scheduling decisions.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.now.as_u64());
+        h.write_u64(self.events_processed);
+        let rng = self.rng.state();
+        for w in rng {
+            h.write_u64(w);
+        }
+        h.write_u64(self.total_weight);
+        h.write_u128(self.idle_mask);
+        h.write_u128(self.queued_mask);
+        h.write_u32(self.derate_pct);
+        h.write_bool(self.reuse_slots);
+        self.events.fold_state(&mut h, &mut fold_ev);
+        h.write_usize(self.pcpus.len());
+        for p in &self.pcpus {
+            h.write_opt_u64(p.running.map(|v| v as u64));
+            h.write_usize(p.runq.len());
+            for &v in &p.runq {
+                h.write_usize(v);
+            }
+        }
+        h.write_usize(self.vcpus.len());
+        for v in &self.vcpus {
+            h.write_usize(v.vm);
+            h.write_usize(v.slot);
+            h.write_u32(match v.state {
+                VState::Runnable => 0,
+                VState::Running => 1,
+                VState::Blocked => 2,
+            });
+            h.write_usize(v.assigned);
+            h.write_i64(v.credit);
+            h.write_bool(v.boost);
+            h.write_u64(v.epoch);
+            h.write_u64(v.last_charge.as_u64());
+            h.write_bool(v.parked);
+            h.write_bool(v.cold);
+            h.write_opt_u64(v.last_ran.map(|p| p as u64));
+            h.write_opt_u64(v.spinning_since.map(|c| c.as_u64()));
+            h.write_u64(v.skew.as_u64());
+            h.write_opt_u64(v.blocked_since.map(|c| c.as_u64()));
+            h.write_u64(v.blocked_accum.as_u64());
+            h.write_opt_u64(v.wake_at.map(|c| c.as_u64()));
+            h.write_opt_u64(v.preempt_at.map(|c| c.as_u64()));
+            h.write_usize(v.runq_pos);
+        }
+        h.write_usize(self.vms.len());
+        for vm in &self.vms {
+            h.write_str(&vm.name);
+            h.write_u32(vm.weight);
+            h.write_u32(match vm.cap {
+                CapMode::WorkConserving => 0,
+                CapMode::NonWorkConserving => 1,
+            });
+            h.write_bool(vm.concurrent_hint);
+            h.write_bool(vm.finite);
+            h.write_usize(vm.vcpu_ids.len());
+            for &id in &vm.vcpu_ids {
+                h.write_usize(id);
+            }
+            h.write_bool(vm.vcrd == Vcrd::High);
+            h.write_u64(vm.vcrd_epoch);
+            h.write_u64(vm.vcrd_high_since.as_u64());
+            h.write_opt_u64(vm.last_cosched.map(|c| c.as_u64()));
+            h.write_usize(vm.online_count);
+            h.write_u64(vm.co_last.as_u64());
+            h.write_bool(vm.evacuated);
+            h.write_u32(vm.generation);
+            let a = &vm.acct;
+            h.write_usize(a.vcpu_online.len());
+            for c in &a.vcpu_online {
+                h.write_u64(c.as_u64());
+            }
+            for d in &a.dispatches {
+                h.write_u64(*d);
+            }
+            h.write_u64(a.migrations);
+            h.write_u64(a.cosched_bursts);
+            h.write_u64(a.vcrd_raises);
+            h.write_u64(a.vcrd_high_cycles.as_u64());
+            for c in &a.co_online {
+                h.write_u64(c.as_u64());
+            }
+            for c in &a.co_online_high {
+                h.write_u64(c.as_u64());
+            }
+            vm.kernel.fold_state(&mut h);
+        }
+        h.write_usize(self.adopted_streams.len());
+        for s in &self.adopted_streams {
+            h.write_usize(s.len());
+        }
+        h.finish()
+    }
+
     /// `do_vcrd_op` hypercall handler.
     fn handle_vcrd(&mut self, vm: usize, update: VcrdUpdate) {
         if !matches!(
@@ -2484,6 +2590,48 @@ impl<Q: SimQueue<Ev>> Machine<Q> {
             let epoch = self.vms[vm].vcrd_epoch;
             self.events
                 .schedule(self.now + x, Ev::VcrdTimer { vm: vm as u32, epoch });
+        }
+    }
+}
+
+/// Encode one pending [`Ev`] payload for the state fingerprint: a
+/// distinct discriminant per variant plus every payload field, so no two
+/// events can alias.
+fn fold_ev(ev: &Ev, h: &mut Fnv) {
+    match ev {
+        Ev::Tick { pcpu } => {
+            h.write_u32(0);
+            h.write_u32(*pcpu);
+        }
+        Ev::Assign => h.write_u32(1),
+        Ev::Reschedule { pcpu } => {
+            h.write_u32(2);
+            h.write_u32(*pcpu);
+        }
+        Ev::WorkDone { vcpu, epoch } => {
+            h.write_u32(3);
+            h.write_u32(*vcpu);
+            h.write_u64(*epoch);
+        }
+        Ev::SleepTimer { vm, thread, gen } => {
+            h.write_u32(4);
+            h.write_u32(*vm);
+            h.write_u32(*thread);
+            h.write_u32(*gen);
+        }
+        Ev::VcrdTimer { vm, epoch } => {
+            h.write_u32(5);
+            h.write_u32(*vm);
+            h.write_u64(*epoch);
+        }
+        Ev::Ipi { vcpu } => {
+            h.write_u32(6);
+            h.write_u32(*vcpu);
+        }
+        Ev::Wake { vcpu, gen } => {
+            h.write_u32(7);
+            h.write_u32(*vcpu);
+            h.write_u32(*gen);
         }
     }
 }

@@ -39,6 +39,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use asman_cluster::{ChurnSpec, Policy};
+use asman_report::bisect::Mutation;
 use asman_report::figures::{
     fig01, fig02, fig07, fig08, fig09, fig10, fig11, fig12, FigureParams, ShapeCheck,
 };
@@ -66,9 +67,17 @@ struct Args {
     bench_jobs: Vec<usize>,
     series_window: usize,
     series_nsigma: f64,
+    checkpoint_every: u64,
+    resume: Option<PathBuf>,
+    scenario_flags_set: Vec<&'static str>,
+    b_policy: Option<Policy>,
+    b_seed: Option<u64>,
+    b_faults: Option<FaultSpec>,
+    b_churn: Option<ChurnSpec>,
+    b_mutate: Option<Mutation>,
 }
 
-const KNOWN_TARGETS: [&str; 16] = [
+const KNOWN_TARGETS: [&str; 17] = [
     "fig1",
     "fig2",
     "fig7",
@@ -85,6 +94,7 @@ const KNOWN_TARGETS: [&str; 16] = [
     "cluster",
     "series",
     "soak",
+    "bisect",
 ];
 
 fn usage() -> String {
@@ -119,6 +129,22 @@ fn usage() -> String {
          plan (RATE%% arrival + RATE%% departure chance per epoch)\n  \
          --audit-every N soak target: audit + occupancy-checkpoint cadence\n                  \
          in epochs (default 1000; the end-of-run audit always runs)\n  \
+         --checkpoint-every N\n                  \
+         soak target: write a CKPT_<epoch>.json checkpoint into the\n                  \
+         --json directory every N epochs (requires --json DIR)\n  \
+         --resume CKPT   soak target: resume from a checkpoint file. The run\n                  \
+         replays to the checkpoint epoch, verifies the replay against\n                  \
+         the artifact, applies its state, and continues — output is\n                  \
+         byte-identical to the uninterrupted run. The scenario comes\n                  \
+         from the checkpoint: --hosts/--vms/--seed/--churn/--faults\n                  \
+         conflict with --resume (--epochs/--jobs/--json still apply)\n  \
+         --b-policy P    bisect target: side B's policy (default: side A's)\n  \
+         --b-seed N      bisect target: side B's seed (default: side A's)\n  \
+         --b-faults PLAN bisect target: side B's fault plan\n  \
+         --b-churn PLAN  bisect target: side B's churn plan\n  \
+         --b-mutate M    bisect target: inject a behavioral mutation into\n                  \
+         side B: dirty-undercount (halved dirty-page rate) or\n                  \
+         boost-skip (host 0 skips BOOST; needs --features audit)\n  \
          --bench         cluster target: run the hosts x jobs performance\n                  \
          grid instead of the consolidation experiment and write\n                  \
          BENCH_cluster.json (warmup + median-of-3 per cell)\n  \
@@ -161,6 +187,14 @@ fn parse_args() -> Args {
     let mut bench_jobs = vec![1usize, 2, 4, 8];
     let mut series_window = asman_report::series::DEFAULT_WINDOW;
     let mut series_nsigma = asman_report::series::DEFAULT_NSIGMA;
+    let mut checkpoint_every = 0u64;
+    let mut resume = None;
+    let mut scenario_flags_set: Vec<&'static str> = Vec::new();
+    let mut b_policy = None;
+    let mut b_seed = None;
+    let mut b_faults: Option<FaultSpec> = None;
+    let mut b_churn: Option<ChurnSpec> = None;
+    let mut b_mutate = None;
     // Comma-separated numeric list for the bench grid flags; any
     // non-numeric element exits 2 like every other malformed value.
     fn parse_list(flag: &str, v: &str) -> Vec<usize> {
@@ -215,6 +249,7 @@ fn parse_args() -> Args {
                 params.seed = v
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("--seed `{v}` is not a number")));
+                scenario_flags_set.push("--seed");
             }
             "--rounds" => {
                 let v = it.next().unwrap_or_else(|| fail("--rounds needs a value"));
@@ -247,6 +282,7 @@ fn parse_args() -> Args {
                 if hosts < 2 {
                     fail("--hosts must be at least 2 (migration needs a destination)");
                 }
+                scenario_flags_set.push("--hosts");
             }
             "--vms" => {
                 let v = it.next().unwrap_or_else(|| fail("--vms needs a value"));
@@ -256,6 +292,7 @@ fn parse_args() -> Args {
                 if cluster_vms < 1 {
                     fail("--vms must be at least 1");
                 }
+                scenario_flags_set.push("--vms");
             }
             "--epochs" => {
                 let v = it.next().unwrap_or_else(|| fail("--epochs needs a value"));
@@ -272,12 +309,14 @@ fn parse_args() -> Args {
                 cluster_faults = Some(
                     FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--faults {e}"))),
                 );
+                scenario_flags_set.push("--faults");
             }
             "--churn" => {
                 let v = it.next().unwrap_or_else(|| fail("--churn needs a plan"));
                 cluster_churn = Some(
                     ChurnSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--churn {e}"))),
                 );
+                scenario_flags_set.push("--churn");
             }
             "--audit-every" => {
                 let v = it.next().unwrap_or_else(|| fail("--audit-every needs a value"));
@@ -305,6 +344,62 @@ fn parse_args() -> Args {
                 if !series_nsigma.is_finite() || series_nsigma <= 0.0 {
                     fail("--nsigma must be a positive finite number");
                 }
+            }
+            "--checkpoint-every" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--checkpoint-every needs a value"));
+                checkpoint_every = v.parse().unwrap_or_else(|_| {
+                    fail(&format!("--checkpoint-every `{v}` is not a number"))
+                });
+                if checkpoint_every < 1 {
+                    fail("--checkpoint-every must be at least 1");
+                }
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| fail("--resume needs a checkpoint file")),
+                ));
+            }
+            "--b-policy" => {
+                let v = it.next().unwrap_or_else(|| {
+                    fail("--b-policy needs a value (static|least-loaded|vcrd-aware)")
+                });
+                b_policy = Some(Policy::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown policy `{v}` (use static|least-loaded|vcrd-aware)"
+                    ))
+                }));
+            }
+            "--b-seed" => {
+                let v = it.next().unwrap_or_else(|| fail("--b-seed needs a value"));
+                b_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("--b-seed `{v}` is not a number"))),
+                );
+            }
+            "--b-faults" => {
+                let v = it.next().unwrap_or_else(|| fail("--b-faults needs a plan"));
+                b_faults = Some(
+                    FaultSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--b-faults {e}"))),
+                );
+            }
+            "--b-churn" => {
+                let v = it.next().unwrap_or_else(|| fail("--b-churn needs a plan"));
+                b_churn = Some(
+                    ChurnSpec::parse(&v).unwrap_or_else(|e| fail(&format!("--b-churn {e}"))),
+                );
+            }
+            "--b-mutate" => {
+                let v = it.next().unwrap_or_else(|| {
+                    fail("--b-mutate needs a value (dirty-undercount|boost-skip)")
+                });
+                b_mutate = Some(Mutation::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown mutation `{v}` (use dirty-undercount|boost-skip)"
+                    ))
+                }));
             }
             "--bench" => cluster_bench = true,
             "--bench-hosts" => {
@@ -378,6 +473,18 @@ fn parse_args() -> Args {
             ));
         }
     }
+    // Checkpoints are artifacts: they need somewhere to land.
+    if checkpoint_every != 0 && json_dir.is_none() {
+        fail("--checkpoint-every needs --json DIR to write checkpoints into");
+    }
+    if let Some(m) = b_mutate {
+        if !m.available() {
+            fail(&format!(
+                "--b-mutate {} requires a build with --features audit",
+                m.label()
+            ));
+        }
+    }
     Args {
         which,
         params,
@@ -398,6 +505,14 @@ fn parse_args() -> Args {
         bench_jobs,
         series_window,
         series_nsigma,
+        checkpoint_every,
+        resume,
+        scenario_flags_set,
+        b_policy,
+        b_seed,
+        b_faults,
+        b_churn,
+        b_mutate,
     }
 }
 
@@ -812,29 +927,152 @@ fn run_series(args: &Args) {
 /// bounded-memory invariant, and a jobs-1-vs-4 determinism prefix.
 /// Exits non-zero when the cross-check digests diverge.
 fn run_soak(args: &Args) {
-    use asman_report::soak;
+    use asman_report::{checkpoint, soak};
 
     let defaults = soak::SoakParams::default();
-    // A soak with no explicit --epochs runs its own long-horizon
-    // default, not the 8-epoch cluster-experiment default.
-    let epochs = if args.cluster_epochs_set {
-        args.cluster_epochs
+    let p = if let Some(path) = &args.resume {
+        // The checkpoint carries the scenario; flags that would rebuild
+        // a *different* scenario are contradictions, not overrides.
+        if let Some(flag) = args.scenario_flags_set.first() {
+            fail(&format!(
+                "{flag} conflicts with --resume: the scenario is rebuilt from the \
+                 checkpoint (only --epochs, --jobs, --json and --checkpoint-every apply)"
+            ));
+        }
+        let ck = checkpoint::read_checkpoint(path)
+            .unwrap_or_else(|e| fail(&format!("--resume {e}")));
+        // --epochs may extend or shorten the horizon; default to the
+        // horizon the checkpointed run was headed for.
+        let epochs = if args.cluster_epochs_set {
+            args.cluster_epochs
+        } else {
+            ck.config.epochs
+        };
+        if ck.state.epoch >= epochs {
+            fail(&format!(
+                "--resume checkpoint is at epoch {} but the horizon is {epochs}; \
+                 raise --epochs past the checkpoint",
+                ck.state.epoch
+            ));
+        }
+        soak::SoakParams {
+            hosts: ck.config.scenario.hosts,
+            gangs: ck.config.scenario.gangs,
+            epochs,
+            epoch_ms: ck.config.epoch_ms,
+            seed: ck.config.scenario.seed,
+            jobs: args.params.jobs,
+            churn: ck.config.churn.clone(),
+            audit_every: ck.config.audit_every,
+            checkpoint_every: args.checkpoint_every,
+            ckpt_dir: args.json_dir.clone(),
+            resume: Some(ck),
+            ..defaults
+        }
     } else {
-        defaults.epochs
-    };
-    let p = soak::SoakParams {
-        hosts: args.hosts,
-        gangs: args.cluster_vms,
-        epochs,
-        seed: args.params.seed,
-        jobs: args.params.jobs,
-        churn: args.cluster_churn.resolve(epochs, args.hosts),
-        audit_every: args.audit_every.min(epochs),
-        ..defaults
+        // A soak with no explicit --epochs runs its own long-horizon
+        // default, not the 8-epoch cluster-experiment default.
+        let epochs = if args.cluster_epochs_set {
+            args.cluster_epochs
+        } else {
+            defaults.epochs
+        };
+        soak::SoakParams {
+            hosts: args.hosts,
+            gangs: args.cluster_vms,
+            epochs,
+            seed: args.params.seed,
+            jobs: args.params.jobs,
+            churn: args.cluster_churn.resolve(epochs, args.hosts),
+            audit_every: args.audit_every.min(epochs),
+            checkpoint_every: args.checkpoint_every,
+            ckpt_dir: args.json_dir.clone(),
+            ..defaults
+        }
     };
     let rep = soak::run(&p);
     emit(args, "SOAK_report", rep.render(), rep.shape_checks(), &rep);
     if !rep.jobs_identical() {
+        std::process::exit(1);
+    }
+}
+
+/// The divergence bisector (`repro bisect`): build side A from the
+/// cluster-family flags and side B from the `--b-*` overrides (or an
+/// injected `--b-mutate` behavioral mutation), then binary-search the
+/// first epoch boundary whose cluster state digests differ and report
+/// the first divergent flight event in context. Exits 0 when the runs
+/// are bit-identical, 1 on divergence.
+fn run_bisect(args: &Args) {
+    use asman_cluster::{scenario::ConsolidationSpec, CheckpointConfig, ClusterConfig};
+    use asman_report::bisect;
+
+    let d = ClusterConfig::default();
+    let epochs = args.cluster_epochs;
+    let churn_a = args.cluster_churn.resolve(epochs, args.hosts);
+    let a = CheckpointConfig {
+        scenario: ConsolidationSpec {
+            hosts: args.hosts,
+            gangs: args.cluster_vms,
+            seed: args.params.seed,
+            ..ConsolidationSpec::default()
+        },
+        epoch_ms: d.epoch_ms,
+        epochs,
+        policy: args.cluster_policy.unwrap_or(Policy::VcrdAware),
+        cooldown_epochs: d.cooldown_epochs,
+        retry_cap: d.retry_cap,
+        audit_every: d.audit_every,
+        model: d.model,
+        faults: args.cluster_faults.clone(),
+        slot_reuse: !churn_a.is_empty(),
+        churn: churn_a,
+        series_capacity: 0,
+    };
+    let mut b = a.clone();
+    if let Some(p) = args.b_policy {
+        b.policy = p;
+    }
+    if let Some(s) = args.b_seed {
+        b.scenario.seed = s;
+    }
+    if let Some(spec) = &args.b_faults {
+        b.faults = spec.resolve(epochs, args.hosts);
+        if let Some(h) = b.faults.max_host() {
+            if h >= args.hosts {
+                fail(&format!(
+                    "--b-faults names host {h} but the cluster only has {} hosts",
+                    args.hosts
+                ));
+            }
+        }
+    }
+    if let Some(spec) = &args.b_churn {
+        b.churn = spec.resolve(epochs, args.hosts);
+        if let Some(h) = b.churn.max_host() {
+            if h >= args.hosts {
+                fail(&format!(
+                    "--b-churn names host {h} but the cluster only has {} hosts",
+                    args.hosts
+                ));
+            }
+        }
+        b.slot_reuse = b.slot_reuse || !b.churn.is_empty();
+    }
+    // Slot reuse changes tombstone behavior, so both sides must agree
+    // on it or the bisector would report the knob, not the real cause.
+    let slot_reuse = a.slot_reuse || b.slot_reuse;
+    let (mut a, mut b) = (a, b);
+    a.slot_reuse = slot_reuse;
+    b.slot_reuse = slot_reuse;
+    let out = bisect::run(&bisect::BisectParams {
+        a,
+        b,
+        jobs: args.params.jobs,
+        mutate: args.b_mutate,
+    });
+    println!("{}", out.render());
+    if !out.identical() {
         std::process::exit(1);
     }
 }
@@ -915,6 +1153,7 @@ fn main() {
             "cluster" => run_cluster(&args),
             "series" => run_series(&args),
             "soak" => run_soak(&args),
+            "bisect" => run_bisect(&args),
             "timeline" => run_timeline(p),
             "extensions" => {
                 let f = asman_report::extensions::run(p);

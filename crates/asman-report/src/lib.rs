@@ -20,6 +20,8 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod bisect;
+pub mod checkpoint;
 pub mod cluster;
 pub mod clusterbench;
 pub mod csv;

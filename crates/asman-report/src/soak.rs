@@ -27,14 +27,17 @@
 //!   contract to churned long-horizon runs.
 
 use asman_cluster::{
-    scenario::{self, ConsolidationSpec},
-    ChurnPlan, Cluster, ClusterConfig, Occupancy, Policy,
+    scenario::ConsolidationSpec, Checkpoint, CheckpointConfig, ChurnPlan, Cluster, ClusterConfig,
+    Occupancy, Policy,
 };
+use asman_sim::FaultPlan;
 use serde::Serialize;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use crate::cluster::digest_report;
 use crate::figures::ShapeCheck;
+use crate::progress;
 
 /// Capacity of the series ring a soak run arms: large enough to hold a
 /// meaningful trailing window, small enough that "ring fill is bounded"
@@ -65,6 +68,16 @@ pub struct SoakParams {
     /// Epochs of the jobs-1-vs-4 determinism cross-check prefix
     /// (clamped to the horizon).
     pub crosscheck_epochs: u64,
+    /// Emit a checkpoint artifact every N epochs into
+    /// [`SoakParams::ckpt_dir`] (0 = off).
+    pub checkpoint_every: u64,
+    /// Directory for `CKPT_<epoch>.json` artifacts.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Resume from this checkpoint: the run replays to the checkpoint
+    /// epoch, proves the replay reconverged, applies the artifact's
+    /// control state authoritatively, and continues to the horizon —
+    /// byte-identical to the uninterrupted run.
+    pub resume: Option<Checkpoint>,
 }
 
 impl Default for SoakParams {
@@ -79,33 +92,44 @@ impl Default for SoakParams {
             churn: ChurnPlan::empty(),
             audit_every: 1_000,
             crosscheck_epochs: 2_000,
+            checkpoint_every: 0,
+            ckpt_dir: None,
+            resume: None,
         }
     }
 }
 
 impl SoakParams {
-    fn cluster(&self, epochs: u64, jobs: usize) -> Cluster {
-        let spec = ConsolidationSpec {
-            hosts: self.hosts,
-            gangs: self.gangs,
-            seed: self.seed,
-            ..ConsolidationSpec::default()
-        };
-        let cfg = ClusterConfig {
-            policy: Policy::VcrdAware,
-            epochs,
+    /// The rebuild recipe a checkpoint of this soak carries — also the
+    /// *only* path the soak builds clusters through, so resume is
+    /// guaranteed to reconstruct exactly what the original run had.
+    pub fn checkpoint_config(&self, epochs: u64) -> CheckpointConfig {
+        let d = ClusterConfig::default();
+        CheckpointConfig {
+            scenario: ConsolidationSpec {
+                hosts: self.hosts,
+                gangs: self.gangs,
+                seed: self.seed,
+                ..ConsolidationSpec::default()
+            },
             epoch_ms: self.epoch_ms,
-            jobs,
-            churn: self.churn.clone(),
+            epochs,
+            policy: Policy::VcrdAware,
+            cooldown_epochs: d.cooldown_epochs,
+            retry_cap: d.retry_cap,
             audit_every: self.audit_every,
-            ..ClusterConfig::default()
-        };
-        let mut c = scenario::consolidation_cluster(cfg, &spec);
-        // A soak is exactly the workload slot reuse exists for: without
-        // it, host slot tables grow with every arrival of the plan.
-        c.enable_slot_reuse();
-        c.enable_series(SOAK_SERIES_CAPACITY);
-        c
+            model: d.model,
+            faults: FaultPlan::empty(),
+            churn: self.churn.clone(),
+            // A soak is exactly the workload slot reuse exists for:
+            // without it, host slot tables grow with every arrival.
+            slot_reuse: true,
+            series_capacity: SOAK_SERIES_CAPACITY,
+        }
+    }
+
+    fn cluster(&self, epochs: u64, jobs: usize) -> Cluster {
+        self.checkpoint_config(epochs).build_cluster(jobs)
     }
 }
 
@@ -299,8 +323,35 @@ pub fn run(p: &SoakParams) -> SoakReport {
     };
     for epoch in 0..p.epochs {
         c.run_epoch();
-        if (epoch + 1) % p.audit_every == 0 {
-            take(&c, epoch + 1, &mut checkpoints);
+        let done = epoch + 1;
+        // Resume: the loop above IS the replay. At the checkpoint's
+        // boundary, prove the replay reconverged, then apply the
+        // artifact's control state authoritatively — making every
+        // serialized field load-bearing for the continuation.
+        if let Some(ck) = p.resume.as_ref().filter(|ck| ck.state.epoch == done) {
+            let errs = ck.validate(&c);
+            assert!(
+                errs.is_empty(),
+                "resume: replay diverged from the checkpoint at epoch {done}:\n  {}",
+                errs.join("\n  ")
+            );
+            ck.apply(&mut c);
+            progress!("resume: checkpoint validated and applied at epoch {done}");
+        }
+        // Checkpoints are (re-)emitted at every boundary, including
+        // those replayed on resume, so a resumed run's artifact
+        // directory is `diff -r`-identical to the straight-through
+        // run's.
+        if p.checkpoint_every != 0 && done % p.checkpoint_every == 0 {
+            if let Some(dir) = &p.ckpt_dir {
+                let ck = Checkpoint::capture(&c, p.checkpoint_config(p.epochs));
+                let path = crate::checkpoint::write_checkpoint(dir, &ck)
+                    .expect("write checkpoint artifact");
+                progress!("wrote {}", path.display());
+            }
+        }
+        if done % p.audit_every == 0 {
+            take(&c, done, &mut checkpoints);
         }
     }
     // End-of-run audit is unconditional, as in [`Cluster::run`].

@@ -1,0 +1,137 @@
+//! Property tests for the checkpoint/restore round trip.
+//!
+//! The contract under test: take any run configuration (random
+//! scenario seed, policy, fault plan, churn plan) and any epoch `E`
+//! inside the horizon; capture a checkpoint at `E`, push it through
+//! the full JSON file encoding, decode it back, rebuild the cluster
+//! from the embedded config in a fresh "process", replay to `E`,
+//! validate field-by-field, apply, and run to the end. The final state
+//! — rendered as the horizon checkpoint's canonical JSON, plus the
+//! state digest and every per-host machine fingerprint — must be
+//! byte-identical to the uninterrupted run, for worker counts 1 and 4
+//! on either side of the restore.
+
+use asman_cluster::{
+    scenario::ConsolidationSpec, Checkpoint, CheckpointConfig, ChurnPlan, ClusterConfig, Policy,
+};
+use asman_sim::FaultPlan;
+use proptest::prelude::*;
+
+const EPOCHS: u64 = 8;
+
+fn config(seed: u64, policy: Policy, faults: &str, churn_rate: u32) -> CheckpointConfig {
+    let d = ClusterConfig::default();
+    let spec = ConsolidationSpec {
+        seed,
+        ..ConsolidationSpec::default()
+    };
+    let churn = if churn_rate == 0 {
+        ChurnPlan::empty()
+    } else {
+        ChurnPlan::generate(seed, churn_rate, EPOCHS, spec.hosts)
+    };
+    CheckpointConfig {
+        scenario: spec,
+        epoch_ms: d.epoch_ms,
+        epochs: EPOCHS,
+        policy,
+        cooldown_epochs: d.cooldown_epochs,
+        retry_cap: d.retry_cap,
+        audit_every: d.audit_every,
+        model: d.model,
+        faults: FaultPlan::parse(faults).expect("valid fault plan"),
+        churn,
+        slot_reuse: churn_rate != 0,
+        series_capacity: 64,
+    }
+}
+
+/// Everything the run produced, rendered to comparable bytes: the
+/// horizon checkpoint's canonical JSON (config + full control state +
+/// machine fingerprints + digest) and the raw digest.
+fn final_artifacts(c: &mut asman_cluster::Cluster, cfg: &CheckpointConfig) -> (String, u64) {
+    let ck = Checkpoint::capture(c, cfg.clone());
+    let json = String::from_utf8(serde_json::to_vec_pretty(&ck.to_value()).expect("serialize"))
+        .expect("utf8");
+    (json, c.state_digest())
+}
+
+fn straight_through(cfg: &CheckpointConfig, jobs: usize) -> (String, u64) {
+    let mut c = cfg.build_cluster(jobs);
+    for _ in 0..cfg.epochs {
+        c.run_epoch();
+    }
+    final_artifacts(&mut c, cfg)
+}
+
+/// Checkpoint at `at` under `jobs_before` workers, round-trip the
+/// bytes, restore under `jobs_after` workers, finish the run.
+fn save_restore_finish(
+    cfg: &CheckpointConfig,
+    at: u64,
+    jobs_before: usize,
+    jobs_after: usize,
+) -> (String, u64) {
+    let mut c = cfg.build_cluster(jobs_before);
+    for _ in 0..at {
+        c.run_epoch();
+    }
+    let ck = Checkpoint::capture(&c, cfg.clone());
+    // The full file round trip: value -> pretty JSON bytes -> parse ->
+    // decode. Any field the encoding drops or mangles dies here or in
+    // the divergence checks below.
+    let bytes = serde_json::to_vec_pretty(&ck.to_value()).expect("serialize");
+    let text = String::from_utf8(bytes).expect("utf8");
+    let ck = Checkpoint::from_value(&serde_json::from_str(&text).expect("parse"))
+        .expect("decode checkpoint");
+    assert_eq!(ck.state.epoch, at);
+    // "Fresh process": everything below uses only the decoded artifact.
+    let mut c = ck.config.build_cluster(jobs_after);
+    for _ in 0..at {
+        c.run_epoch();
+    }
+    let errs = ck.validate(&c);
+    assert!(errs.is_empty(), "replay diverged from checkpoint: {errs:?}");
+    ck.apply(&mut c);
+    for _ in at..cfg.epochs {
+        c.run_epoch();
+    }
+    final_artifacts(&mut c, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Save -> restore -> run-to-end is byte-identical to the
+    /// uninterrupted run for random configs and checkpoint epochs,
+    /// with worker counts 1 and 4 on both sides of the restore.
+    #[test]
+    fn round_trip_is_byte_identical(
+        seed in 1u64..500,
+        policy_vcrd in any::<bool>(),
+        faults in prop_oneof![
+            Just(""),
+            Just("abort@1"),
+            Just("abort@2,abort@5"),
+            Just("crash@3:h1"),
+        ],
+        churn_rate in 0u32..3,
+        at in 1u64..EPOCHS,
+    ) {
+        let policy = if policy_vcrd { Policy::VcrdAware } else { Policy::Static };
+        let cfg = config(seed, policy, faults, churn_rate);
+        let want = straight_through(&cfg, 1);
+        prop_assert_eq!(
+            &straight_through(&cfg, 4), &want,
+            "straight-through must be jobs-independent"
+        );
+        for (jb, ja) in [(1, 1), (1, 4), (4, 1)] {
+            let got = save_restore_finish(&cfg, at, jb, ja);
+            prop_assert_eq!(
+                &got, &want,
+                "resumed run (jobs {} -> {}) differs from straight-through at checkpoint epoch {}",
+                jb, ja, at
+            );
+        }
+    }
+}

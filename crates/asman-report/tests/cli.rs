@@ -215,6 +215,169 @@ fn soak_runs_asserts_and_renders_the_summary() {
 }
 
 #[test]
+fn usage_documents_checkpoint_and_bisect_flags() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bisect"), "usage lists the bisect target");
+    for flag in [
+        "--checkpoint-every",
+        "--resume",
+        "--b-policy",
+        "--b-seed",
+        "--b-faults",
+        "--b-churn",
+        "--b-mutate",
+    ] {
+        assert!(stdout.contains(flag), "usage documents {flag}");
+    }
+}
+
+#[test]
+fn bad_checkpoint_flags_exit_two() {
+    assert_usage_error(&["soak", "--checkpoint-every"], "needs a value");
+    assert_usage_error(
+        &["soak", "--checkpoint-every", "banana"],
+        "`banana` is not a number",
+    );
+    assert_usage_error(&["soak", "--checkpoint-every", "0"], "at least 1");
+    // Checkpoints are artifacts; without an artifact directory there is
+    // nowhere to put them.
+    assert_usage_error(
+        &["soak", "--checkpoint-every", "5"],
+        "needs --json DIR",
+    );
+    assert_usage_error(&["soak", "--resume"], "needs a checkpoint file");
+    assert_usage_error(
+        &["soak", "--resume", "/nonexistent/CKPT_000001.json"],
+        "cannot read",
+    );
+}
+
+#[test]
+fn resume_conflicts_with_scenario_flags() {
+    // The conflict is caught before the file is even opened — the
+    // scenario comes from the checkpoint, full stop.
+    for (flag, val) in [
+        ("--seed", "7"),
+        ("--hosts", "4"),
+        ("--vms", "3"),
+        ("--churn", "rand:1:2"),
+        ("--faults", "abort@1"),
+    ] {
+        assert_usage_error(
+            &["soak", "--resume", "/nonexistent/CKPT.json", flag, val],
+            "conflicts with --resume",
+        );
+    }
+}
+
+/// End-to-end through real checkpoint files: a tiny soak writes them,
+/// a resumed run finishes from one, and the two poison cases — a
+/// version from the future and a horizon the checkpoint has already
+/// passed — exit 2 with pointed messages.
+#[test]
+fn resume_round_trip_version_and_horizon_checks() {
+    let dir = std::env::temp_dir().join(format!("asman-cli-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dirs = dir.to_str().expect("utf8 temp dir");
+    let out = repro(&[
+        "soak",
+        "--epochs",
+        "4",
+        "--checkpoint-every",
+        "2",
+        "--json",
+        dirs,
+        "-q",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "soak runs\nstderr: {}", stderr(&out));
+    let ck2 = dir.join("CKPT_000002.json");
+    let ck4 = dir.join("CKPT_000004.json");
+    assert!(ck2.exists() && ck4.exists(), "soak wrote both checkpoints");
+
+    let out = repro(&["soak", "--resume", ck2.to_str().unwrap(), "--epochs", "4", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume from a real checkpoint runs\nstderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("soak: 4 epochs"),
+        "resumed soak renders the summary"
+    );
+
+    // Horizon already reached: nothing left to run.
+    assert_usage_error(
+        &["soak", "--resume", ck4.to_str().unwrap(), "--epochs", "4"],
+        "raise --epochs past the checkpoint",
+    );
+
+    // A checkpoint from a future schema version is refused, not
+    // misread.
+    let text = std::fs::read_to_string(&ck2).expect("read checkpoint");
+    assert!(text.contains("\"version\": 1"), "checkpoint carries its version");
+    let future = dir.join("CKPT_future.json");
+    std::fs::write(&future, text.replace("\"version\": 1", "\"version\": 99")).unwrap();
+    assert_usage_error(
+        &["soak", "--resume", future.to_str().unwrap()],
+        "99 unsupported (this build reads version 1)",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bisect_identical_twin_exits_zero_and_divergence_exits_one() {
+    let out = repro(&["bisect", "--epochs", "4", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical sides exit 0\nstderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("bit-identical"),
+        "negative twin says so"
+    );
+    let out = repro(&["bisect", "--epochs", "4", "--b-seed", "43", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "diverging sides exit 1\nstderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("first divergent epoch: 0"),
+        "a seed difference diverges before any epoch runs"
+    );
+}
+
+#[test]
+fn bad_bisect_flags_exit_two() {
+    assert_usage_error(&["bisect", "--b-policy"], "--b-policy needs a value");
+    assert_usage_error(&["bisect", "--b-policy", "bogus"], "unknown policy");
+    assert_usage_error(&["bisect", "--b-seed", "x"], "`x` is not a number");
+    assert_usage_error(&["bisect", "--b-mutate"], "--b-mutate needs a value");
+    assert_usage_error(&["bisect", "--b-mutate", "bogus"], "unknown mutation");
+    assert_usage_error(
+        &["bisect", "--hosts", "3", "--b-faults", "crash@2:h7"],
+        "host 7",
+    );
+}
+
+/// In a build without the audit feature the boost-skip mutation cannot
+/// be injected; the CLI must say which build to use. (The audit build
+/// accepts it, so the case only exists in the default build.)
+#[cfg(not(feature = "audit"))]
+#[test]
+fn boost_skip_mutation_requires_audit_build() {
+    assert_usage_error(
+        &["bisect", "--b-mutate", "boost-skip"],
+        "requires a build with --features audit",
+    );
+}
+
+#[test]
 fn bad_fault_plans_exit_two() {
     assert_usage_error(&["cluster", "--faults"], "--faults needs a plan");
     assert_usage_error(&["cluster", "--faults", "explode@3"], "unknown fault");

@@ -18,6 +18,7 @@
 //! signal, not a coincidence of layout.
 
 use crate::event::{pack, ScheduledAt};
+use crate::fnv::Fnv;
 use crate::time::Cycles;
 use crate::EventQueue;
 
@@ -65,6 +66,13 @@ pub trait SimQueue<T> {
 
     /// Panic if the implementation's internal invariants are violated.
     fn audit_check(&self) {}
+
+    /// Fold the queue's full logical state into a fingerprint: lifetime
+    /// counters plus every pending `(key, payload)` pair in key order,
+    /// payloads encoded by `enc`. Key order makes the fingerprint a
+    /// property of the pending *set*, so the optimized and oracle queues
+    /// (and any two layout histories) agree whenever their contents do.
+    fn fold_state(&self, h: &mut Fnv, enc: &mut dyn FnMut(&T, &mut Fnv));
 }
 
 impl<T> SimQueue<T> for EventQueue<T> {
@@ -108,6 +116,10 @@ impl<T> SimQueue<T> for EventQueue<T> {
 
     fn audit_check(&self) {
         EventQueue::audit_check(self)
+    }
+
+    fn fold_state(&self, h: &mut Fnv, enc: &mut dyn FnMut(&T, &mut Fnv)) {
+        EventQueue::fold_state(self, h, enc)
     }
 }
 
@@ -209,6 +221,19 @@ impl<T> SimQueue<T> for OracleQueue<T> {
             "oracle queue: scheduled != popped + pending"
         );
     }
+
+    fn fold_state(&self, h: &mut Fnv, enc: &mut dyn FnMut(&T, &mut Fnv)) {
+        h.write_u64(self.next_seq);
+        h.write_u64(self.popped);
+        h.write_usize(self.entries.len());
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&i| self.entries[i].0);
+        for i in order {
+            let (key, val) = &self.entries[i];
+            h.write_u128(*key);
+            enc(val, h);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +303,35 @@ mod tests {
         }
         assert_eq!(fast.scheduled_total(), SimQueue::scheduled_total(&slow));
         assert_eq!(fast.popped_total(), SimQueue::popped_total(&slow));
+    }
+
+    /// Both queue implementations must fold to the same fingerprint
+    /// whenever their pending contents agree — the fingerprint is a
+    /// property of the event set, not the layout.
+    #[test]
+    fn fold_state_agrees_across_implementations() {
+        let mut fast: EventQueue<u64> = SimQueue::fresh(16);
+        let mut slow: OracleQueue<u64> = SimQueue::fresh(16);
+        let mut state = 0xfeed_beefu64;
+        let digest_fast = |q: &EventQueue<u64>| {
+            let mut h = Fnv::new();
+            q.fold_state(&mut h, &mut |v, h| h.write_u64(*v));
+            h.finish()
+        };
+        let digest_slow = |q: &OracleQueue<u64>| {
+            let mut h = Fnv::new();
+            SimQueue::fold_state(q, &mut h, &mut |v, h| h.write_u64(*v));
+            h.finish()
+        };
+        for _ in 0..40 {
+            let t = lcg(&mut state) % 100;
+            SimQueue::schedule(&mut fast, Cycles(t), t);
+            SimQueue::schedule(&mut slow, Cycles(t), t);
+            if lcg(&mut state).is_multiple_of(3) {
+                assert_eq!(fast.pop(), SimQueue::pop(&mut slow));
+            }
+            assert_eq!(digest_fast(&fast), digest_slow(&slow));
+        }
     }
 
     #[test]

@@ -226,6 +226,40 @@ impl<T> EventQueue<T> {
         self.popped
     }
 
+    /// Fold the queue's full logical state into a fingerprint: lifetime
+    /// counters plus every pending event (including the one in the
+    /// insertion buffer) in key order, each payload encoded by `enc`.
+    /// Key order — not heap-array order — so the fingerprint depends
+    /// only on *what* is pending, never on the layout history that got
+    /// it there.
+    pub fn fold_state(&self, h: &mut crate::fnv::Fnv, enc: &mut dyn FnMut(&T, &mut crate::fnv::Fnv)) {
+        h.write_u64(self.next_seq);
+        h.write_u64(self.popped);
+        h.write_usize(self.len());
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        order.sort_unstable_by_key(|&i| self.keys[i]);
+        let mut emit = |key: u128, val: &T, h: &mut crate::fnv::Fnv| {
+            h.write_u128(key);
+            enc(val, h);
+        };
+        // Merge the insertion buffer into its key-ordered position.
+        let buf = self.pending.as_ref();
+        let mut buf_done = buf.is_none();
+        for i in order {
+            if let Some((bk, bv)) = buf {
+                if !buf_done && *bk < self.keys[i] {
+                    emit(*bk, bv, h);
+                    buf_done = true;
+                }
+            }
+            emit(self.keys[i], &self.vals[i], h);
+        }
+        if !buf_done {
+            let (bk, bv) = buf.expect("pending present when not yet emitted");
+            emit(*bk, bv, h);
+        }
+    }
+
     /// Panic unless the internal heap invariants hold: every parent key
     /// is strictly below its children (keys are unique), the key and
     /// payload arrays stay parallel, and the lifetime counters conserve

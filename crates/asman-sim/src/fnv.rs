@@ -1,0 +1,135 @@
+//! Incremental FNV-1a hashing for state fingerprints.
+//!
+//! The checkpoint subsystem needs a cheap, dependency-free way to
+//! summarize the *entire* microstate of a simulated machine — event
+//! queues, RNG words, guest-kernel thread states, accounting counters —
+//! into one `u64` that two runs can compare. [`Fnv`] is the same FNV-1a
+//! construction the report layer already uses for artifact digests,
+//! exposed as an incremental writer so deeply nested structures can fold
+//! themselves field by field without first serializing to text.
+//!
+//! Fingerprints are *comparison handles*, not serialization: two equal
+//! fingerprints mean (up to hash collision) equal state, and any dropped
+//! field shows up as a fingerprint mismatch between a restored run and
+//! its straight-through twin.
+
+/// Incremental FNV-1a hasher over explicitly framed primitives.
+///
+/// Every write mixes a fixed-width encoding of the value, so adjacent
+/// fields cannot alias (`write_u64(1); write_u64(2)` differs from
+/// `write_u64(0x100000002)` framing ambiguities by construction).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv {
+    h: u64,
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Mix raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Mix a `u64` (little-endian framing).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mix a `u128` as two `u64` halves.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    /// Mix an `i64` via its two's-complement bits.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Mix a `usize` widened to `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Mix a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    /// Mix a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// Mix an optional `u64`, distinguishing `None` from `Some(0)`.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.write_bool(true);
+                self.write_u64(x);
+            }
+            None => self.write_bool(false),
+        }
+    }
+
+    /// Mix a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_report_layer_digest_for_the_same_bytes() {
+        // The report crate digests serialized JSON with the same
+        // constants; byte-for-byte inputs must agree.
+        let mut h = Fnv::new();
+        h.write_bytes(b"hello");
+        let mut reference = 0xcbf2_9ce4_8422_2325u64;
+        for b in b"hello" {
+            reference ^= *b as u64;
+            reference = reference.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(h.finish(), reference);
+    }
+
+    #[test]
+    fn framing_distinguishes_adjacent_fields() {
+        let mut a = Fnv::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv::new();
+        c.write_opt_u64(None);
+        let mut d = Fnv::new();
+        d.write_opt_u64(Some(0));
+        assert_ne!(c.finish(), d.finish());
+    }
+}

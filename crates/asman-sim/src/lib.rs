@@ -27,6 +27,8 @@
 //! * [`fault`] — deterministic fault-injection plans (host crashes,
 //!   slowdowns, migration aborts) drawn from their own forked RNG
 //!   stream so faults never perturb workload draws.
+//! * [`fnv`] — incremental FNV-1a hashing ([`Fnv`]) for the state
+//!   fingerprints the checkpoint/restore subsystem compares.
 //! * [`registry`] — a unified registry of named counters, gauges and
 //!   quantile histograms serialized into per-run artifacts.
 //! * [`telemetry`] — deterministic per-epoch time-series sampling
@@ -45,6 +47,7 @@ pub mod event;
 pub mod exec;
 pub mod fault;
 pub mod flight;
+pub mod fnv;
 pub mod lhp;
 pub mod quantile;
 pub mod registry;
@@ -61,6 +64,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use flight::{
     merge_streams, CatMask, FlightEv, FlightEvent, FlightRecorder, StreamBudget, TraceCat,
 };
+pub use fnv::Fnv;
 pub use lhp::{check_episode_invariants, detect_lhp, LhpEpisode, LhpSummary};
 pub use quantile::P2Quantile;
 pub use registry::{MetricsRegistry, QuantileHist};

@@ -42,6 +42,14 @@ impl SimRng {
         SimRng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// The generator's full internal state, for state fingerprinting.
+    /// Two generators with equal state produce identical streams, so
+    /// folding these four words into a checkpoint fingerprint captures
+    /// every past and future draw of the stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -4,6 +4,7 @@
     scripts/check_trace.py TRACE.json [TRACE.json ...]
     scripts/check_trace.py --series CLUSTER_series_P.json [...]
     scripts/check_trace.py --spans CLUSTER_flight_P.json [...]
+    scripts/check_trace.py --ckpt CKPT_000500.json [...]
 
 Default mode checks the structural contract the Perfetto/Chrome
 trace-event viewer relies on, so CI catches exporter regressions
@@ -29,6 +30,13 @@ host-tagged flight streams (`repro cluster --json DIR`): every
 ``MigratePrepare`` of a span chain is closed by exactly one
 ``MigrateCommit`` or ``MigrateAbort``, attempts count up from 1, a
 commit is final, and retries follow an abort.
+
+``--ckpt`` mode validates checkpoint artifacts (`repro soak
+--checkpoint-every N --json DIR`): kind/version header, the embedded
+run config, the full control-state image (health per host, the per-VM
+schema, the optional pending retry), per-host machine fingerprints,
+and the cross-field invariants (epochs agree, hosts/health/fingerprint
+lengths agree, indices in range, the file name matches the epoch).
 
 Exits non-zero with a message on the first violation.
 """
@@ -222,6 +230,130 @@ def check_spans(path):
     print(f"ok: {path}: {len(spans)} migration span(s), all prepare/close paired")
 
 
+CKPT_VERSION = 1
+HEALTH = {"Healthy", "Derated", "Crashed"}
+
+
+def _nonneg(path, where, obj, field):
+    v = obj.get(field)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        sys.exit(f"{path}: {where}.{field} must be a non-negative integer, got {v!r}")
+    return v
+
+
+def check_ckpt(path):
+    """Validate a ``CKPT_<epoch>.json`` checkpoint artifact."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: top level must be an object")
+    if doc.get("kind") != "asman-ckpt":
+        sys.exit(f"{path}: kind is {doc.get('kind')!r}, not a checkpoint")
+    if doc.get("version") != CKPT_VERSION:
+        sys.exit(f"{path}: version {doc.get('version')!r} unsupported "
+                 f"(this checker reads version {CKPT_VERSION})")
+    for field in ("config", "epoch", "state", "hosts", "digest"):
+        if field not in doc:
+            sys.exit(f"{path}: missing {field!r}")
+
+    cfg = doc["config"]
+    if not isinstance(cfg, dict):
+        sys.exit(f"{path}: config must be an object")
+    for field in ("hosts", "gangs", "pcpus", "seed", "epoch_ms", "epochs",
+                  "policy", "cooldown_epochs", "retry_cap", "audit_every",
+                  "model", "faults", "churn", "slot_reuse", "series_capacity"):
+        if field not in cfg:
+            sys.exit(f"{path}: config missing {field!r}")
+    n_hosts = _nonneg(path, "config", cfg, "hosts")
+    if n_hosts < 2:
+        sys.exit(f"{path}: config.hosts must be at least 2, got {n_hosts}")
+    horizon = _nonneg(path, "config", cfg, "epochs")
+    if not isinstance(cfg["policy"], str):
+        sys.exit(f"{path}: config.policy must be a string label")
+    for field in ("base_pages", "dirty_pages_per_mcycle",
+                  "copy_cycles_per_page", "downtime_base"):
+        _nonneg(path, "config.model", cfg["model"], field)
+    for plan in ("faults", "churn"):
+        if not isinstance(cfg[plan].get("events"), list):
+            sys.exit(f"{path}: config.{plan}.events must be a list")
+
+    epoch = _nonneg(path, "checkpoint", doc, "epoch")
+    if epoch > horizon:
+        sys.exit(f"{path}: epoch {epoch} is past the config horizon {horizon}")
+    import os
+    import re
+    m = re.fullmatch(r"CKPT_(\d{6})\.json", os.path.basename(path))
+    if m and int(m.group(1)) != epoch:
+        sys.exit(f"{path}: file name epoch {int(m.group(1))} != payload epoch {epoch}")
+
+    st = doc["state"]
+    if not isinstance(st, dict):
+        sys.exit(f"{path}: state must be an object")
+    if st.get("epoch") != epoch:
+        sys.exit(f"{path}: state.epoch {st.get('epoch')!r} != checkpoint epoch {epoch}")
+    health = st.get("health")
+    if not isinstance(health, list) or len(health) != n_hosts:
+        sys.exit(f"{path}: state.health must list all {n_hosts} hosts")
+    for h, status in enumerate(health):
+        if status not in HEALTH:
+            sys.exit(f"{path}: state.health[{h}] unknown status {status!r}")
+    vms = st.get("vms")
+    if not isinstance(vms, list) or not vms:
+        sys.exit(f"{path}: state.vms must be a non-empty list")
+    for i, vm in enumerate(vms):
+        where = f"state.vms[{i}]"
+        if not isinstance(vm, dict):
+            sys.exit(f"{path}: {where} must be an object")
+        if not isinstance(vm.get("name"), str) or not vm["name"]:
+            sys.exit(f"{path}: {where}.name must be a non-empty string")
+        for field in ("local", "vcpus", "migrations", "prev_spin",
+                      "prev_vcrd_high", "prev_online", "spin_delta",
+                      "vcrd_high_delta", "online_delta", "attempts"):
+            _nonneg(path, where, vm, field)
+        host = _nonneg(path, where, vm, "host")
+        if host >= n_hosts:
+            sys.exit(f"{path}: {where} names host {host} of {n_hosts}")
+        lm = vm.get("last_migration")
+        if lm is not None and (not isinstance(lm, int) or lm < 0 or lm >= max(epoch, 1)):
+            sys.exit(f"{path}: {where}.last_migration {lm!r} not in 0..{epoch}")
+        for field in ("gave_up", "departed"):
+            if not isinstance(vm.get(field), bool):
+                sys.exit(f"{path}: {where}.{field} must be a boolean")
+        if "final_row" not in vm:
+            sys.exit(f"{path}: {where} missing 'final_row'")
+        if vm["departed"] != (vm["final_row"] is not None):
+            sys.exit(f"{path}: {where}: departed and final_row disagree")
+    pending = st.get("pending")
+    if pending is not None:
+        if not isinstance(pending, dict):
+            sys.exit(f"{path}: state.pending must be null or an object")
+        for field in ("vm", "to", "due", "attempts", "span"):
+            _nonneg(path, "state.pending", pending, field)
+        if pending["vm"] >= len(vms):
+            sys.exit(f"{path}: state.pending names vm {pending['vm']} of {len(vms)}")
+        if pending["to"] >= n_hosts:
+            sys.exit(f"{path}: state.pending names host {pending['to']} of {n_hosts}")
+        if pending["attempts"] < 1:
+            sys.exit(f"{path}: state.pending.attempts must be at least 1")
+    for field in ("records", "aborts", "evacuations"):
+        if not isinstance(st.get(field), list):
+            sys.exit(f"{path}: state.{field} must be a list")
+    for field in ("retries_committed", "retries_abandoned", "gave_up",
+                  "arrivals", "departures", "arrivals_rejected",
+                  "departures_skipped", "departed_finished", "next_span"):
+        _nonneg(path, "state", st, field)
+
+    prints = doc["hosts"]
+    if not isinstance(prints, list) or len(prints) != n_hosts:
+        sys.exit(f"{path}: hosts must list one fingerprint per host ({n_hosts})")
+    for h, fp in enumerate(prints):
+        if not isinstance(fp, int) or isinstance(fp, bool) or fp < 0:
+            sys.exit(f"{path}: hosts[{h}] fingerprint must be a non-negative integer")
+    _nonneg(path, "checkpoint", doc, "digest")
+    print(f"ok: {path}: epoch {epoch}/{horizon}, {len(vms)} VMs x {n_hosts} hosts, "
+          f"digest {doc['digest']:016x}")
+
+
 def main(argv):
     if len(argv) < 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
@@ -231,6 +363,8 @@ def main(argv):
             checker = check_series
         elif arg == "--spans":
             checker = check_spans
+        elif arg == "--ckpt":
+            checker = check_ckpt
         else:
             checker(arg)
 

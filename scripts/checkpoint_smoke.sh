@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Checkpoint/restore + bisection smoke (`repro soak --checkpoint-every`,
+# `repro soak --resume`, `repro bisect`).
+#
+# Drives the canonical churned soak with periodic checkpoints, then
+# simulates a mid-run kill by restarting from the halfway checkpoint —
+# under a *different* worker count — and demands the resumed run
+# reproduce the straight-through run exactly: stdout byte-identical,
+# every artifact in the output directory (report JSON and re-emitted
+# checkpoints) byte-identical under `diff -r`, and the golden digest
+# pin unchanged. Every checkpoint file is schema-checked, and the
+# divergence bisector is exercised both ways: the negative twin
+# (identical sides) must exit 0, and a canned mutation must exit 1
+# naming the exact first divergent epoch.
+#
+#   scripts/checkpoint_smoke.sh [OUT_DIR]   2k-epoch smoke (CI-sized)
+#
+# OUT_DIR (default ckpt-out) receives the straight run's artifacts;
+# the resumed run writes OUT_DIR-resumed, which must diff clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-ckpt-out}"
+
+# Same canonical scenario the soak smoke pins, plus checkpoints.
+churn="rand:42:5"
+epochs=2000
+every=500
+resume_from="CKPT_001000.json"
+golden="2c0cce1a2122726e"
+
+cargo build --release -p asman-report --bin repro
+
+rm -rf "$out_dir" "$out_dir-resumed"
+./target/release/repro soak --epochs "$epochs" --churn "$churn" --jobs 1 \
+  --checkpoint-every "$every" --json "$out_dir" -q | tee "$out_dir.txt"
+
+# Every checkpoint the straight run wrote passes the schema check.
+python3 scripts/check_trace.py --ckpt "$out_dir"/CKPT_*.json
+
+# "Kill" the run at the halfway checkpoint and resume from the file —
+# under jobs=4 where the straight run used jobs=1. The resumed run
+# replays to the boundary, verifies the replay against the artifact,
+# applies its state, and finishes the horizon.
+./target/release/repro soak --resume "$out_dir/$resume_from" --jobs 4 \
+  --checkpoint-every "$every" --json "$out_dir-resumed" -q | tee "$out_dir-resumed.txt"
+
+# Bit-identity: the resumed run's summary and every artifact match the
+# uninterrupted run.
+diff "$out_dir.txt" "$out_dir-resumed.txt"
+diff -r "$out_dir" "$out_dir-resumed"
+
+# Golden pin: resuming must not drift the canonical seed's digest.
+actual=$(sed -n 's/^digest: //p' "$out_dir-resumed.txt")
+if [[ "$actual" != "$golden" ]]; then
+  echo "resumed soak digest drifted for churn $churn over $epochs epochs:" >&2
+  echo "  pinned $golden, got $actual" >&2
+  echo "if the change is intentional, re-pin golden in scripts/checkpoint_smoke.sh" >&2
+  exit 1
+fi
+
+# Bisection, negative twin: identical sides are bit-identical, exit 0.
+./target/release/repro bisect --epochs 8 --policy vcrd-aware -q \
+  > "$out_dir-bisect-twin.txt"
+grep -q "bit-identical" "$out_dir-bisect-twin.txt"
+
+# Bisection, injected mutation: side B undercounts dirty pages; the
+# bisector must exit 1 and pinpoint the first divergent epoch.
+rc=0
+./target/release/repro bisect --epochs 8 --policy vcrd-aware \
+  --b-mutate dirty-undercount -q > "$out_dir-bisect.txt" || rc=$?
+if [[ "$rc" != 1 ]]; then
+  echo "mutated bisect should exit 1 (divergence confirmed), got $rc" >&2
+  exit 1
+fi
+grep "first divergent epoch:" "$out_dir-bisect.txt"
+
+echo "checkpoint smoke ok: $epochs epochs, resumed from $resume_from" \
+  "(jobs 1 -> 4), digest $actual, bisect pinpointed the mutation"

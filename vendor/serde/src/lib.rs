@@ -33,6 +33,83 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting non-negative `I64` and integral
+    /// `U64` (the two variants a round-tripped unsigned number can land
+    /// in).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, accepting in-range `U64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an `Object` (insertion-ordered).
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an `Object` by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can lower themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Produce the serialized representation of `self`.
@@ -193,6 +270,23 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("x".to_value(), Value::Str("x".into()));
         assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn value_accessors_select_the_right_variants() {
+        let obj = Value::Object(vec![
+            ("n".to_string(), Value::U64(7)),
+            ("s".to_string(), Value::Str("x".into())),
+            ("a".to_string(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(obj.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(obj.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(obj.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::U64(5).as_i64(), Some(5));
+        assert_eq!(Value::U64(2).as_f64(), Some(2.0));
+        assert!(Value::Null.is_null());
     }
 
     #[test]

@@ -1,19 +1,40 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde`
-//! [`Value`] tree as JSON text. Only the entry points the workspace uses
-//! are provided (`to_vec_pretty`, `to_string_pretty`, `to_string`).
+//! [`Value`] tree as JSON text and parses JSON text back into a
+//! [`Value`] tree. Only the entry points the workspace uses are
+//! provided (`to_vec_pretty`, `to_string_pretty`, `to_string`,
+//! `from_str`).
 
 #![warn(missing_docs)]
 
 pub use serde::Value;
 
-/// Serialization error (the stub serializer is infallible; this type only
-/// keeps call sites' `Result` handling compiling).
+/// Serialization or parse error. Serialization through the stub is
+/// infallible; parsing reports the byte offset and cause of the first
+/// malformed construct.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(pos: usize, msg: impl Into<String>) -> Self {
+        Error {
+            msg: format!("{} at byte {pos}", msg.into()),
+        }
+    }
+}
+
+impl Default for Error {
+    fn default() -> Self {
+        Error {
+            msg: "json serialization error".to_string(),
+        }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.msg)
     }
 }
 impl std::error::Error for Error {}
@@ -126,6 +147,246 @@ pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error>
     to_string(value).map(String::into_bytes)
 }
 
+/// Parse JSON text into a [`Value`] tree. Objects keep their fields in
+/// document order (the [`Value::Object`] representation is an ordered
+/// list), so a parse → render round trip is byte-stable.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(Error::at(p.pos, "trailing data after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::at(self.pos, format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::at(self.pos, format!("unexpected byte `{}`", c as char))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                if self.b[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::at(self.pos, "invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::at(self.pos, "unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::at(self.pos, "invalid codepoint"))?,
+                            );
+                        }
+                        c => {
+                            return Err(Error::at(
+                                self.pos,
+                                format!("unknown escape `\\{}`", c as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // char boundaries are valid by construction).
+                    let rest = &self.b[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::at(self.pos, "invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    if (c as u32) < 0x20 {
+                        return Err(Error::at(self.pos, "unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .b
+            .get(self.pos..end)
+            .ok_or_else(|| Error::at(self.pos, "truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos])
+            .map_err(|_| Error::at(start, "invalid number"))?;
+        if !float {
+            // Integers keep their exact-width variants — checkpoint
+            // state is all integers and must round-trip losslessly.
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<i64>() {
+                    return Ok(Value::I64(-v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::at(start, format!("invalid number `{text}`")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +409,58 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = from_str(
+            r#"{"a": 1, "b": [-2, 2.5, true, false, null], "s": "x\n\"\u0041", "o": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a"), Some(&Value::U64(1)));
+        assert_eq!(
+            v.get("b").unwrap().as_array().unwrap(),
+            &[
+                Value::I64(-2),
+                Value::F64(2.5),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Null
+            ]
+        );
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x\n\"A"));
+        assert_eq!(v.get("o"), Some(&Value::Object(vec![])));
+    }
+
+    #[test]
+    fn parse_render_round_trip_is_byte_stable() {
+        let v = Value::Object(vec![
+            ("z".into(), Value::U64(u64::MAX)),
+            ("i".into(), Value::I64(-42)),
+            ("f".into(), Value::F64(1.5)),
+            ("arr".into(), Value::Array(vec![Value::Str("hi\\x".into())])),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(to_string_pretty(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1..2", "\"unterminated",
+            "{\"a\":1} trailing", "\"\\u12\"", "\"\\q\"",
+        ] {
+            assert!(from_str(bad).is_err(), "`{bad}` must not parse");
+        }
     }
 }
