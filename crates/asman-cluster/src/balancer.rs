@@ -1,13 +1,17 @@
 //! Global placement policies.
 //!
 //! The balancer runs at every epoch boundary over a [`Snapshot`] of
-//! per-host and per-VM telemetry and proposes at most **one** migration
-//! per epoch — a deliberate serialization that, together with the
-//! per-VM cooldown, is the anti-thrash hysteresis: a placement change
-//! must prove itself for a few epochs before the next one is allowed.
+//! per-host and per-VM telemetry and proposes up to a bounded number of
+//! non-overlapping migrations per epoch ([`plan`]). The per-epoch move
+//! budget (`--max-moves`, default `max(1, hosts/8)`) together with the
+//! per-VM cooldown is the anti-thrash hysteresis: a placement change
+//! must prove itself for a few epochs before the next one from the same
+//! endpoints is allowed. A budget of 1 reproduces the historical
+//! one-move-per-epoch behaviour bit-for-bit.
 //!
 //! All arithmetic is integer and all tie-breaks are by lowest index, so
-//! a decision is a pure deterministic function of the snapshot.
+//! a plan is a pure deterministic function of the snapshot, the budget,
+//! and the per-host endpoint caps.
 
 use serde::Serialize;
 
@@ -141,21 +145,126 @@ impl Aggregates {
     }
 }
 
-/// The balancer decision for one epoch boundary: at most one move.
+/// One epoch's planning round: the accepted moves (in planning order)
+/// plus how many candidates the per-host endpoint caps vetoed.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    /// Accepted moves, in the order they were planned. The driver
+    /// executes them in this order inside the serial barrier.
+    pub moves: Vec<Move>,
+    /// Candidate moves rejected because their source or destination was
+    /// already claimed this epoch — by a live retry chain or by an
+    /// earlier move of the same plan.
+    pub denied_conflict: u64,
+}
+
+/// A single balancer decision over a fresh snapshot: at most one move.
+/// Equivalent to the first accepted move of a [`plan`] with budget 1
+/// and no claimed endpoints.
 pub fn decide(policy: Policy, snap: &Snapshot) -> Option<Move> {
-    match policy {
-        Policy::Static => None,
-        Policy::LeastLoaded => decide_least_loaded(snap, &Aggregates::fold(snap)),
-        Policy::VcrdAware => decide_vcrd_aware(snap, &Aggregates::fold(snap)),
+    let bans = Bans::none(snap.hosts.len());
+    decide_with(policy, snap, &Aggregates::fold(snap), &bans)
+}
+
+/// Hosts a planning round has ruled out as senders / receivers this
+/// epoch. A denied candidate always blames a *host* (the endpoint caps
+/// are per-host), so banning the endpoint — rather than the candidate
+/// VM — lets the next decision fall through to the next-hottest source
+/// or next-best destination instead of dead-ending on the claimed one.
+struct Bans {
+    src: Vec<bool>,
+    dst: Vec<bool>,
+}
+
+impl Bans {
+    fn none(hosts: usize) -> Bans {
+        Bans {
+            src: vec![false; hosts],
+            dst: vec![false; hosts],
+        }
     }
 }
 
-fn decide_least_loaded(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
+fn decide_with(policy: Policy, snap: &Snapshot, agg: &Aggregates, bans: &Bans) -> Option<Move> {
+    match policy {
+        Policy::Static => None,
+        Policy::LeastLoaded => decide_least_loaded(snap, agg, bans),
+        Policy::VcrdAware => decide_vcrd_aware(snap, agg, bans),
+    }
+}
+
+/// Plan up to `budget` conflict-free moves for one epoch boundary.
+///
+/// `src_used[h]` / `dst_used[h]` say host `h` already sends / receives
+/// a migration this epoch (a retry chain executed or still in flight);
+/// the planner honours and extends them, so across chains and fresh
+/// moves every host is the source of at most one migration and the
+/// destination of at most one migration per epoch.
+///
+/// The planner iterates the single-move decision greedily: after each
+/// accepted move the working snapshot re-homes the VM and marks it
+/// cooling (so one VM is planned at most once), and the aggregates are
+/// updated so later picks see the post-move shape. A candidate whose
+/// endpoint is already claimed is counted in `denied_conflict`, the
+/// claimed host is banned for the rest of the round (the caps are
+/// per-host, so every other candidate through it would lose too), and
+/// the search falls through to the next-hottest source or next-best
+/// destination — the loop terminates because every iteration consumes
+/// budget or bans a host. Pure integer math over a fixed iteration
+/// order: the plan is bit-identical for every `--jobs` count.
+pub fn plan(
+    policy: Policy,
+    snap: &Snapshot,
+    budget: usize,
+    src_used: &mut [bool],
+    dst_used: &mut [bool],
+) -> Plan {
+    let mut out = Plan::default();
+    if budget == 0 || policy == Policy::Static {
+        return out;
+    }
+    let mut working = snap.clone();
+    let mut agg = Aggregates::fold(&working);
+    let mut bans = Bans::none(snap.hosts.len());
+    while out.moves.len() < budget {
+        let Some(mv) = decide_with(policy, &working, &agg, &bans) else {
+            break;
+        };
+        let from = working.vms[mv.vm].host;
+        if src_used[from] {
+            out.denied_conflict += 1;
+            bans.src[from] = true;
+            continue;
+        }
+        if dst_used[mv.to] {
+            out.denied_conflict += 1;
+            bans.dst[mv.to] = true;
+            continue;
+        }
+        src_used[from] = true;
+        dst_used[mv.to] = true;
+        let vcpus = working.vms[mv.vm].vcpus as u64;
+        agg.load[from] -= vcpus;
+        agg.load[mv.to] += vcpus;
+        if working.concurrent(mv.vm) {
+            agg.gang[from] -= vcpus;
+            agg.gang[mv.to] += vcpus;
+        }
+        working.vms[mv.vm].host = mv.to;
+        working.vms[mv.vm].cooling = true;
+        out.moves.push(mv);
+    }
+    out
+}
+
+fn decide_least_loaded(snap: &Snapshot, agg: &Aggregates, bans: &Bans) -> Option<Move> {
     let n = snap.hosts.len();
-    let hmax = (0..n).max_by_key(|&h| (agg.overcommit(snap, h), std::cmp::Reverse(h)))?;
+    let hmax = (0..n)
+        .filter(|&h| !bans.src[h])
+        .max_by_key(|&h| (agg.overcommit(snap, h), std::cmp::Reverse(h)))?;
     // Only admitting hosts may receive; the source may be any host.
     let hmin = (0..n)
-        .filter(|&h| snap.hosts[h].admit)
+        .filter(|&h| snap.hosts[h].admit && !bans.dst[h])
         .min_by_key(|&h| (agg.overcommit(snap, h), h))?;
     if hmax == hmin {
         return None;
@@ -183,12 +292,12 @@ fn decide_least_loaded(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
     }
 }
 
-fn decide_vcrd_aware(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
+fn decide_vcrd_aware(snap: &Snapshot, agg: &Aggregates, bans: &Bans) -> Option<Move> {
     let n = snap.hosts.len();
     // Hottest gang host: gangs demand more PCPUs than exist, so they
     // cannot co-run without lock-holder preemption.
     let src = (0..n)
-        .filter(|&h| agg.gang[h] > snap.hosts[h].pcpus as u64)
+        .filter(|&h| !bans.src[h] && agg.gang[h] > snap.hosts[h].pcpus as u64)
         .max_by_key(|&h| (agg.gang[h], std::cmp::Reverse(h)))?;
     // The most spin-burdened concurrent VM there (ties: lowest id).
     let vm = snap
@@ -205,6 +314,7 @@ fn decide_vcrd_aware(snap: &Snapshot, agg: &Aggregates) -> Option<Move> {
     let dst = (0..n)
         .filter(|&h| {
             h != src
+                && !bans.dst[h]
                 && snap.hosts[h].admit
                 && need as usize <= snap.hosts[h].pcpus
                 && agg.gang[h] + need <= snap.hosts[h].pcpus as u64
@@ -316,6 +426,93 @@ mod tests {
         // a 3-VCPU gang even though it admits.
         let s = snap(vec![4, 2], vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0)]);
         assert_eq!(decide(Policy::VcrdAware, &s), None);
+    }
+
+    #[test]
+    fn plan_budget_one_matches_decide() {
+        let s = snap(
+            vec![4, 4],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0), (1, 4, 0, 0)],
+        );
+        for policy in Policy::ALL {
+            let mut src = vec![false; 2];
+            let mut dst = vec![false; 2];
+            let p = plan(policy, &s, 1, &mut src, &mut dst);
+            assert_eq!(p.moves.first().copied(), decide(policy, &s));
+            assert_eq!(p.denied_conflict, 0);
+        }
+    }
+
+    #[test]
+    fn plan_picks_non_overlapping_moves_from_two_hot_hosts() {
+        // Hosts 0 and 1 each carry two fighting gangs; hosts 2 and 3
+        // are gang-free. One planning round should drain both hot
+        // hosts, one gang each, to distinct destinations.
+        let s = snap(
+            vec![4, 4, 4, 4],
+            vec![
+                (0, 3, 900_000, 0),
+                (0, 3, 400_000, 0),
+                (1, 3, 800_000, 0),
+                (1, 3, 300_000, 0),
+                (2, 2, 0, 0),
+                (3, 2, 0, 0),
+            ],
+        );
+        let mut src = vec![false; 4];
+        let mut dst = vec![false; 4];
+        let p = plan(Policy::VcrdAware, &s, 4, &mut src, &mut dst);
+        assert_eq!(p.moves.len(), 2, "one gang off each hot host: {:?}", p.moves);
+        assert_eq!(p.denied_conflict, 0);
+        let (srcs, dsts): (Vec<usize>, Vec<usize>) =
+            p.moves.iter().map(|m| (s.vms[m.vm].host, m.to)).unzip();
+        assert_eq!(srcs, vec![0, 1], "hotter host drains first");
+        assert_eq!(dsts, vec![2, 3], "distinct destinations");
+        assert!(src[0] && src[1] && dst[2] && dst[3], "caps claimed");
+    }
+
+    #[test]
+    fn plan_spreads_destinations_via_working_aggregates() {
+        // Both hot hosts would prefer host 2 (lowest index among the
+        // empty hosts); after the first move re-homes a gang there, the
+        // updated aggregates fail the fit check and the second move
+        // falls through to host 3.
+        let s = snap(
+            vec![4, 4, 4, 4],
+            vec![
+                (0, 3, 900_000, 0),
+                (0, 3, 400_000, 0),
+                (1, 3, 800_000, 0),
+                (1, 3, 300_000, 0),
+            ],
+        );
+        let mut src = vec![false; 4];
+        let mut dst = vec![false; 4];
+        let p = plan(Policy::VcrdAware, &s, 4, &mut src, &mut dst);
+        assert_eq!(p.moves.len(), 2, "got {:?}", p.moves);
+        let dsts: Vec<usize> = p.moves.iter().map(|m| m.to).collect();
+        assert_eq!(dsts, vec![2, 3]);
+    }
+
+    #[test]
+    fn plan_honours_preclaimed_endpoint_caps() {
+        let s = snap(
+            vec![4, 4],
+            vec![(0, 3, 900_000, 0), (0, 3, 400_000, 0), (1, 4, 0, 0)],
+        );
+        // A live chain already sends from host 0: nothing else may.
+        let mut src = vec![true, false];
+        let mut dst = vec![false, false];
+        let p = plan(Policy::VcrdAware, &s, 4, &mut src, &mut dst);
+        assert!(p.moves.is_empty(), "got {:?}", p.moves);
+        assert!(p.denied_conflict >= 1);
+        // A live chain already lands on host 1: the only viable
+        // destination is claimed.
+        let mut src = vec![false, false];
+        let mut dst = vec![false, true];
+        let p = plan(Policy::VcrdAware, &s, 4, &mut src, &mut dst);
+        assert!(p.moves.is_empty(), "got {:?}", p.moves);
+        assert!(p.denied_conflict >= 1);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //!   *resolved* to explicit event lists (a `rand:SEED` spec resolved
 //!   against a different horizon would silently change the schedule);
 //! * the **cluster control state** at epoch `E` — every registry entry,
-//!   host health, the pending retry chain with its due epoch and
-//!   attempt count, migration/abort/evacuation records, churn and
-//!   recovery counters, and the span allocator;
+//!   host health, the ordered set of live retry chains (each with its
+//!   due epoch and attempt count), migration/abort/evacuation records,
+//!   churn and recovery counters, and the span allocator;
 //! * per-host **state fingerprints** ([`Machine::state_fingerprint`])
 //!   plus a combined [`Cluster::state_digest`], so restore can *prove*
 //!   the replay reconverged before continuing.
@@ -41,10 +41,18 @@ use serde::{Serialize, Value};
 pub const CKPT_KIND: &str = "asman-ckpt";
 
 /// Current checkpoint schema version. Bump on any incompatible change
-/// to the serialized form; [`Checkpoint::from_value`] rejects files
-/// whose version differs (forward and backward) with a clear error —
+/// to the serialized form; [`Checkpoint::from_value`] reads versions
+/// `1..=CKPT_VERSION` and rejects anything else with a clear error —
 /// silent misinterpretation of state is strictly worse than a refusal.
-pub const CKPT_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — `state.pending` is a single retry chain (object) or null;
+///   the config carries no move budget.
+/// * **2** — `state.pending` is the ordered array of live retry chains
+///   (multi-move planning) and the config records `max_moves`. A
+///   version-1 artifact decodes as a set of ≤ 1 chains with the budget
+///   defaulting to 1, which reproduces its original semantics exactly.
+pub const CKPT_VERSION: u64 = 2;
 
 /// Everything needed to rebuild the cluster a checkpoint was taken
 /// from: the consolidation scenario, the driver configuration, and the
@@ -75,6 +83,9 @@ pub struct CheckpointConfig {
     pub slot_reuse: bool,
     /// Series-ring capacity; `0` means series sampling was off.
     pub series_capacity: usize,
+    /// Per-epoch migration budget (version-1 artifacts, which predate
+    /// multi-move planning, decode as 1).
+    pub max_moves: usize,
 }
 
 impl CheckpointConfig {
@@ -94,6 +105,7 @@ impl CheckpointConfig {
             churn: self.churn.clone(),
             audit_every: self.audit_every,
             jobs,
+            max_moves: self.max_moves,
         };
         let mut c = consolidation_cluster(cfg, &self.scenario);
         if self.slot_reuse {
@@ -132,6 +144,7 @@ impl CheckpointConfig {
                 "series_capacity".to_string(),
                 self.series_capacity.to_value(),
             ),
+            ("max_moves".to_string(), self.max_moves.to_value()),
         ])
     }
 
@@ -166,6 +179,12 @@ impl CheckpointConfig {
             churn: decode_churn_plan(need(v, "churn", p)?)?,
             slot_reuse: get_bool(v, "slot_reuse", p)?,
             series_capacity: get_usize(v, "series_capacity", p)?,
+            // Absent in version-1 artifacts, which ran the historical
+            // single-slot driver: default to a budget of 1.
+            max_moves: match v.get("max_moves") {
+                Some(_) => get_usize(v, "max_moves", p)?,
+                None => 1,
+            },
         })
     }
 }
@@ -211,7 +230,7 @@ pub struct VmEntryState {
     pub final_row: Option<VmRow>,
 }
 
-/// The in-flight retry chain as captured in the artifact.
+/// One in-flight retry chain as captured in the artifact.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PendingState {
     /// Cluster-wide VM id being moved.
@@ -235,8 +254,10 @@ pub struct ClusterState {
     pub health: Vec<HostHealth>,
     /// Every registry entry, cluster-id order.
     pub vms: Vec<VmEntryState>,
-    /// In-flight retry chain, if one is backing off.
-    pub pending: Option<PendingState>,
+    /// Live retry chains, FIFO by chain age (version-2 artifacts encode
+    /// the ordered array; version-1 artifacts encode null or a single
+    /// object and decode as a set of ≤ 1).
+    pub pending: Vec<PendingState>,
     /// Migrations executed so far.
     pub records: Vec<MigrationRecord>,
     /// Aborted attempts so far.
@@ -275,10 +296,7 @@ impl ClusterState {
             ),
             (
                 "pending".to_string(),
-                match &self.pending {
-                    Some(pd) => pending_to_value(pd),
-                    None => Value::Null,
-                },
+                Value::Array(self.pending.iter().map(pending_to_value).collect()),
             ),
             ("records".to_string(), self.records.to_value()),
             ("aborts".to_string(), self.aborts.to_value()),
@@ -330,10 +348,17 @@ impl ClusterState {
             .map(|(i, e)| decode_vm_entry(e, &format!("{p}.vms[{i}]")))
             .collect::<Result<Vec<_>, _>>()?;
         let pending_v = need(v, "pending", p)?;
-        let pending = if pending_v.is_null() {
-            None
-        } else {
-            Some(decode_pending(pending_v, &format!("{p}.pending"))?)
+        let pending = match pending_v {
+            // Version 1: no chain backing off.
+            Value::Null => Vec::new(),
+            // Version 2: the ordered chain set.
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| decode_pending(x, &format!("{p}.pending[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?,
+            // Version 1: the single chain object.
+            _ => vec![decode_pending(pending_v, &format!("{p}.pending"))?],
         };
         Ok(ClusterState {
             epoch: get_u64(v, "epoch", p)?,
@@ -448,9 +473,9 @@ impl Checkpoint {
             ));
         }
         let version = get_u64(v, "version", "checkpoint")?;
-        if version != CKPT_VERSION {
+        if !(1..=CKPT_VERSION).contains(&version) {
             return Err(format!(
-                "checkpoint.version: {version} unsupported (this build reads version {CKPT_VERSION})"
+                "checkpoint.version: {version} unsupported (this build reads versions 1..={CKPT_VERSION})"
             ));
         }
         let config = CheckpointConfig::from_value(need(v, "config", "checkpoint")?)?;
@@ -489,13 +514,17 @@ impl Cluster {
             epoch: self.epochs_run,
             health: self.health.clone(),
             vms: self.vms.iter().map(vm_entry_state).collect(),
-            pending: self.pending.map(|pd| PendingState {
-                vm: pd.vm,
-                to: pd.to,
-                due: pd.due,
-                attempts: pd.attempts,
-                span: pd.span,
-            }),
+            pending: self
+                .pending
+                .iter()
+                .map(|pd| PendingState {
+                    vm: pd.vm,
+                    to: pd.to,
+                    due: pd.due,
+                    attempts: pd.attempts,
+                    span: pd.span,
+                })
+                .collect(),
             records: self.records.clone(),
             aborts: self.aborts.clone(),
             evacuations: self.evacuations.clone(),
@@ -540,13 +569,17 @@ impl Cluster {
                 final_row: e.final_row.clone(),
             })
             .collect();
-        self.pending = s.pending.map(|pd| PendingRetry {
-            vm: pd.vm,
-            to: pd.to,
-            due: pd.due,
-            attempts: pd.attempts,
-            span: pd.span,
-        });
+        self.pending = s
+            .pending
+            .iter()
+            .map(|pd| PendingRetry {
+                vm: pd.vm,
+                to: pd.to,
+                due: pd.due,
+                attempts: pd.attempts,
+                span: pd.span,
+            })
+            .collect();
         self.records = s.records.clone();
         self.aborts = s.aborts.clone();
         self.evacuations = s.evacuations.clone();
@@ -968,6 +1001,7 @@ mod tests {
             churn: ChurnPlan::empty(),
             slot_reuse: false,
             series_capacity: 0,
+            max_moves: 1,
         }
     }
 
@@ -1050,6 +1084,70 @@ mod tests {
             ("version".to_string(), Value::U64(1)),
         ]);
         assert!(Checkpoint::from_value(&not_ckpt).is_err());
+    }
+
+    /// A version-1 artifact — `pending` null or a single object, no
+    /// `config.max_moves` — must load in this build with identical
+    /// semantics: an empty (or single-entry) chain set and a move
+    /// budget of 1.
+    #[test]
+    fn version_one_artifacts_still_load() {
+        let mut c = small_config().build_cluster(1);
+        for _ in 0..3 {
+            c.run_epoch();
+        }
+        let ck = Checkpoint::capture(&c, small_config());
+        assert!(ck.state.pending.is_empty(), "clean run has no chains");
+        let mut v = ck.to_value();
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                match k.as_str() {
+                    "version" => *val = Value::U64(1),
+                    "state" => {
+                        if let Value::Object(state) = val {
+                            for (sk, sv) in state.iter_mut() {
+                                if sk == "pending" {
+                                    *sv = Value::Null;
+                                }
+                            }
+                        }
+                    }
+                    "config" => {
+                        if let Value::Object(cfg) = val {
+                            cfg.retain(|(ck, _)| ck != "max_moves");
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let back = Checkpoint::from_value(&v).expect("v1 artifact must decode");
+        assert!(back.state.pending.is_empty());
+        assert_eq!(back.config.max_moves, 1, "absent budget defaults to 1");
+        assert_eq!(back.state, ck.state);
+        // The single-object pending form decodes as a one-chain set.
+        let one = PendingState {
+            vm: 1,
+            to: 2,
+            due: 5,
+            attempts: 1,
+            span: 0,
+        };
+        if let Value::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "state" {
+                    if let Value::Object(state) = val {
+                        for (sk, sv) in state.iter_mut() {
+                            if sk == "pending" {
+                                *sv = pending_to_value(&one);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let back = Checkpoint::from_value(&v).expect("v1 single-chain artifact must decode");
+        assert_eq!(back.state.pending, vec![one]);
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! RNG draw or recorded event can leak across workers), each worker
 //! snapshots its host's per-VM telemetry counters before the barrier,
 //! and then the serial section runs: deltas are formed from the
-//! captured counters, one balancer decision is taken
-//! ([`balancer::decide`]), and at most one stop-and-copy migration
-//! executes with its pause charged through the [`MigrationModel`].
+//! captured counters, a conflict-free multi-move plan is taken
+//! ([`balancer::plan`], bounded by [`ClusterConfig::max_moves`]), and
+//! the planned stop-and-copy migrations execute in plan order with
+//! their pauses charged through the [`MigrationModel`].
 //! Results are bit-identical for every worker count — `jobs == 1`
 //! degenerates to the historical sequential loop, and any other count
 //! only changes which thread advances which host, never what the host
@@ -56,7 +57,7 @@ pub mod churn;
 pub mod migration;
 pub mod scenario;
 
-pub use balancer::{decide, HostView, Move, Policy, Snapshot, VmView};
+pub use balancer::{decide, plan, HostView, Move, Plan, Policy, Snapshot, VmView};
 pub use checkpoint::{diff_states, Checkpoint, CheckpointConfig, ClusterState};
 pub use churn::{ChurnKind, ChurnPlan, ChurnSpec, ShapeKind, VmShape};
 pub use migration::{AbortRecord, MigrationModel, MigrationRecord};
@@ -101,6 +102,12 @@ pub struct ClusterConfig {
     /// [`SweepRunner::new`] convention). Results are bit-identical for
     /// every value.
     pub jobs: usize,
+    /// Per-epoch migration budget: how many migration chains (live
+    /// retries plus freshly planned moves) the cluster may carry per
+    /// epoch boundary. `1` reproduces the historical
+    /// one-migration-per-epoch driver bit-for-bit; the CLI default is
+    /// `max(1, hosts/8)`.
+    pub max_moves: usize,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +123,7 @@ impl Default for ClusterConfig {
             churn: ChurnPlan::empty(),
             audit_every: 1,
             jobs: 0,
+            max_moves: 1,
         }
     }
 }
@@ -136,8 +144,9 @@ pub enum HostHealth {
 }
 
 /// An aborted migration waiting out its exponential backoff. The chain
-/// holds the cluster's one-migration-per-epoch slot until it commits,
-/// is abandoned, or exhausts the attempt cap.
+/// holds one of the cluster's [`ClusterConfig::max_moves`] migration
+/// slots — and its source/destination endpoint caps — until it
+/// commits, is abandoned, or exhausts the attempt cap.
 #[derive(Clone, Copy, Debug)]
 struct PendingRetry {
     /// Cluster-wide VM id being moved.
@@ -190,7 +199,8 @@ pub struct Occupancy {
     pub slots: usize,
     /// Evacuated slots awaiting reuse.
     pub tombstones: usize,
-    /// In-flight migration retry chains (the driver serializes on one).
+    /// In-flight migration retry chains (bounded by
+    /// [`ClusterConfig::max_moves`]).
     pub pending_retries: usize,
     /// Epoch samples held by the series ring (bounded by its capacity).
     pub series_len: usize,
@@ -405,7 +415,10 @@ pub struct Cluster {
     records: Vec<MigrationRecord>,
     aborts: Vec<AbortRecord>,
     evacuations: Vec<MigrationRecord>,
-    pending: Option<PendingRetry>,
+    /// Live migration retry chains, FIFO by chain age. At most
+    /// `cfg.max_moves` entries; each claims its endpoints' per-host
+    /// send/receive caps while alive.
+    pending: Vec<PendingRetry>,
     retries_committed: u64,
     retries_abandoned: u64,
     gave_up: u64,
@@ -474,6 +487,7 @@ impl Cluster {
             );
         }
         assert!(cfg.audit_every >= 1, "audit_every must be at least 1");
+        assert!(cfg.max_moves >= 1, "max_moves must be at least 1");
         let health = vec![HostHealth::Healthy; hosts.len()];
         let runner = SweepRunner::new(cfg.jobs);
         Cluster {
@@ -485,7 +499,7 @@ impl Cluster {
             records: Vec::new(),
             aborts: Vec::new(),
             evacuations: Vec::new(),
-            pending: None,
+            pending: Vec::new(),
             retries_committed: 0,
             retries_abandoned: 0,
             gave_up: 0,
@@ -554,7 +568,7 @@ impl Cluster {
             resident: self.resident_vm_count(),
             slots,
             tombstones: slots - live_slots,
-            pending_retries: usize::from(self.pending.is_some()),
+            pending_retries: self.pending.len(),
             series_len: self.series.as_ref().map_or(0, |s| s.samples().count()),
         }
     }
@@ -729,7 +743,7 @@ impl Cluster {
     /// died.
     ///
     /// Everything after the advance is deliberately serial: fault
-    /// application, the balancer decision and the migration all mutate
+    /// application, the balancer plan and the migrations all mutate
     /// cross-host state and happen at the barrier, in a fixed order, on
     /// the calling thread. Combined with per-host RNG streams, per-host
     /// flight buffers (merged later by stable `(time, host, seq)`
@@ -751,20 +765,54 @@ impl Cluster {
         if epoch.is_multiple_of(self.cfg.audit_every) {
             self.audit_check();
         }
-        let attempt = match self.pending {
-            Some(p) if p.due <= epoch => {
-                self.pending = None;
-                self.revalidate_retry(p)
+        // Migration step. Retry chains go first, in FIFO chain order: a
+        // due chain revalidates and re-attempts, one still backing off
+        // keeps its slot. Every chain alive at the start of the step —
+        // due, waiting, or abandoned at revalidation — consumes one
+        // unit of this epoch's move budget, so at `max_moves == 1` a
+        // live chain suppresses fresh planning exactly as the
+        // historical single-slot driver did. Chains and executed
+        // retries claim their endpoints' per-host send/receive caps;
+        // the planner then fills the remaining budget with
+        // conflict-free fresh moves.
+        let chains_at_start = self.pending.len();
+        let mut src_used = vec![false; self.hosts.len()];
+        let mut dst_used = vec![false; self.hosts.len()];
+        for p in std::mem::take(&mut self.pending) {
+            if p.due <= epoch {
+                if let Some((mv, attempt, span)) = self.revalidate_retry(p) {
+                    let from = self.vms[mv.vm].host;
+                    // Committed, re-queued, or given up: the attempt
+                    // occupied both endpoints this epoch either way.
+                    self.execute_migration(epoch, mv, end, attempt, span);
+                    src_used[from] = true;
+                    dst_used[mv.to] = true;
+                }
+            } else {
+                src_used[self.vms[p.vm].host] = true;
+                dst_used[p.to] = true;
+                self.pending.push(p);
             }
-            // A chain backing off holds the one-migration-per-epoch
-            // slot: no fresh decision until it resolves.
-            Some(_) => None,
-            None => decide(self.cfg.policy, &self.snapshot(epoch)).map(|mv| (mv, 1, None)),
-        };
-        if let Some((mv, attempt, span)) = attempt {
-            self.execute_migration(epoch, mv, end, attempt, span);
         }
-        self.sample_series(epoch, &adv.runnable);
+        let budget = self.cfg.max_moves.saturating_sub(chains_at_start);
+        let (moves_planned, moves_denied_conflict) = if budget > 0 {
+            let mut snap = self.snapshot(epoch);
+            // VMs owned by a chain that is still alive (waiting, or
+            // re-queued by an abort just now) are off-limits to the
+            // planner regardless of endpoint caps.
+            for p in &self.pending {
+                snap.vms[p.vm].cooling = true;
+            }
+            let plan = balancer::plan(self.cfg.policy, &snap, budget, &mut src_used, &mut dst_used);
+            let planned = plan.moves.len() as u32;
+            for mv in plan.moves {
+                self.execute_migration(epoch, mv, end, 1, None);
+            }
+            (planned, plan.denied_conflict as u32)
+        } else {
+            (0, 0)
+        };
+        self.sample_series(epoch, &adv.runnable, moves_planned, moves_denied_conflict);
         self.epochs_run = epoch + 1;
         if let Some(prof) = self.prof.as_mut() {
             let jobs = self.runner.jobs() as u64;
@@ -825,7 +873,13 @@ impl Cluster {
     /// reads only registry deltas, health, and the worker-captured
     /// runnable counts — never a guest kernel — so it is identical for
     /// every worker count.
-    fn sample_series(&mut self, epoch: u64, runnable: &[u32]) {
+    fn sample_series(
+        &mut self,
+        epoch: u64,
+        runnable: &[u32],
+        moves_planned: u32,
+        moves_denied_conflict: u32,
+    ) {
         if self.series.is_none() {
             return;
         }
@@ -861,7 +915,9 @@ impl Cluster {
         }
         let sample = EpochSample {
             epoch,
-            migrations_in_flight: u32::from(self.pending.is_some()),
+            migrations_in_flight: self.pending.len() as u32,
+            moves_planned,
+            moves_denied_conflict,
             migrations: self.records.len() as u64,
             aborts: self.aborts.len() as u64,
             retries_committed: self.retries_committed,
@@ -988,12 +1044,9 @@ impl Cluster {
         // A migration chain moving the departing VM has lost its
         // subject: the chain is abandoned, never retried against a VM
         // that no longer exists.
-        if let Some(p) = self.pending {
-            if p.vm == id {
-                self.pending = None;
-                self.retries_abandoned += 1;
-            }
-        }
+        let before = self.pending.len();
+        self.pending.retain(|p| p.vm != id);
+        self.retries_abandoned += (before - self.pending.len()) as u64;
         let local = self.vms[id].local;
         let ret = self.hosts[host].destroy_vm(local);
         // The travelling counters are final at destruction; reconcile
@@ -1105,14 +1158,11 @@ impl Cluster {
             e.last_migration = Some(epoch);
             e.migrations += 1;
         }
-        // A retry chain headed for (or rolling back onto) the dead host
+        // Retry chains headed for (or rolling back onto) the dead host
         // cannot continue.
-        if let Some(p) = self.pending {
-            if p.to == host {
-                self.pending = None;
-                self.retries_abandoned += 1;
-            }
-        }
+        let before = self.pending.len();
+        self.pending.retain(|p| p.to != host);
+        self.retries_abandoned += (before - self.pending.len()) as u64;
     }
 
     /// Re-check a due retry against the current cluster state: the VM
@@ -1308,7 +1358,7 @@ impl Cluster {
             });
             self.vms[mv.vm].attempts = attempt;
             if attempt < self.cfg.retry_cap {
-                self.pending = Some(PendingRetry {
+                self.pending.push(PendingRetry {
                     vm: mv.vm,
                     to: mv.to,
                     due: epoch + (1 << (attempt - 1)),

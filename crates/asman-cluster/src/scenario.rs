@@ -186,6 +186,55 @@ pub fn uniform(hosts: usize, seed: u64) -> Vec<Machine> {
         .collect()
 }
 
+/// A hotspot cluster for convergence benchmarks: the first
+/// `max(1, hosts/4)` hosts each carry **two** lock-heavy 3-VCPU gang
+/// VMs on 4 PCPUs (demand 6 > 4, so every hot host spins on
+/// lock-holder preemption until it sheds a gang), while the remaining
+/// hosts run a single 2-VCPU background service and are gang-free
+/// destinations. Rebalancing needs exactly one migration per hot host,
+/// each with a distinct source and (by the gang-fit rule) a distinct
+/// destination — so the epochs-to-balance of this scenario measures
+/// the per-epoch move budget directly: budget 1 needs ~`hosts/4`
+/// epochs, budget K needs ~`hosts/(4K)`.
+pub fn hotspot(hosts: usize, seed: u64) -> Vec<Machine> {
+    assert!(hosts >= 2, "hotspot needs somewhere to migrate to");
+    let hot = (hosts / 4).max(1);
+    (0..hosts)
+        .map(|h| {
+            let host_cfg = MachineConfig {
+                pcpus: 4,
+                seed: host_seed(seed, h),
+                ..MachineConfig::default()
+            };
+            let specs = if h < hot {
+                (0..2)
+                    .map(|g| {
+                        let name = format!("gang{h}_{g}");
+                        VmSpec::new(
+                            name.clone(),
+                            3,
+                            Box::new(gang_program(name, 3, &host_cfg)),
+                        )
+                    })
+                    .collect()
+            } else {
+                vec![VmSpec::new(
+                    format!("bg{h}"),
+                    2,
+                    Box::new(background_program(format!("bg{h}"), 2, &host_cfg)),
+                )]
+            };
+            asman_core::asman_machine(
+                AsmanConfig {
+                    machine: host_cfg,
+                    ..AsmanConfig::default()
+                },
+                specs,
+            )
+        })
+        .collect()
+}
+
 /// A random heterogeneous cluster: `hosts` machines with 2–6 PCPUs each
 /// and `vms` VMs of random shape (gang or background, 1–4 VCPUs, random
 /// weight) dealt round-robin-ish onto random hosts. Fully determined by

@@ -41,6 +41,7 @@ fn config() -> CheckpointConfig {
         churn: ChurnPlan::empty(),
         slot_reuse: false,
         series_capacity: 0,
+        max_moves: 1,
     }
 }
 
@@ -85,11 +86,11 @@ fn resumed_digest(cfg: &CheckpointConfig, ck: &Checkpoint, tweak: &dyn Fn(&mut C
 #[test]
 fn scenario_has_live_boundary_state() {
     let ck2 = capture_at(&config(), 2);
-    let p = ck2.state.pending.as_ref().expect("retry pending at epoch 2");
+    let p = ck2.state.pending.first().expect("retry pending at epoch 2");
     assert!(p.due > 2, "retry is mid-backoff, due {} > 2", p.due);
     assert_eq!(p.attempts, 2, "two aborted attempts recorded");
     let ck5 = capture_at(&config(), 5);
-    assert!(ck5.state.pending.is_none(), "retry committed by epoch 5");
+    assert!(ck5.state.pending.is_empty(), "retry committed by epoch 5");
     let cooling = ck5
         .state
         .vms
@@ -128,18 +129,18 @@ fn dropped_boundary_fields_diverge() {
         (
             "pending retry dropped entirely",
             2,
-            Box::new(|s| s.pending = None),
+            Box::new(|s| s.pending.clear()),
         ),
         (
             "pending.due backoff timer reset (retry fires early)",
             2,
-            Box::new(|s| s.pending.as_mut().expect("pending").due = 2),
+            Box::new(|s| s.pending.first_mut().expect("pending").due = 2),
         ),
         (
             "pending.attempts reset (backoff and give-up ladder restart)",
             2,
             Box::new(|s| {
-                let p = s.pending.as_mut().expect("pending");
+                let p = s.pending.first_mut().expect("pending");
                 p.attempts = 0;
                 for v in &mut s.vms {
                     v.attempts = 0;

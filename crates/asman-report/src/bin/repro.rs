@@ -67,6 +67,7 @@ struct Args {
     bench_jobs: Vec<usize>,
     series_window: usize,
     series_nsigma: f64,
+    max_moves: Option<usize>,
     checkpoint_every: u64,
     resume: Option<PathBuf>,
     scenario_flags_set: Vec<&'static str>,
@@ -75,6 +76,15 @@ struct Args {
     b_faults: Option<FaultSpec>,
     b_churn: Option<ChurnSpec>,
     b_mutate: Option<Mutation>,
+}
+
+impl Args {
+    /// The resolved per-epoch move budget: explicit `--max-moves`, or
+    /// the scale default `max(1, hosts/8)` — 1 for every pinned
+    /// scenario (hosts <= 8), so defaults keep golden digests intact.
+    fn resolved_max_moves(&self) -> usize {
+        self.max_moves.unwrap_or_else(|| (self.hosts / 8).max(1))
+    }
 }
 
 const KNOWN_TARGETS: [&str; 17] = [
@@ -129,10 +139,15 @@ fn usage() -> String {
          plan (RATE%% arrival + RATE%% departure chance per epoch)\n  \
          --audit-every N soak target: audit + occupancy-checkpoint cadence\n                  \
          in epochs (default 1000; the end-of-run audit always runs)\n  \
+         --max-moves N   cluster-family targets: concurrent migrations the\n                  \
+         balancer may plan per epoch (default: hosts/8, floored at 1;\n                  \
+         1 reproduces the historical single-move driver bit-for-bit)\n  \
          --checkpoint-every N\n                  \
          soak target: write a CKPT_<epoch>.json checkpoint into the\n                  \
          --json directory every N epochs (requires --json DIR)\n  \
-         --resume CKPT   soak target: resume from a checkpoint file. The run\n                  \
+         --resume CKPT   soak target: resume from a checkpoint file, or from\n                  \
+         a directory (picks the newest CKPT_<epoch>.json by\n                  \
+         numeric epoch). The run\n                  \
          replays to the checkpoint epoch, verifies the replay against\n                  \
          the artifact, applies its state, and continues — output is\n                  \
          byte-identical to the uninterrupted run. The scenario comes\n                  \
@@ -187,6 +202,7 @@ fn parse_args() -> Args {
     let mut bench_jobs = vec![1usize, 2, 4, 8];
     let mut series_window = asman_report::series::DEFAULT_WINDOW;
     let mut series_nsigma = asman_report::series::DEFAULT_NSIGMA;
+    let mut max_moves: Option<usize> = None;
     let mut checkpoint_every = 0u64;
     let mut resume = None;
     let mut scenario_flags_set: Vec<&'static str> = Vec::new();
@@ -344,6 +360,17 @@ fn parse_args() -> Args {
                 if !series_nsigma.is_finite() || series_nsigma <= 0.0 {
                     fail("--nsigma must be a positive finite number");
                 }
+            }
+            "--max-moves" => {
+                let v = it.next().unwrap_or_else(|| fail("--max-moves needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--max-moves `{v}` is not a number")));
+                if n < 1 {
+                    fail("--max-moves must be at least 1");
+                }
+                max_moves = Some(n);
+                scenario_flags_set.push("--max-moves");
             }
             "--checkpoint-every" => {
                 let v = it
@@ -505,6 +532,7 @@ fn parse_args() -> Args {
         bench_jobs,
         series_window,
         series_nsigma,
+        max_moves,
         checkpoint_every,
         resume,
         scenario_flags_set,
@@ -840,6 +868,7 @@ fn run_cluster(args: &Args) {
         jobs: args.params.jobs,
         policies: policies.clone(),
         faults: args.cluster_faults.clone(),
+        max_moves: args.resolved_max_moves(),
     };
     let exp = cluster::run(&p);
     emit(args, "CLUSTER_consolidation", exp.render(), exp.shape_checks(), &exp);
@@ -904,6 +933,7 @@ fn run_series(args: &Args) {
             jobs: args.params.jobs,
             policies: cluster_policies(args),
             faults: args.cluster_faults.clone(),
+            max_moves: args.resolved_max_moves(),
         },
         window: args.series_window,
         nsigma: args.series_nsigma,
@@ -939,7 +969,14 @@ fn run_soak(args: &Args) {
                  checkpoint (only --epochs, --jobs, --json and --checkpoint-every apply)"
             ));
         }
-        let ck = checkpoint::read_checkpoint(path)
+        // A directory means "the newest checkpoint in here", found by
+        // numeric epoch (lexicographic order lies past epoch 999,999).
+        let path = if path.is_dir() {
+            checkpoint::latest_checkpoint(path).unwrap_or_else(|e| fail(&format!("--resume {e}")))
+        } else {
+            path.clone()
+        };
+        let ck = checkpoint::read_checkpoint(&path)
             .unwrap_or_else(|e| fail(&format!("--resume {e}")));
         // --epochs may extend or shorten the horizon; default to the
         // horizon the checkpointed run was headed for.
@@ -966,6 +1003,7 @@ fn run_soak(args: &Args) {
             audit_every: ck.config.audit_every,
             checkpoint_every: args.checkpoint_every,
             ckpt_dir: args.json_dir.clone(),
+            max_moves: ck.config.max_moves,
             resume: Some(ck),
             ..defaults
         }
@@ -987,6 +1025,7 @@ fn run_soak(args: &Args) {
             audit_every: args.audit_every.min(epochs),
             checkpoint_every: args.checkpoint_every,
             ckpt_dir: args.json_dir.clone(),
+            max_moves: args.resolved_max_moves(),
             ..defaults
         }
     };
@@ -1028,6 +1067,7 @@ fn run_bisect(args: &Args) {
         slot_reuse: !churn_a.is_empty(),
         churn: churn_a,
         series_capacity: 0,
+        max_moves: args.resolved_max_moves(),
     };
     let mut b = a.clone();
     if let Some(p) = args.b_policy {
@@ -1091,6 +1131,7 @@ fn run_cluster_bench(args: &Args) {
         jobs_grid: args.bench_jobs.clone(),
         epochs: args.cluster_epochs,
         seed: args.params.seed,
+        max_moves: args.max_moves,
         ..clusterbench::BenchParams::default()
     };
     let bench = clusterbench::run(&p);

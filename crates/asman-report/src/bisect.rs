@@ -315,6 +315,7 @@ mod tests {
             churn: ChurnPlan::empty(),
             slot_reuse: false,
             series_capacity: 0,
+            max_moves: 1,
         }
     }
 

@@ -42,6 +42,9 @@ pub struct ClusterParams {
     pub policies: Vec<Policy>,
     /// Fault plan injected into every policy cell (empty = clean run).
     pub faults: FaultPlan,
+    /// Per-epoch migration budget (`--max-moves`; 1 = the historical
+    /// single-move driver and the golden-digest baseline).
+    pub max_moves: usize,
 }
 
 impl Default for ClusterParams {
@@ -54,6 +57,7 @@ impl Default for ClusterParams {
             jobs: 0,
             policies: Policy::ALL.to_vec(),
             faults: FaultPlan::empty(),
+            max_moves: 1,
         }
     }
 }
@@ -73,6 +77,7 @@ impl ClusterParams {
             // cells across the sweep, and host advancement within each
             // cluster's epochs. Both are bit-identical for any count.
             jobs: self.jobs,
+            max_moves: self.max_moves,
             ..ClusterConfig::default()
         }
     }

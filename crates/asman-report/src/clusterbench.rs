@@ -13,6 +13,14 @@
 //! row all digests must match the `jobs = 1` baseline, so the bench
 //! doubles as a determinism cross-check and refuses to report a speedup
 //! obtained by computing something different.
+//!
+//! Rows whose resolved move budget exceeds one also run the
+//! **convergence comparison**: the hotspot scenario
+//! (`asman_cluster::scenario::hotspot`, `hosts/4` overloaded hosts
+//! that each need to shed one gang) to a fixed horizon under budget 1
+//! and under the row's budget, reporting epochs-to-balance for both.
+//! Lifting the one-migration-per-epoch cap is the point of
+//! `--max-moves`; this is the measurement that shows it.
 
 use asman_cluster::{scenario, Cluster, ClusterConfig, EpochProfile, Policy};
 use serde::Serialize;
@@ -33,6 +41,9 @@ pub struct BenchParams {
     pub seed: u64,
     /// Timed runs per cell (median is reported).
     pub samples: usize,
+    /// Per-epoch migration budget; `None` resolves per hosts row to
+    /// the CLI default `max(1, hosts/8)`.
+    pub max_moves: Option<usize>,
 }
 
 impl Default for BenchParams {
@@ -43,6 +54,7 @@ impl Default for BenchParams {
             epochs: 6,
             seed: 42,
             samples: 3,
+            max_moves: None,
         }
     }
 }
@@ -100,6 +112,31 @@ pub struct ClusterBench {
     pub available_parallelism: usize,
     /// The grid, hosts-major in parameter order.
     pub grid: Vec<BenchCell>,
+    /// Budget-1 vs budget-K convergence rows, one per hosts row whose
+    /// resolved move budget exceeds one (empty on small grids).
+    pub convergence: Vec<ConvergenceCell>,
+}
+
+/// One hosts row of the convergence comparison: the hotspot scenario
+/// run to the same horizon under budget 1 and the row's budget.
+#[derive(Clone, Debug, Serialize)]
+pub struct ConvergenceCell {
+    /// Simulated hosts (`hosts/4` of them start overloaded).
+    pub hosts: usize,
+    /// The row's resolved move budget (`> 1` by construction).
+    pub budget: usize,
+    /// Epochs each run was given to settle.
+    pub horizon: u64,
+    /// First epoch with no migration left under budget 1 (the last
+    /// migration's epoch + 1; 0 = never migrated).
+    pub epochs_to_balance_budget1: u64,
+    /// Same, under [`ConvergenceCell::budget`] moves per epoch.
+    pub epochs_to_balance: u64,
+    /// Total migrations committed under budget 1.
+    pub moves_budget1: usize,
+    /// Total migrations committed under the row's budget — equal to
+    /// `moves_budget1` when both runs found the same rebalance.
+    pub moves: usize,
 }
 
 /// Build-and-run one timed sample; returns (wall seconds, events,
@@ -112,12 +149,14 @@ fn sample(
     jobs: usize,
     epochs: u64,
     seed: u64,
+    max_moves: usize,
     telemetry: bool,
 ) -> (f64, u64, String, Vec<EpochProfile>) {
     let cfg = ClusterConfig {
         policy: Policy::VcrdAware,
         epochs,
         jobs,
+        max_moves,
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(cfg, scenario::uniform(hosts, seed));
@@ -133,6 +172,26 @@ fn sample(
     (wall, events, digest_report(&report), cluster.profile().to_vec())
 }
 
+/// The hotspot scenario under one move budget: epochs-to-balance (the
+/// last migration's epoch + 1), total migrations, and the report
+/// digest for the worker-count cross-check. The 5 ms epoch keeps the
+/// convergence rows cheap even at large host counts — the measurement
+/// is an epoch *count*, not a wall time, so the epoch length only has
+/// to give the spin telemetry a signal.
+fn converge(hosts: usize, seed: u64, max_moves: usize, horizon: u64, jobs: usize) -> (u64, usize, String) {
+    let cfg = ClusterConfig {
+        policy: Policy::VcrdAware,
+        epochs: horizon,
+        epoch_ms: 5,
+        jobs,
+        max_moves,
+        ..ClusterConfig::default()
+    };
+    let report = Cluster::new(cfg, scenario::hotspot(hosts, seed)).run();
+    let settled = report.migrations.iter().map(|m| m.epoch + 1).max().unwrap_or(0);
+    (settled, report.migrations.len(), digest_report(&report))
+}
+
 /// Run the whole grid.
 pub fn run(p: &BenchParams) -> ClusterBench {
     let auto = std::thread::available_parallelism()
@@ -140,13 +199,14 @@ pub fn run(p: &BenchParams) -> ClusterBench {
         .unwrap_or(1);
     let mut grid = Vec::new();
     for &hosts in &p.hosts_grid {
+        let budget = p.max_moves.unwrap_or_else(|| (hosts / 8).max(1));
         let mut baseline_rate = None;
         for &jobs in &p.jobs_grid {
             // Warmup: one full, untimed run.
-            let (_, events, digest, _) = sample(hosts, jobs, p.epochs, p.seed, false);
+            let (_, events, digest, _) = sample(hosts, jobs, p.epochs, p.seed, budget, false);
             let mut timed: Vec<(f64, Vec<EpochProfile>)> = (0..p.samples.max(1))
                 .map(|_| {
-                    let (wall, ev, d, prof) = sample(hosts, jobs, p.epochs, p.seed, false);
+                    let (wall, ev, d, prof) = sample(hosts, jobs, p.epochs, p.seed, budget, false);
                     assert_eq!(ev, events, "bench runs must be deterministic");
                     assert_eq!(d, digest, "bench runs must be deterministic");
                     (wall, prof)
@@ -159,7 +219,7 @@ pub fn run(p: &BenchParams) -> ClusterBench {
             // bit for bit; the wall-time delta is the telemetry cost.
             let mut tel_walls: Vec<f64> = (0..p.samples.max(1))
                 .map(|_| {
-                    let (tw, ev, d, _) = sample(hosts, jobs, p.epochs, p.seed, true);
+                    let (tw, ev, d, _) = sample(hosts, jobs, p.epochs, p.seed, budget, true);
                     assert_eq!(ev, events, "telemetry must not change the simulation");
                     assert_eq!(d, digest, "telemetry must not change the report digest");
                     tw
@@ -211,12 +271,41 @@ pub fn run(p: &BenchParams) -> ClusterBench {
             });
         }
     }
+    // Convergence rows: only meaningful where the budget beats 1.
+    let mut convergence = Vec::new();
+    for &hosts in &p.hosts_grid {
+        let budget = p.max_moves.unwrap_or_else(|| (hosts / 8).max(1));
+        if budget <= 1 {
+            continue;
+        }
+        // `hosts/4` hot hosts need one move each; budget 1 spends an
+        // epoch per move, so this horizon lets even the slow run settle.
+        let horizon = (hosts / 4).max(1) as u64 + 8;
+        let (e1, m1, _) = converge(hosts, p.seed, 1, horizon, 1);
+        let (ek, mk, dk) = converge(hosts, p.seed, budget, horizon, 1);
+        let (ek4, mk4, dk4) = converge(hosts, p.seed, budget, horizon, 4);
+        assert_eq!(
+            (ek, mk, &dk),
+            (ek4, mk4, &dk4),
+            "hosts={hosts} budget={budget}: convergence must be worker-count independent"
+        );
+        convergence.push(ConvergenceCell {
+            hosts,
+            budget,
+            horizon,
+            epochs_to_balance_budget1: e1,
+            epochs_to_balance: ek,
+            moves_budget1: m1,
+            moves: mk,
+        });
+    }
     ClusterBench {
         epochs: p.epochs,
         seed: p.seed,
         samples: p.samples,
         available_parallelism: auto,
         grid,
+        convergence,
     }
 }
 
@@ -277,6 +366,32 @@ impl ClusterBench {
             )
             .unwrap();
         }
+        if !self.convergence.is_empty() {
+            writeln!(
+                s,
+                "\nConvergence — hotspot scenario, epochs until the cluster stops migrating"
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "{:>6} {:>7} {:>8} {:>17} {:>17} {:>7}",
+                "hosts", "budget", "horizon", "settle@budget=1", "settle@budget", "moves"
+            )
+            .unwrap();
+            for c in &self.convergence {
+                writeln!(
+                    s,
+                    "{:>6} {:>7} {:>8} {:>17} {:>17} {:>7}",
+                    c.hosts,
+                    c.budget,
+                    c.horizon,
+                    c.epochs_to_balance_budget1,
+                    c.epochs_to_balance,
+                    c.moves,
+                )
+                .unwrap();
+            }
+        }
         s
     }
 }
@@ -316,5 +431,36 @@ mod tests {
             assert!(c.parallel_wall_secs > 0.0);
             assert!(c.telemetry_overhead_pct >= 0.0);
         }
+        // hosts < 8 resolves to budget 1 — no convergence row.
+        assert!(bench.convergence.is_empty());
+    }
+
+    /// A 16-host row resolves to budget 2 and must settle the hotspot
+    /// scenario strictly faster than the single-move driver while
+    /// committing the same rebalance (one shed gang per hot host).
+    #[test]
+    fn convergence_row_shows_budget_speedup() {
+        let bench = run(&BenchParams {
+            hosts_grid: vec![16],
+            jobs_grid: vec![1],
+            epochs: 1,
+            samples: 1,
+            ..BenchParams::default()
+        });
+        assert_eq!(bench.convergence.len(), 1);
+        let c = &bench.convergence[0];
+        assert_eq!((c.hosts, c.budget), (16, 2));
+        assert!(
+            c.moves_budget1 > 0 && c.moves > 0,
+            "hotspot must force migrations: {c:?}"
+        );
+        assert_eq!(c.moves, c.moves_budget1, "both budgets find the same rebalance");
+        assert!(
+            c.epochs_to_balance < c.epochs_to_balance_budget1,
+            "budget {} must settle strictly faster: {} vs {}",
+            c.budget,
+            c.epochs_to_balance,
+            c.epochs_to_balance_budget1
+        );
     }
 }

@@ -10,6 +10,16 @@
 //! state digest and every per-host machine fingerprint — must be
 //! byte-identical to the uninterrupted run, for worker counts 1 and 4
 //! on either side of the restore.
+//!
+//! The same battery sweeps the per-epoch move budget (`max_moves` in
+//! {1, 2, 4, 8}): every configuration must additionally conserve VMs
+//! (registry = initial + arrivals, resident = registry − departures)
+//! and respect the planner's per-host endpoint caps (within one epoch,
+//! no host is the source of two migrations or the destination of two
+//! migrations, and at most `max_moves` commit). A deterministic
+//! multi-chain scenario pins the checkpoint-v2 case the fuzz sweep
+//! cannot guarantee to hit: a boundary with **two** live retry chains
+//! in flight.
 
 use asman_cluster::{
     scenario::ConsolidationSpec, Checkpoint, CheckpointConfig, ChurnPlan, ClusterConfig, Policy,
@@ -19,7 +29,13 @@ use proptest::prelude::*;
 
 const EPOCHS: u64 = 8;
 
-fn config(seed: u64, policy: Policy, faults: &str, churn_rate: u32) -> CheckpointConfig {
+fn config(
+    seed: u64,
+    policy: Policy,
+    faults: &str,
+    churn_rate: u32,
+    max_moves: usize,
+) -> CheckpointConfig {
     let d = ClusterConfig::default();
     let spec = ConsolidationSpec {
         seed,
@@ -39,10 +55,15 @@ fn config(seed: u64, policy: Policy, faults: &str, churn_rate: u32) -> Checkpoin
         retry_cap: d.retry_cap,
         audit_every: d.audit_every,
         model: d.model,
-        faults: FaultPlan::parse(faults).expect("valid fault plan"),
+        faults: if faults.is_empty() {
+            FaultPlan::empty()
+        } else {
+            FaultPlan::parse(faults).expect("valid fault plan")
+        },
         churn,
         slot_reuse: churn_rate != 0,
         series_capacity: 64,
+        max_moves,
     }
 }
 
@@ -116,10 +137,11 @@ proptest! {
             Just("crash@3:h1"),
         ],
         churn_rate in 0u32..3,
+        max_moves in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
         at in 1u64..EPOCHS,
     ) {
         let policy = if policy_vcrd { Policy::VcrdAware } else { Policy::Static };
-        let cfg = config(seed, policy, faults, churn_rate);
+        let cfg = config(seed, policy, faults, churn_rate, max_moves);
         let want = straight_through(&cfg, 1);
         prop_assert_eq!(
             &straight_through(&cfg, 4), &want,
@@ -133,5 +155,114 @@ proptest! {
                 jb, ja, at
             );
         }
+    }
+
+    /// Under any move budget, every run conserves its VM population
+    /// and never lets one epoch use a host as a double source or
+    /// double destination — the planner's endpoint caps, observed from
+    /// the committed migration log rather than the planner's own
+    /// bookkeeping.
+    #[test]
+    fn multi_move_runs_conserve_vms_and_respect_caps(
+        seed in 1u64..500,
+        faults in prop_oneof![
+            Just(""),
+            Just("abort@1"),
+            Just("abort@2,abort@5"),
+            Just("crash@3:h1"),
+        ],
+        churn_rate in 0u32..3,
+        max_moves in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let cfg = config(seed, Policy::VcrdAware, faults, churn_rate, max_moves);
+        let mut c = cfg.build_cluster(1);
+        let initial = c.vm_count() as u64;
+        for _ in 0..cfg.epochs {
+            c.run_epoch();
+        }
+        let (arrivals, departures, ..) = c.churn_counts();
+        prop_assert_eq!(
+            c.vm_count() as u64, initial + arrivals,
+            "registry must grow only by admitted arrivals"
+        );
+        prop_assert_eq!(
+            c.resident_vm_count() as u64, initial + arrivals - departures,
+            "resident population must track arrivals minus departures"
+        );
+        // Endpoint caps, per epoch, over committed migrations (crash
+        // evacuations are forced bulk moves and live in a separate
+        // record stream).
+        let report = c.report();
+        let mut epochs: Vec<u64> = report.migrations.iter().map(|m| m.epoch).collect();
+        epochs.dedup();
+        for e in epochs {
+            let at: Vec<_> = report.migrations.iter().filter(|m| m.epoch == e).collect();
+            prop_assert!(
+                at.len() <= max_moves,
+                "epoch {}: {} migrations exceed budget {}", e, at.len(), max_moves
+            );
+            let mut srcs: Vec<usize> = at.iter().map(|m| m.from).collect();
+            let mut dsts: Vec<usize> = at.iter().map(|m| m.to).collect();
+            srcs.sort_unstable();
+            dsts.sort_unstable();
+            let (s, d) = (srcs.len(), dsts.len());
+            srcs.dedup();
+            dsts.dedup();
+            prop_assert!(
+                srcs.len() == s && dsts.len() == d,
+                "epoch {}: a host served as a double endpoint", e
+            );
+        }
+    }
+}
+
+/// The scenario the fuzz sweep cannot guarantee: a checkpoint boundary
+/// with **two** retry chains alive at once. A departure empties host 1
+/// and two gang arrivals land there back-to-back (admission always
+/// picks the least-loaded host), so hosts 0 and 1 are both overloaded
+/// sources; `max_moves: 2` plans both in the same epoch, and the
+/// abort plan keeps both chains failing and backing off. The v2
+/// checkpoint taken mid-flight must carry the whole ordered chain set
+/// through the file round trip and finish byte-identical.
+#[test]
+fn checkpoint_v2_round_trips_with_two_live_chains() {
+    let d = ClusterConfig::default();
+    let cfg = CheckpointConfig {
+        scenario: ConsolidationSpec {
+            hosts: 6,
+            ..ConsolidationSpec::default()
+        },
+        epoch_ms: d.epoch_ms,
+        epochs: 12,
+        policy: Policy::VcrdAware,
+        cooldown_epochs: d.cooldown_epochs,
+        retry_cap: 10,
+        audit_every: d.audit_every,
+        model: d.model,
+        faults: FaultPlan::parse("abort@0,abort@1,abort@2,abort@3").expect("fault plan"),
+        churn: ChurnPlan::parse("depart@0:h1:v0,arrive@0:gang3,arrive@0:gang3")
+            .expect("churn plan"),
+        slot_reuse: true,
+        series_capacity: 64,
+        max_moves: 2,
+    };
+    let at = 4;
+    let mut c = cfg.build_cluster(1);
+    for _ in 0..at {
+        c.run_epoch();
+    }
+    let ck = Checkpoint::capture(&c, cfg.clone());
+    assert!(
+        ck.state.pending.len() >= 2,
+        "boundary must hold more than one live chain, got {}",
+        ck.state.pending.len()
+    );
+    let want = straight_through(&cfg, 1);
+    for (jb, ja) in [(1, 1), (1, 4), (4, 1)] {
+        assert_eq!(
+            save_restore_finish(&cfg, at, jb, ja),
+            want,
+            "mid-flight multi-chain restore (jobs {jb} -> {ja}) must be byte-identical"
+        );
     }
 }

@@ -263,6 +263,7 @@ fn resume_conflicts_with_scenario_flags() {
         ("--vms", "3"),
         ("--churn", "rand:1:2"),
         ("--faults", "abort@1"),
+        ("--max-moves", "2"),
     ] {
         assert_usage_error(
             &["soak", "--resume", "/nonexistent/CKPT.json", flag, val],
@@ -291,8 +292,8 @@ fn resume_round_trip_version_and_horizon_checks() {
         "-q",
     ]);
     assert_eq!(out.status.code(), Some(0), "soak runs\nstderr: {}", stderr(&out));
-    let ck2 = dir.join("CKPT_000002.json");
-    let ck4 = dir.join("CKPT_000004.json");
+    let ck2 = dir.join("CKPT_000000002.json");
+    let ck4 = dir.join("CKPT_000000004.json");
     assert!(ck2.exists() && ck4.exists(), "soak wrote both checkpoints");
 
     let out = repro(&["soak", "--resume", ck2.to_str().unwrap(), "--epochs", "4", "-q"]);
@@ -307,6 +308,20 @@ fn resume_round_trip_version_and_horizon_checks() {
         "resumed soak renders the summary"
     );
 
+    // `--resume DIR` picks the newest checkpoint by numeric epoch —
+    // here CKPT_000000004.json, so the horizon must be raised past 4.
+    let out = repro(&["soak", "--resume", dirs, "--epochs", "6", "-q"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume from the artifact directory runs\nstderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("soak: 6 epochs"),
+        "directory resume picked the newest checkpoint and finished"
+    );
+
     // Horizon already reached: nothing left to run.
     assert_usage_error(
         &["soak", "--resume", ck4.to_str().unwrap(), "--epochs", "4"],
@@ -316,12 +331,12 @@ fn resume_round_trip_version_and_horizon_checks() {
     // A checkpoint from a future schema version is refused, not
     // misread.
     let text = std::fs::read_to_string(&ck2).expect("read checkpoint");
-    assert!(text.contains("\"version\": 1"), "checkpoint carries its version");
+    assert!(text.contains("\"version\": 2"), "checkpoint carries its version");
     let future = dir.join("CKPT_future.json");
-    std::fs::write(&future, text.replace("\"version\": 1", "\"version\": 99")).unwrap();
+    std::fs::write(&future, text.replace("\"version\": 2", "\"version\": 99")).unwrap();
     assert_usage_error(
         &["soak", "--resume", future.to_str().unwrap()],
-        "99 unsupported (this build reads version 1)",
+        "99 unsupported (this build reads versions 1..=2)",
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -375,6 +390,23 @@ fn boost_skip_mutation_requires_audit_build() {
         &["bisect", "--b-mutate", "boost-skip"],
         "requires a build with --features audit",
     );
+}
+
+#[test]
+fn bad_max_moves_flags_exit_two() {
+    assert_usage_error(&["cluster", "--max-moves"], "--max-moves needs a value");
+    assert_usage_error(
+        &["cluster", "--max-moves", "banana"],
+        "`banana` is not a number",
+    );
+    assert_usage_error(&["cluster", "--max-moves", "0"], "at least 1");
+}
+
+#[test]
+fn usage_documents_max_moves() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--max-moves"), "usage documents --max-moves");
 }
 
 #[test]

@@ -33,6 +33,7 @@ fn params(jobs: usize, faults: FaultPlan) -> ClusterParams {
         jobs,
         policies: Policy::ALL.to_vec(),
         faults,
+        max_moves: 1,
     }
 }
 

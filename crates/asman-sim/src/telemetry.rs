@@ -54,9 +54,16 @@ pub struct HostSample {
 pub struct EpochSample {
     /// Epoch index (0-based).
     pub epoch: u64,
-    /// Migrations awaiting retry at the end of the barrier (0 or 1;
-    /// the driver moves at most one VM per epoch).
+    /// Live migration retry chains at the end of the barrier — a real
+    /// count, bounded by the driver's per-epoch move budget
+    /// (`--max-moves`).
     pub migrations_in_flight: u32,
+    /// Fresh moves the balancer planned at this barrier (retry
+    /// re-attempts not included).
+    pub moves_planned: u32,
+    /// Candidate moves the planner rejected at this barrier because a
+    /// per-host send/receive cap was already claimed.
+    pub moves_denied_conflict: u32,
     /// Cumulative committed migrations.
     pub migrations: u64,
     /// Cumulative aborted migration attempts.
@@ -170,7 +177,11 @@ const ANOMALY_METRICS: [HostMetric; 2] = [
 /// at least `window` prior samples exist for that host and the value
 /// exceeds `mean + nsigma * sigma` of the trailing `window` samples
 /// (strictly above the mean when the window is flat, so a constant
-/// series is never flagged). Pure arithmetic over the samples —
+/// series is never flagged). The trailing window must be
+/// **epoch-contiguous** with the flagged sample: a host that is absent
+/// from some epochs (ring eviction, partial series) resets its window
+/// at the gap, so a value is never judged against a mean drawn from
+/// non-adjacent history. Pure arithmetic over the samples —
 /// deterministic given a deterministic series.
 pub fn detect_anomalies(samples: &[EpochSample], window: usize, nsigma: f64) -> Vec<Anomaly> {
     let window = window.max(2);
@@ -183,6 +194,14 @@ pub fn detect_anomalies(samples: &[EpochSample], window: usize, nsigma: f64) -> 
                 .filter_map(|s| s.hosts.get(host).map(|h| (s.epoch, extract(h))))
                 .collect();
             for i in window..series.len() {
+                // Epochs are strictly increasing, so the window plus
+                // the judged sample span exactly `window` consecutive
+                // epochs iff the endpoints differ by exactly `window`.
+                // A gap anywhere inside widens the difference and the
+                // window is skipped until it refills past the gap.
+                if series[i].0 != series[i - window].0 + window as u64 {
+                    continue;
+                }
                 let trail = &series[i - window..i];
                 let mean = trail.iter().map(|(_, v)| v).sum::<f64>() / window as f64;
                 let var = trail.iter().map(|(_, v)| (v - mean) * (v - mean)).sum::<f64>()
@@ -238,6 +257,8 @@ mod tests {
         EpochSample {
             epoch,
             migrations_in_flight: 0,
+            moves_planned: 0,
+            moves_denied_conflict: 0,
             migrations: 0,
             aborts: 0,
             retries_committed: 0,
@@ -303,6 +324,44 @@ mod tests {
     fn anomaly_pass_ignores_flat_series() {
         let samples: Vec<EpochSample> = (0..10).map(|e| sample(e, &[42, 42])).collect();
         assert!(detect_anomalies(&samples, 4, 3.0).is_empty());
+    }
+
+    /// Regression: a host absent from some epochs (ring eviction, a
+    /// crashed host dropped from a partial series) used to have its
+    /// trailing window silently straddle the gap — the spike right
+    /// after the gap was judged against a mean drawn from epochs that
+    /// are not its recent history. The window must reset at any gap.
+    #[test]
+    fn anomaly_window_resets_at_epoch_gaps() {
+        // Host 1 is flat at 100 for epochs 0..=4, absent for epochs
+        // 5..=19 (its sample row is missing entirely), then returns
+        // with a big value at epoch 20. Pre-fix, the filter_map series
+        // is [(0,100)..(4,100),(20,5000)]: the trailing window
+        // [1,2,3,4] "precedes" epoch 20 positionally and the spike is
+        // flagged against history from 16 epochs ago. Post-fix the
+        // window straddling the gap is skipped.
+        let mut samples = Vec::new();
+        for e in 0..5u64 {
+            samples.push(sample(e, &[100, 100]));
+        }
+        for e in 5..20u64 {
+            samples.push(sample(e, &[100]));
+        }
+        samples.push(sample(20, &[100, 5000]));
+        let found = detect_anomalies(&samples, 4, 3.0);
+        assert!(
+            found.is_empty(),
+            "window straddling a sample gap must not judge the spike: {found:?}"
+        );
+        // The same spike with contiguous history is still caught: once
+        // the host's samples refill past the gap, flagging resumes.
+        for e in 21..27u64 {
+            samples.push(sample(e, &[100, 100 + (e % 2)]));
+        }
+        samples.push(sample(27, &[100, 5000]));
+        let found = detect_anomalies(&samples, 4, 3.0);
+        assert_eq!(found.len(), 1, "contiguous spike still flagged: {found:?}");
+        assert_eq!((found[0].epoch, found[0].host), (27, 1));
     }
 
     #[test]

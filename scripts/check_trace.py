@@ -3,8 +3,8 @@
 
     scripts/check_trace.py TRACE.json [TRACE.json ...]
     scripts/check_trace.py --series CLUSTER_series_P.json [...]
-    scripts/check_trace.py --spans CLUSTER_flight_P.json [...]
-    scripts/check_trace.py --ckpt CKPT_000500.json [...]
+    scripts/check_trace.py --spans [--max-overlap N] CLUSTER_flight_P.json [...]
+    scripts/check_trace.py --ckpt CKPT_000000500.json [...]
 
 Default mode checks the structural contract the Perfetto/Chrome
 trace-event viewer relies on, so CI catches exporter regressions
@@ -23,20 +23,33 @@ without a browser:
 ``--series`` mode validates the per-epoch telemetry series artifact
 (`repro series --json DIR`): epochs are contiguous from 0, every
 sample carries the full per-host schema (host indices in order, all
-counters non-negative), and anomaly/latency rows are well-formed.
+counters non-negative), anomaly/latency rows are well-formed, and the
+``migrations_in_flight`` count obeys the chain algebra — every live
+chain, committed retry and give-up consumed at least one abort, and
+the count can only rise by as many chains as aborted since the
+previous sample.
 
 ``--spans`` mode validates causal migration-span pairing in the
 host-tagged flight streams (`repro cluster --json DIR`): every
 ``MigratePrepare`` of a span chain is closed by exactly one
 ``MigrateCommit`` or ``MigrateAbort``, attempts count up from 1, a
-commit is final, and retries follow an abort.
+commit is final, and retries follow an abort. It also measures span
+*overlap* — the peak number of chains simultaneously in flight
+(a chain is open from its first prepare until its commit; an
+uncommitted chain stays open to the end of the stream) —
+``--max-overlap N`` fails the check if the peak exceeds the driver's
+move budget. When the sibling ``CLUSTER_series_<policy>.json`` sits
+next to the flight file, every sample's ``migrations_in_flight`` is
+cross-validated against the open prepare/close span pairs.
 
 ``--ckpt`` mode validates checkpoint artifacts (`repro soak
---checkpoint-every N --json DIR`): kind/version header, the embedded
-run config, the full control-state image (health per host, the per-VM
-schema, the optional pending retry), per-host machine fingerprints,
-and the cross-field invariants (epochs agree, hosts/health/fingerprint
-lengths agree, indices in range, the file name matches the epoch).
+--checkpoint-every N --json DIR`), versions 1 and 2: kind/version
+header, the embedded run config, the full control-state image (health
+per host, the per-VM schema, the pending retry — one optional chain in
+v1, the ordered chain set bounded by ``config.max_moves`` in v2),
+per-host machine fingerprints, and the cross-field invariants (epochs
+agree, hosts/health/fingerprint lengths agree, indices in range, the
+6- or 9-digit file name matches the epoch).
 
 Exits non-zero with a message on the first violation.
 """
@@ -123,6 +136,8 @@ HOST_FIELDS = {
 SAMPLE_FIELDS = {
     "epoch": int,
     "migrations_in_flight": int,
+    "moves_planned": int,
+    "moves_denied_conflict": int,
     "migrations": int,
     "aborts": int,
     "retries_committed": int,
@@ -173,6 +188,23 @@ def check_series(path):
                     sys.exit(f"{path}: samples[{i}].hosts[{h}].{field} malformed: {v!r}")
             if row["host"] != h:
                 sys.exit(f"{path}: samples[{i}].hosts[{h}] reports host {row['host']}")
+        # Chain algebra for the in-flight count: a chain only becomes
+        # pending through an abort, and every closure (retry-commit or
+        # give-up) consumed at least one abort of its own — so live +
+        # closed chains can never outnumber the cumulative aborts, and
+        # the count can only rise by as many chains as aborted since
+        # the previous sample.
+        live = s["migrations_in_flight"]
+        if live + s["retries_committed"] + s["gave_up"] > s["aborts"]:
+            sys.exit(f"{path}: samples[{i}]: {live} in flight + "
+                     f"{s['retries_committed']} retry-commits + {s['gave_up']} "
+                     f"give-ups exceed {s['aborts']} cumulative aborts")
+        if i > 0:
+            prev = samples[i - 1]
+            rise = live - prev["migrations_in_flight"]
+            if rise > s["aborts"] - prev["aborts"]:
+                sys.exit(f"{path}: samples[{i}]: in-flight rose by {rise} with "
+                         f"only {s['aborts'] - prev['aborts']} new aborts")
     for i, a in enumerate(doc["anomalies"]):
         for field in ("epoch", "host", "metric", "value", "mean", "sigma"):
             if field not in a:
@@ -193,7 +225,7 @@ def check_series(path):
           f"{len(doc['anomalies'])} anomalies")
 
 
-def check_spans(path):
+def check_spans(path, max_overlap=None):
     """Validate migration-span pairing in ``CLUSTER_flight_<policy>.json``."""
     with open(path, encoding="utf-8") as f:
         streams = json.load(f)
@@ -205,12 +237,15 @@ def check_spans(path):
             sys.exit(f"{path}: each stream must be {{host, events}}")
         merged.extend(s["events"])
     merged.sort(key=lambda e: e["t"])
-    spans = {}  # span id -> list of (kind, attempt)
+    spans = {}  # span id -> list of (t, kind, attempt)
     for e in merged:
         (kind, payload), = e["ev"].items() if isinstance(e["ev"], dict) else [(e["ev"], {})]
         if kind in ("MigratePrepare", "MigrateCommit", "MigrateAbort", "MigrateRetry"):
-            spans.setdefault(payload["span"], []).append((kind, payload.get("attempt")))
-    for span, evs in sorted(spans.items()):
+            spans.setdefault(payload["span"], []).append((e["t"], kind, payload.get("attempt")))
+    unclosed = 0
+    intervals = []  # (open t, close t or None) per chain
+    for span, tevs in sorted(spans.items()):
+        evs = [(k, a) for _, k, a in tevs]
         prepares = [a for k, a in evs if k == "MigratePrepare"]
         commits = [a for k, a in evs if k == "MigrateCommit"]
         aborts = [a for k, a in evs if k == "MigrateAbort"]
@@ -227,10 +262,57 @@ def check_spans(path):
         for a in retries:
             if a < 2 or (a - 1) not in aborts:
                 sys.exit(f"{path}: span {span}: retry attempt {a} without abort of attempt {a - 1}")
-    print(f"ok: {path}: {len(spans)} migration span(s), all prepare/close paired")
+        # A chain is in flight from its first prepare until its commit;
+        # an uncommitted chain (still retrying, gave up, or abandoned)
+        # stays open to the end of the stream.
+        intervals.append((tevs[0][0], tevs[-1][0] if commits else None))
+        unclosed += not commits
+    # Peak overlap: the most chains simultaneously in flight. Closes at
+    # time t release after opens at t are admitted, so chains that hand
+    # over an epoch boundary's budget slot still count as concurrent —
+    # the peak is a faithful upper bound on the driver's live-chain set.
+    marks = []
+    for start, end in intervals:
+        marks.append((start, 1))
+        if end is not None:
+            marks.append((end, -1))
+    marks.sort(key=lambda m: (m[0], -m[1]))
+    peak = live = 0
+    for _, d in marks:
+        live += d
+        peak = max(peak, live)
+    if max_overlap is not None and peak > max_overlap:
+        sys.exit(f"{path}: {peak} chains in flight at once exceeds "
+                 f"--max-overlap {max_overlap}")
+    # Cross-validate the series sampler's migrations_in_flight against
+    # the open prepare/close pairs when the same run's series artifact
+    # sits next to the flight file.
+    import os
+    sib = os.path.join(os.path.dirname(path) or ".",
+                       os.path.basename(path).replace("flight", "series"))
+    crossed = ""
+    if "flight" in os.path.basename(path) and os.path.exists(sib):
+        with open(sib, encoding="utf-8") as f:
+            series = json.load(f)
+        samples = series.get("samples", [])
+        for i, s in enumerate(samples):
+            if s["migrations_in_flight"] > peak:
+                sys.exit(f"{sib}: samples[{i}] reports {s['migrations_in_flight']} "
+                         f"in flight but the flight stream never has more than "
+                         f"{peak} open span chains")
+        if samples:
+            last = samples[-1]
+            if last["migrations_in_flight"] + last["gave_up"] > unclosed:
+                sys.exit(f"{sib}: final sample reports "
+                         f"{last['migrations_in_flight']} live + {last['gave_up']} "
+                         f"given-up chains but only {unclosed} span chains are "
+                         f"uncommitted in the flight stream")
+        crossed = f", in-flight cross-checked against {os.path.basename(sib)}"
+    print(f"ok: {path}: {len(spans)} migration span(s), all prepare/close paired, "
+          f"peak overlap {peak}{crossed}")
 
 
-CKPT_VERSION = 1
+CKPT_VERSIONS = {1, 2}
 HEALTH = {"Healthy", "Derated", "Crashed"}
 
 
@@ -249,9 +331,10 @@ def check_ckpt(path):
         sys.exit(f"{path}: top level must be an object")
     if doc.get("kind") != "asman-ckpt":
         sys.exit(f"{path}: kind is {doc.get('kind')!r}, not a checkpoint")
-    if doc.get("version") != CKPT_VERSION:
-        sys.exit(f"{path}: version {doc.get('version')!r} unsupported "
-                 f"(this checker reads version {CKPT_VERSION})")
+    version = doc.get("version")
+    if version not in CKPT_VERSIONS:
+        sys.exit(f"{path}: version {version!r} unsupported "
+                 f"(this checker reads versions {min(CKPT_VERSIONS)}..={max(CKPT_VERSIONS)})")
     for field in ("config", "epoch", "state", "hosts", "digest"):
         if field not in doc:
             sys.exit(f"{path}: missing {field!r}")
@@ -259,11 +342,18 @@ def check_ckpt(path):
     cfg = doc["config"]
     if not isinstance(cfg, dict):
         sys.exit(f"{path}: config must be an object")
-    for field in ("hosts", "gangs", "pcpus", "seed", "epoch_ms", "epochs",
-                  "policy", "cooldown_epochs", "retry_cap", "audit_every",
-                  "model", "faults", "churn", "slot_reuse", "series_capacity"):
+    required = ["hosts", "gangs", "pcpus", "seed", "epoch_ms", "epochs",
+                "policy", "cooldown_epochs", "retry_cap", "audit_every",
+                "model", "faults", "churn", "slot_reuse", "series_capacity"]
+    if version >= 2:
+        required.append("max_moves")
+    for field in required:
         if field not in cfg:
             sys.exit(f"{path}: config missing {field!r}")
+    # v1 artifacts predate the move budget; absent means 1.
+    max_moves = _nonneg(path, "config", cfg, "max_moves") if "max_moves" in cfg else 1
+    if max_moves < 1:
+        sys.exit(f"{path}: config.max_moves must be at least 1, got {max_moves}")
     n_hosts = _nonneg(path, "config", cfg, "hosts")
     if n_hosts < 2:
         sys.exit(f"{path}: config.hosts must be at least 2, got {n_hosts}")
@@ -282,7 +372,7 @@ def check_ckpt(path):
         sys.exit(f"{path}: epoch {epoch} is past the config horizon {horizon}")
     import os
     import re
-    m = re.fullmatch(r"CKPT_(\d{6})\.json", os.path.basename(path))
+    m = re.fullmatch(r"CKPT_(\d{6}|\d{9})\.json", os.path.basename(path))
     if m and int(m.group(1)) != epoch:
         sys.exit(f"{path}: file name epoch {int(m.group(1))} != payload epoch {epoch}")
 
@@ -323,18 +413,36 @@ def check_ckpt(path):
             sys.exit(f"{path}: {where} missing 'final_row'")
         if vm["departed"] != (vm["final_row"] is not None):
             sys.exit(f"{path}: {where}: departed and final_row disagree")
-    pending = st.get("pending")
-    if pending is not None:
-        if not isinstance(pending, dict):
-            sys.exit(f"{path}: state.pending must be null or an object")
+    def check_chain(where, chain):
+        if not isinstance(chain, dict):
+            sys.exit(f"{path}: {where} must be an object")
         for field in ("vm", "to", "due", "attempts", "span"):
-            _nonneg(path, "state.pending", pending, field)
-        if pending["vm"] >= len(vms):
-            sys.exit(f"{path}: state.pending names vm {pending['vm']} of {len(vms)}")
-        if pending["to"] >= n_hosts:
-            sys.exit(f"{path}: state.pending names host {pending['to']} of {n_hosts}")
-        if pending["attempts"] < 1:
-            sys.exit(f"{path}: state.pending.attempts must be at least 1")
+            _nonneg(path, where, chain, field)
+        if chain["vm"] >= len(vms):
+            sys.exit(f"{path}: {where} names vm {chain['vm']} of {len(vms)}")
+        if chain["to"] >= n_hosts:
+            sys.exit(f"{path}: {where} names host {chain['to']} of {n_hosts}")
+        if chain["attempts"] < 1:
+            sys.exit(f"{path}: {where}.attempts must be at least 1")
+
+    pending = st.get("pending")
+    if version >= 2:
+        # v2: the ordered chain set, bounded by the move budget, with
+        # pairwise-distinct VMs and destinations (each live chain holds
+        # its endpoint caps).
+        if not isinstance(pending, list):
+            sys.exit(f"{path}: state.pending must be a list in version {version}")
+        if len(pending) > max_moves:
+            sys.exit(f"{path}: {len(pending)} pending chains exceed "
+                     f"config.max_moves {max_moves}")
+        for i, chain in enumerate(pending):
+            check_chain(f"state.pending[{i}]", chain)
+        for field, label in (("vm", "VM"), ("to", "destination")):
+            vals = [c[field] for c in pending]
+            if len(set(vals)) != len(vals):
+                sys.exit(f"{path}: two pending chains share a {label}: {vals}")
+    elif pending is not None:
+        check_chain("state.pending", pending)
     for field in ("records", "aborts", "evacuations"):
         if not isinstance(st.get(field), list):
             sys.exit(f"{path}: state.{field} must be a list")
@@ -358,13 +466,22 @@ def main(argv):
     if len(argv) < 2:
         sys.exit(__doc__.strip().splitlines()[2].strip())
     checker = check
-    for arg in argv[1:]:
+    max_overlap = None
+    args = iter(argv[1:])
+    for arg in args:
         if arg == "--series":
             checker = check_series
         elif arg == "--spans":
             checker = check_spans
         elif arg == "--ckpt":
             checker = check_ckpt
+        elif arg == "--max-overlap":
+            try:
+                max_overlap = int(next(args))
+            except (StopIteration, ValueError):
+                sys.exit("--max-overlap needs an integer")
+        elif checker is check_spans:
+            checker(arg, max_overlap)
         else:
             checker(arg)
 

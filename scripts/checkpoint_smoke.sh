@@ -27,7 +27,7 @@ out_dir="${1:-ckpt-out}"
 churn="rand:42:5"
 epochs=2000
 every=500
-resume_from="CKPT_001000.json"
+resume_from="CKPT_000001000.json"
 golden="2c0cce1a2122726e"
 
 cargo build --release -p asman-report --bin repro
@@ -59,6 +59,47 @@ if [[ "$actual" != "$golden" ]]; then
   echo "if the change is intentional, re-pin golden in scripts/checkpoint_smoke.sh" >&2
   exit 1
 fi
+
+# Version-1 artifact load: a checkpoint written before the multi-move
+# planner (no config.max_moves, pending as a single object or null)
+# must still resume. Synthesize one from the halfway v2 artifact — the
+# canonical soak carries no faults, so the boundary holds at most one
+# live chain and the collapse is lossless — then resume from it and
+# demand the same bit-identical finish.
+python3 - "$out_dir/$resume_from" "$out_dir-v1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["version"] = 1
+del doc["config"]["max_moves"]
+p = doc["state"]["pending"]
+assert len(p) <= 1, f"v1 collapse would drop chains: {p}"
+doc["state"]["pending"] = p[0] if p else None
+json.dump(doc, open(sys.argv[2], "w"), indent=2)
+EOF
+python3 scripts/check_trace.py --ckpt "$out_dir-v1.json"
+rm -rf "$out_dir-v1res"
+./target/release/repro soak --resume "$out_dir-v1.json" --jobs 4 \
+  --checkpoint-every "$every" --json "$out_dir-v1res" -q | tee "$out_dir-v1res.txt"
+diff "$out_dir.txt" "$out_dir-v1res.txt"
+diff -r "$out_dir" "$out_dir-v1res"
+
+# Multi-move leg: the same churned soak under --max-moves 4. The run's
+# own jobs-1-vs-4 cross-check prefix covers digest parity; the resumed
+# run (from a v2 checkpoint whose config carries max_moves: 4) must
+# still finish byte-identical under the other worker count.
+mm_epochs=1000
+mm_every=250
+rm -rf "$out_dir-mm4" "$out_dir-mm4res"
+./target/release/repro soak --epochs "$mm_epochs" --churn "$churn" --jobs 1 \
+  --max-moves 4 --checkpoint-every "$mm_every" --json "$out_dir-mm4" -q \
+  | tee "$out_dir-mm4.txt"
+grep -q "1 and 4 workers bit-identical" "$out_dir-mm4.txt"
+python3 scripts/check_trace.py --ckpt "$out_dir-mm4"/CKPT_*.json
+grep -q '"max_moves": 4' "$out_dir-mm4/CKPT_000000500.json"
+./target/release/repro soak --resume "$out_dir-mm4/CKPT_000000500.json" --jobs 4 \
+  --checkpoint-every "$mm_every" --json "$out_dir-mm4res" -q | tee "$out_dir-mm4res.txt"
+diff "$out_dir-mm4.txt" "$out_dir-mm4res.txt"
+diff -r "$out_dir-mm4" "$out_dir-mm4res"
 
 # Bisection, negative twin: identical sides are bit-identical, exit 0.
 ./target/release/repro bisect --epochs 8 --policy vcrd-aware -q \
